@@ -1,0 +1,46 @@
+//! Criterion bench for the analytical accelerator models and the per-layer
+//! strategy evaluator (the innermost loops of the mapping search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_accel::{Catalog, DesignId, ProfileTable};
+use mars_comm::CommSim;
+use mars_model::{zoo, ConvParams, Dim, DimSet};
+use mars_parallel::{evaluate_layer, paper_strategies, EvalContext, Strategy};
+use mars_topology::presets;
+
+fn bench_profile_table(c: &mut Criterion) {
+    let catalog = Catalog::standard_three();
+    let mut group = c.benchmark_group("accel/profile-table");
+    for (name, net) in [("ResNet34", zoo::resnet34(1000)), ("ResNet101", zoo::resnet101(1000))] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            b.iter(|| ProfileTable::build(net, &catalog))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_eval(c: &mut Criterion) {
+    let topo = presets::f1_16xlarge();
+    let sim = CommSim::new(&topo);
+    let catalog = Catalog::standard_three();
+    let group4 = topo.group_members(0);
+    let ctx = EvalContext::new(catalog.model(DesignId(1)), &sim, &group4);
+    let conv = ConvParams::new(512, 512, 14, 14, 3, 1);
+
+    c.bench_function("parallel/evaluate-one-strategy", |b| {
+        let strategy = Strategy::with_shared(DimSet::from_dims([Dim::H, Dim::W]), Dim::Cout);
+        b.iter(|| evaluate_layer(&conv, &strategy, &ctx))
+    });
+    c.bench_function("parallel/evaluate-all-75-strategies", |b| {
+        let space = paper_strategies();
+        b.iter(|| {
+            space
+                .iter()
+                .map(|s| evaluate_layer(&conv, s, &ctx).total_seconds())
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+}
+
+criterion_group!(benches, bench_profile_table, bench_layer_eval);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for the collective-communication simulator: All-Reduce,
+//! ring shift and cross-set redistribution on the F1-style topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_comm::CommSim;
+use mars_topology::presets;
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let topo = presets::f1_16xlarge();
+    let sim = CommSim::new(&topo);
+    let group4 = topo.group_members(0);
+    let all8: Vec<_> = topo.accelerators().collect();
+    let mut group = c.benchmark_group("collectives/all-reduce");
+    for (name, set) in [("group-of-4", &group4), ("all-8-cross-group", &all8)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), set, |b, set| {
+            b.iter(|| sim.all_reduce(set, 4 << 20))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_shift_and_redistribute(c: &mut Criterion) {
+    let topo = presets::f1_16xlarge();
+    let sim = CommSim::new(&topo);
+    let g0 = topo.group_members(0);
+    let g1 = topo.group_members(1);
+    c.bench_function("collectives/ring-shift-1MiB", |b| {
+        b.iter(|| sim.ring_shift(&g0, 1 << 20))
+    });
+    c.bench_function("collectives/redistribute-cross-group-4MiB", |b| {
+        b.iter(|| sim.redistribute(&g0, &g1, 4 << 20))
+    });
+}
+
+criterion_group!(benches, bench_all_reduce, bench_ring_shift_and_redistribute);
+criterion_main!(benches);

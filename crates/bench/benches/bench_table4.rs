@@ -1,0 +1,52 @@
+//! Criterion bench for E3 (Table IV): the H2H-like dynamic-programming mapper
+//! and the MARS fixed-design search on the heterogeneous models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_accel::Catalog;
+use mars_core::{baseline, Mars, SearchConfig};
+use mars_model::zoo;
+use mars_topology::presets;
+
+fn bench_h2h_mapper(c: &mut Criterion) {
+    let catalog = Catalog::h2h_heterogeneous();
+    let mut group = c.benchmark_group("table4/h2h-like");
+    group.sample_size(10);
+    for (name, net) in [
+        ("CASIA-SURF", zoo::casia_surf_like()),
+        ("FaceBag", zoo::facebagnet_like()),
+    ] {
+        let topo = presets::h2h_cloud(2.0);
+        let designs = baseline::default_fixed_designs(&topo, &catalog);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
+            b.iter(|| baseline::h2h_like(net, &topo, &catalog, &designs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mars_fixed_designs(c: &mut Criterion) {
+    let catalog = Catalog::h2h_heterogeneous();
+    let net = zoo::casia_surf_like();
+    let mut group = c.benchmark_group("table4/mars-fixed");
+    group.sample_size(10);
+    for gbps in [1.0, 10.0] {
+        let topo = presets::h2h_cloud(gbps);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{gbps}Gbps")),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    let designs = baseline::default_fixed_designs(topo, &catalog);
+                    Mars::new(&net, topo, &catalog)
+                        .with_fixed_designs(designs)
+                        .with_config(SearchConfig::fast(3))
+                        .search()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_h2h_mapper, bench_mars_fixed_designs);
+criterion_main!(benches);

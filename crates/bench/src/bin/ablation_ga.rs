@@ -1,0 +1,89 @@
+//! E5 — Fig. 3 / Section V ablation: the two-level genetic algorithm against a
+//! flat single-level GA and random search, plus the effect of the heuristics.
+//!
+//! ```sh
+//! cargo run --release -p mars-bench --bin ablation_ga
+//! ```
+
+use mars_accel::Catalog;
+use mars_bench::Budget;
+use mars_core::{ablation, baseline, GaConfig, Mars};
+use mars_model::zoo;
+use mars_topology::presets;
+
+fn main() {
+    let budget = Budget::from_env();
+    let net = zoo::resnet34(1000);
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let seed = 17;
+
+    println!("Ablation on {} ({budget:?} budget)", net.summary());
+
+    let baseline_mapping = baseline::computation_prioritized(&net, &topo, &catalog);
+    println!("{:<34} {:>12}", "mapper", "latency/ms");
+    println!(
+        "{:<34} {:>12.3}",
+        "computation-prioritised baseline",
+        baseline_mapping.latency_ms()
+    );
+
+    // Two-level MARS (the paper's algorithm).
+    let two_level = Mars::new(&net, &topo, &catalog)
+        .with_config(budget.search_config(seed))
+        .search();
+    println!(
+        "{:<34} {:>12.3}   ({} first-level evaluations)",
+        "MARS two-level GA",
+        two_level.latency_ms(),
+        two_level.evaluations
+    );
+
+    // Flat single-level GA with a comparable evaluation budget.
+    let flat_cfg = match budget {
+        Budget::Fast => GaConfig {
+            population: 12,
+            generations: 8,
+            ..GaConfig::first_level(seed)
+        },
+        Budget::Full => GaConfig {
+            population: 24,
+            generations: 20,
+            ..GaConfig::first_level(seed)
+        },
+    };
+    let single = ablation::single_level_search(&net, &topo, &catalog, flat_cfg);
+    println!(
+        "{:<34} {:>12.3}   ({} evaluations)",
+        "single-level (flat) GA",
+        single.mapping.latency_ms(),
+        single.evaluations
+    );
+
+    // Random search with the same number of flat evaluations.
+    let random = ablation::random_search(&net, &topo, &catalog, single.evaluations, seed);
+    println!(
+        "{:<34} {:>12.3}   ({} samples)",
+        "random search",
+        random.mapping.latency_ms(),
+        random.evaluations
+    );
+
+    println!("\nConvergence history (best latency in ms per generation):");
+    println!(
+        "two-level: {:?}",
+        two_level
+            .history
+            .iter()
+            .map(|s| (s * 1e3 * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "flat:      {:?}",
+        single
+            .history
+            .iter()
+            .map(|s| (s * 1e3 * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+}

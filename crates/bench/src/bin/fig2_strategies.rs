@@ -1,0 +1,88 @@
+//! E4 — Fig. 2: the semantics and cost of the exclusive-shard / shared-shard
+//! parallelism strategies on a representative convolution layer.
+//!
+//! Prints, for the strategies illustrated in Fig. 2 plus the best strategy
+//! found by exhaustive enumeration, the compute time, All-Reduce time, exposed
+//! ring-shift time and per-accelerator memory footprint on one 4-FPGA group of
+//! the F1-style platform.
+//!
+//! ```sh
+//! cargo run --release -p mars-bench --bin fig2_strategies
+//! ```
+
+use mars_accel::{Catalog, DesignId};
+use mars_comm::CommSim;
+use mars_model::{ConvParams, Dim, DimSet};
+use mars_parallel::{evaluate_layer, paper_strategies, EvalContext, Strategy};
+use mars_topology::presets;
+
+fn print_row(name: &str, strategy: &Strategy, conv: &ConvParams, ctx: &EvalContext<'_>) {
+    let eval = evaluate_layer(conv, strategy, ctx);
+    println!(
+        "{:<28} {:<22} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.1}",
+        name,
+        strategy.annotation(),
+        eval.total_seconds() * 1e3,
+        eval.compute_seconds * 1e3,
+        eval.allreduce_seconds * 1e3,
+        eval.ring_exposed_seconds * 1e3,
+        eval.per_accel_bytes as f64 / (1 << 20) as f64
+    );
+}
+
+fn main() {
+    let topo = presets::f1_16xlarge();
+    let sim = CommSim::new(&topo);
+    let catalog = Catalog::standard_three();
+    let group = topo.group_members(0);
+    let ctx = EvalContext::new(catalog.model(DesignId(0)), &sim, &group);
+
+    // The layer of Fig. 2: a mid-network convolution.
+    let conv = ConvParams::new(256, 128, 28, 28, 3, 1);
+    println!(
+        "Fig. 2 strategies on Conv {}x{} {}->{} over a 4-accelerator group (Design 1):",
+        conv.kernel, conv.kernel, conv.c_in, conv.c_out
+    );
+    println!(
+        "{:<28} {:<22} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "strategy", "annotation", "total/ms", "comp/ms", "allred/ms", "ring/ms", "mem/MiB"
+    );
+
+    print_row("(a) default <N,...,N>", &Strategy::none(), &conv, &ctx);
+    print_row(
+        "(b) ES = {Cin, W}",
+        &Strategy::exclusive(DimSet::from_dims([Dim::Cin, Dim::W])),
+        &conv,
+        &ctx,
+    );
+    print_row(
+        "(c) ES = {W}, SS = {Cout}",
+        &Strategy::with_shared(DimSet::from_dims([Dim::W]), Dim::Cout),
+        &conv,
+        &ctx,
+    );
+    print_row(
+        "ES = {H, W}",
+        &Strategy::exclusive(DimSet::from_dims([Dim::H, Dim::W])),
+        &conv,
+        &ctx,
+    );
+    print_row(
+        "ES = {Cout, Cin}",
+        &Strategy::exclusive(DimSet::from_dims([Dim::Cout, Dim::Cin])),
+        &conv,
+        &ctx,
+    );
+
+    // Exhaustive best over the paper's candidate space.
+    let best = paper_strategies()
+        .into_iter()
+        .min_by(|a, b| {
+            evaluate_layer(&conv, a, &ctx)
+                .total_seconds()
+                .partial_cmp(&evaluate_layer(&conv, b, &ctx).total_seconds())
+                .expect("finite")
+        })
+        .expect("non-empty space");
+    print_row("best of 75 candidates", &best, &conv, &ctx);
+}

@@ -1,0 +1,52 @@
+//! E1 — Table II: the accelerator design catalogue, plus a per-layer profile
+//! showing which design each Table III benchmark layer prefers (the data the
+//! first-level GA initialisation is seeded with).
+//!
+//! ```sh
+//! cargo run --release -p mars-bench --bin table2
+//! ```
+
+use mars_accel::{Catalog, ProfileTable};
+use mars_model::zoo::Benchmark;
+
+fn main() {
+    let catalog = Catalog::standard_three();
+
+    println!("TABLE II: AVAILABLE ACCELERATOR DESIGNS");
+    println!("{:<4} {:<10} {:>10} {:>8}  {}", "#", "Design", "Freq(MHz)", "#PEs", "Design Parameters");
+    for (id, model) in catalog.iter() {
+        let d = model.design();
+        println!(
+            "{:<4} {:<10} {:>10} {:>8}  {}",
+            id.0 + 1,
+            d.name,
+            d.frequency_mhz,
+            d.num_pes,
+            d.parameters
+        );
+    }
+
+    println!();
+    println!("Per-model design preference (share of convolution layers preferring each design):");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "Model", "SuperLIP", "Systolic", "Winograd"
+    );
+    for benchmark in Benchmark::ALL {
+        let net = benchmark.build();
+        let profile = ProfileTable::build(&net, &catalog);
+        let mut counts = [0usize; 3];
+        let mut total = 0usize;
+        for (id, _) in net.conv_layers() {
+            counts[profile.best_design(id).0] += 1;
+            total += 1;
+        }
+        println!(
+            "{:<12} {:>9.1}% {:>9.1}% {:>9.1}%",
+            benchmark.name(),
+            100.0 * counts[0] as f64 / total as f64,
+            100.0 * counts[1] as f64 / total as f64,
+            100.0 * counts[2] as f64 / total as f64,
+        );
+    }
+}

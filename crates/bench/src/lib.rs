@@ -1,0 +1,198 @@
+//! Shared harness code for the MARS evaluation benchmarks.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures
+//! (`table2`, `table3`, `table4`, `fig2_strategies`, `ablation_ga`); the
+//! Criterion benches in `benches/` time the same workloads.  Everything they
+//! share — row structures, search-budget selection, formatting — lives here so
+//! the printed tables and the timed code paths are identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mars_accel::Catalog;
+use mars_core::{baseline, Mars, Mapping, SearchConfig, SearchResult};
+use mars_model::zoo::Benchmark;
+use mars_model::Network;
+use mars_topology::{presets, Topology};
+
+/// Search budget used by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Reduced GA budgets; finishes in seconds, used by `cargo bench` and CI.
+    Fast,
+    /// The full budgets used to produce `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Budget {
+    /// Reads the budget from the `MARS_BUDGET` environment variable
+    /// (`full` selects [`Budget::Full`]; anything else is [`Budget::Fast`]).
+    pub fn from_env() -> Self {
+        match std::env::var("MARS_BUDGET").as_deref() {
+            Ok("full") | Ok("FULL") => Budget::Full,
+            _ => Budget::Fast,
+        }
+    }
+
+    /// The search configuration for this budget.
+    pub fn search_config(self, seed: u64) -> SearchConfig {
+        match self {
+            Budget::Fast => SearchConfig::fast(seed),
+            Budget::Full => SearchConfig::standard(seed),
+        }
+    }
+}
+
+/// One row of the Table III reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark network.
+    pub benchmark: Benchmark,
+    /// Number of convolution layers in the constructed graph.
+    pub convs: usize,
+    /// Parameter count in millions.
+    pub params_m: f64,
+    /// MAC count in GMACs.
+    pub flops_g: f64,
+    /// Baseline latency in milliseconds.
+    pub baseline_ms: f64,
+    /// MARS latency in milliseconds.
+    pub mars_ms: f64,
+    /// The MARS mapping (for the report column).
+    pub mapping: Mapping,
+}
+
+impl Table3Row {
+    /// Latency reduction relative to the baseline, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        100.0 * (1.0 - self.mars_ms / self.baseline_ms)
+    }
+}
+
+/// Runs one Table III row: baseline and MARS on the F1-style platform.
+pub fn table3_row(benchmark: Benchmark, budget: Budget, seed: u64) -> Table3Row {
+    let net = benchmark.build();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let baseline = baseline::computation_prioritized(&net, &topo, &catalog);
+    let result = Mars::new(&net, &topo, &catalog)
+        .with_config(budget.search_config(seed))
+        .search();
+    Table3Row {
+        benchmark,
+        convs: net.conv_layers().count(),
+        params_m: net.total_params() as f64 / 1e6,
+        flops_g: net.total_macs() as f64 / 1e9,
+        baseline_ms: baseline.latency_ms(),
+        mars_ms: result.latency_ms(),
+        mapping: result.mapping,
+    }
+}
+
+/// One row of the Table IV reproduction.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Bandwidth level label (`Low-(1Gbps)` …).
+    pub label: &'static str,
+    /// Bandwidth in Gbps.
+    pub gbps: f64,
+    /// H2H-like mapper latency in milliseconds.
+    pub h2h_ms: f64,
+    /// MARS latency in milliseconds.
+    pub mars_ms: f64,
+}
+
+impl Table4Row {
+    /// Latency reduction relative to the H2H-like mapper, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        100.0 * (1.0 - self.mars_ms / self.h2h_ms)
+    }
+}
+
+/// Runs the Table IV sweep for one heterogeneous model: five bandwidth levels,
+/// H2H-like mapper vs MARS with fixed heterogeneous designs.
+pub fn table4_rows(net: &Network, budget: Budget, seed: u64) -> Vec<Table4Row> {
+    let catalog = Catalog::h2h_heterogeneous();
+    presets::h2h_bandwidth_levels()
+        .into_iter()
+        .map(|(label, gbps)| {
+            let topo = presets::h2h_cloud(gbps);
+            let designs = baseline::default_fixed_designs(&topo, &catalog);
+            let h2h = baseline::h2h_like(net, &topo, &catalog, &designs);
+            let mars = Mars::new(net, &topo, &catalog)
+                .with_fixed_designs(designs)
+                .with_config(budget.search_config(seed))
+                .search();
+            Table4Row {
+                label,
+                gbps,
+                h2h_ms: h2h.latency_ms(),
+                mars_ms: mars.latency_ms(),
+            }
+        })
+        .collect()
+}
+
+/// Runs a single MARS search on the F1 platform (used by the GA benches and
+/// the ablation harness).
+pub fn run_mars(net: &Network, topo: &Topology, budget: Budget, seed: u64) -> SearchResult {
+    let catalog = Catalog::standard_three();
+    Mars::new(net, topo, &catalog)
+        .with_config(budget.search_config(seed))
+        .search()
+}
+
+/// Formats a latency-and-reduction pair the way the paper's tables do, e.g.
+/// `14.9(-27.7%)`.
+pub fn format_with_reduction(latency_ms: f64, reduction_percent: f64) -> String {
+    format!("{latency_ms:.3}({:+.1}%)", -reduction_percent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_from_env_defaults_to_fast() {
+        assert_eq!(Budget::from_env(), Budget::Fast);
+    }
+
+    #[test]
+    fn table3_row_for_alexnet_shows_improvement() {
+        let row = table3_row(Benchmark::AlexNet, Budget::Fast, 1);
+        assert_eq!(row.convs, 5);
+        assert!(row.baseline_ms > 0.0 && row.mars_ms > 0.0);
+        assert!(row.mars_ms <= row.baseline_ms * 1.001);
+        assert!(row.reduction_percent() >= -0.1);
+    }
+
+    #[test]
+    fn table4_rows_cover_all_bandwidth_levels() {
+        let net = mars_model::zoo::casia_surf_like();
+        let rows = table4_rows(&net, Budget::Fast, 2);
+        assert_eq!(rows.len(), 5);
+        // MARS's intra-layer parallelism should beat the layer-per-accelerator
+        // mapper at every bandwidth level; with the reduced test budget allow
+        // a small tolerance at the most communication-bound (1 Gbps) point.
+        for row in &rows {
+            assert!(
+                row.mars_ms < row.h2h_ms * 1.05,
+                "{}: MARS {} vs H2H {}",
+                row.label,
+                row.mars_ms,
+                row.h2h_ms
+            );
+        }
+        // And clearly wins once bandwidth stops being the bottleneck.
+        let high = rows.last().unwrap();
+        assert!(high.reduction_percent() > 10.0, "high-bandwidth reduction {}", high.reduction_percent());
+        // Higher bandwidth means lower latency for both mappers.
+        assert!(rows.last().unwrap().mars_ms < rows.first().unwrap().mars_ms);
+    }
+
+    #[test]
+    fn formatting_matches_paper_style() {
+        let s = format_with_reduction(14.9, 27.7);
+        assert_eq!(s, "14.900(-27.7%)");
+    }
+}

@@ -1,0 +1,67 @@
+//! Tunable parameters of the communication simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Alpha–beta and routing parameters of the link model.
+///
+/// * `link_latency` is the fixed per-message latency of a direct
+///   accelerator-to-accelerator transfer (DMA descriptor setup, PCIe
+///   peer-to-peer initiation);
+/// * `host_latency` is the fixed per-hop latency when a transfer is staged
+///   through the host (kernel driver involvement, host memory copy);
+/// * `min_chunk_bytes` bounds how finely collectives chunk their payloads, so
+///   tiny messages are not dominated by per-chunk latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Fixed latency per direct link transfer, in seconds.
+    pub link_latency: f64,
+    /// Fixed latency per host-staged hop, in seconds.
+    pub host_latency: f64,
+    /// Minimum chunk size used when collectives split payloads, in bytes.
+    pub min_chunk_bytes: u64,
+}
+
+impl CommConfig {
+    /// The configuration used throughout the evaluation: 5 µs per direct
+    /// transfer, 25 µs per host hop, 4 KiB minimum chunks.
+    pub fn new() -> Self {
+        Self {
+            link_latency: 5e-6,
+            host_latency: 25e-6,
+            min_chunk_bytes: 4096,
+        }
+    }
+
+    /// A configuration with all fixed latencies set to zero — pure
+    /// bandwidth-delay, used by tests that cross-check analytical formulas.
+    pub fn zero_latency() -> Self {
+        Self {
+            link_latency: 0.0,
+            host_latency: 0.0,
+            min_chunk_bytes: 1,
+        }
+    }
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(CommConfig::default(), CommConfig::new());
+    }
+
+    #[test]
+    fn zero_latency_has_no_fixed_costs() {
+        let c = CommConfig::zero_latency();
+        assert_eq!(c.link_latency, 0.0);
+        assert_eq!(c.host_latency, 0.0);
+    }
+}

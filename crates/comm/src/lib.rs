@@ -1,0 +1,44 @@
+//! # mars-comm
+//!
+//! Collective-communication latency simulator for multi-accelerator systems —
+//! the reproduction's substitute for ASTRA-Sim [9], which the paper uses "to
+//! simulate communication latency in the system".
+//!
+//! The simulator has two layers:
+//!
+//! * [`event`]: a small discrete-event engine that schedules point-to-point
+//!   transfers over the links of a [`Topology`](mars_topology::Topology),
+//!   serialising transfers that share a link (FIFO contention) and routing
+//!   transfers between accelerators without a direct link through the host.
+//! * [`collective`]: ring-based collective algorithms (All-Reduce, All-Gather,
+//!   Reduce-Scatter, broadcast, ring shift) expressed as transfer DAGs and
+//!   executed on the engine, plus closed-form alpha–beta estimates that the
+//!   tests cross-check against the event-driven results.
+//!
+//! The top-level convenience type is [`CommSim`], which is what the
+//! parallelism-strategy evaluator and the mapping search consume.
+//!
+//! ```
+//! use mars_comm::CommSim;
+//! use mars_topology::presets;
+//!
+//! let topo = presets::f1_16xlarge();
+//! let sim = CommSim::new(&topo);
+//! let group: Vec<_> = topo.group_members(0);
+//! // All-reducing 1 MiB over the 4 accelerators of one group takes well under
+//! // ten milliseconds at 8 Gbps.
+//! let t = sim.all_reduce(&group, 1 << 20);
+//! assert!(t > 0.0 && t < 10e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod event;
+
+mod config;
+mod sim;
+
+pub use config::CommConfig;
+pub use sim::CommSim;

@@ -1,0 +1,598 @@
+//! Whole-system latency evaluation of a mapping.
+//!
+//! The evaluator is the "simulator" box of Fig. 3: it combines per-layer
+//! compute latencies (from the analytical accelerator models via
+//! `mars-parallel`), intra-set collective traffic, inter-set activation
+//! transfers, host input/output staging and DRAM validity into a single
+//! end-to-end latency figure for a candidate mapping.  Both levels of the
+//! genetic algorithm use it as their fitness function, so per-layer results
+//! are memoised.
+
+use crate::mapping::Assignment;
+use mars_accel::{AccelDesign, Catalog, DesignId, PerformanceModel};
+use mars_comm::CommSim;
+use mars_model::{DimSet, Network};
+use mars_parallel::{evaluate_layer, evaluate_non_conv, EvalContext, Strategy};
+use mars_topology::{AccelId, Topology};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// How accelerator designs are decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignPolicy {
+    /// The adaptive setting of the main evaluation: every accelerator of a set
+    /// is reconfigured to the design chosen for that set.
+    Adaptive,
+    /// The H2H comparison setting (Section VI-C): every accelerator has a
+    /// fixed design; a set containing heterogeneous designs "stalls until the
+    /// slowest accelerator finishes computing".
+    Fixed(BTreeMap<AccelId, DesignId>),
+}
+
+/// A performance model that reports, for every layer shape, the cycles of the
+/// *slowest* of its member models — the paper's stalling assumption for
+/// heterogeneous accelerator sets.
+pub struct WorstOfModel {
+    design: AccelDesign,
+    models: Vec<Arc<dyn PerformanceModel>>,
+}
+
+impl WorstOfModel {
+    /// Builds a worst-of model over the given members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty or the members disagree on clock frequency
+    /// (cycle counts would then not be comparable).
+    pub fn new(models: Vec<Arc<dyn PerformanceModel>>) -> Self {
+        assert!(!models.is_empty(), "worst-of model needs at least one member");
+        let freq = models[0].design().frequency_mhz;
+        assert!(
+            models.iter().all(|m| m.design().frequency_mhz == freq),
+            "worst-of members must share a clock frequency"
+        );
+        let names: Vec<&str> = models.iter().map(|m| m.design().name.as_str()).collect();
+        let design = AccelDesign {
+            id: models[0].design().id,
+            name: format!("worst-of({})", names.join(", ")),
+            frequency_mhz: freq,
+            num_pes: models.iter().map(|m| m.design().num_pes).min().unwrap_or(1),
+            parameters: "heterogeneous set".into(),
+        };
+        Self { design, models }
+    }
+}
+
+impl PerformanceModel for WorstOfModel {
+    fn design(&self) -> &AccelDesign {
+        &self.design
+    }
+
+    fn conv_cycles(&self, conv: &mars_model::ConvParams) -> u64 {
+        self.models
+            .iter()
+            .map(|m| m.conv_cycles(conv))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn layer_overhead_cycles(&self) -> u64 {
+        self.models
+            .iter()
+            .map(|m| m.layer_overhead_cycles())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The evaluated cost of one assignment (one accelerator set and its layers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentCost {
+    /// Intra-set latency (compute + collectives + resharding) in seconds.
+    pub seconds: f64,
+    /// Per-accelerator resident weight bytes summed over the mapped layers.
+    pub weight_bytes_per_accel: u64,
+    /// `true` if every layer's footprint and the resident weights fit the DRAM
+    /// of the smallest member.
+    pub memory_ok: bool,
+}
+
+enum ModelHandle {
+    Shared(Arc<dyn PerformanceModel>),
+    Worst(Box<WorstOfModel>),
+}
+
+impl ModelHandle {
+    fn as_dyn(&self) -> &dyn PerformanceModel {
+        match self {
+            ModelHandle::Shared(m) => m.as_ref(),
+            ModelHandle::Worst(m) => m.as_ref(),
+        }
+    }
+}
+
+type LayerCacheKey = (usize, u64, Strategy);
+type LayerCacheValue = (f64, u64, bool);
+
+/// Evaluates mappings of one network onto one topology with one design
+/// catalogue.
+pub struct Evaluator<'a> {
+    net: &'a Network,
+    topo: &'a Topology,
+    catalog: &'a Catalog,
+    sim: CommSim<'a>,
+    policy: DesignPolicy,
+    cache: Mutex<HashMap<LayerCacheKey, LayerCacheValue>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with the adaptive design policy.
+    pub fn new(net: &'a Network, topo: &'a Topology, catalog: &'a Catalog) -> Self {
+        Self::with_policy(net, topo, catalog, DesignPolicy::Adaptive)
+    }
+
+    /// Creates an evaluator with an explicit design policy.
+    pub fn with_policy(
+        net: &'a Network,
+        topo: &'a Topology,
+        catalog: &'a Catalog,
+        policy: DesignPolicy,
+    ) -> Self {
+        Self {
+            net,
+            topo,
+            catalog,
+            sim: CommSim::new(topo),
+            policy,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The network being mapped.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// The target topology.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The design catalogue.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// The design policy in force.
+    pub fn policy(&self) -> &DesignPolicy {
+        &self.policy
+    }
+
+    /// Number of memoised per-layer evaluations.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    fn model_for(&self, assignment: &Assignment) -> ModelHandle {
+        match &self.policy {
+            DesignPolicy::Adaptive => ModelHandle::Shared(
+                self.catalog
+                    .model_arc(assignment.design)
+                    .expect("design id exists in catalogue"),
+            ),
+            DesignPolicy::Fixed(map) => {
+                let mut designs: Vec<DesignId> = assignment
+                    .accels
+                    .iter()
+                    .map(|a| map.get(a).copied().unwrap_or(DesignId(0)))
+                    .collect();
+                designs.sort();
+                designs.dedup();
+                if designs.len() == 1 {
+                    ModelHandle::Shared(
+                        self.catalog
+                            .model_arc(designs[0])
+                            .expect("design id exists in catalogue"),
+                    )
+                } else {
+                    let models = designs
+                        .iter()
+                        .map(|d| self.catalog.model_arc(*d).expect("design id exists"))
+                        .collect();
+                    ModelHandle::Worst(Box::new(WorstOfModel::new(models)))
+                }
+            }
+        }
+    }
+
+    fn context_signature(&self, assignment: &Assignment) -> u64 {
+        let mut h = DefaultHasher::new();
+        assignment.accels.hash(&mut h);
+        match &self.policy {
+            DesignPolicy::Adaptive => assignment.design.hash(&mut h),
+            DesignPolicy::Fixed(map) => {
+                for a in &assignment.accels {
+                    map.get(a).copied().unwrap_or(DesignId(0)).hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    fn cached_conv_eval(
+        &self,
+        layer_index: usize,
+        strategy: Strategy,
+        signature: u64,
+        ctx: &EvalContext<'_>,
+    ) -> LayerCacheValue {
+        let key = (layer_index, signature, strategy);
+        if let Some(v) = self.cache.lock().get(&key) {
+            return *v;
+        }
+        let conv = self.net.layers()[layer_index]
+            .as_conv()
+            .expect("compute layer");
+        let eval = evaluate_layer(&conv, &strategy, ctx);
+        let value = (
+            eval.total_seconds(),
+            eval.plan.weight_shard_bytes,
+            eval.memory_ok,
+        );
+        self.cache.lock().insert(key, value);
+        value
+    }
+
+    /// Latency of one compute layer of `assignment` under `strategy`
+    /// (memoised).  Returns `f64::INFINITY` when the sharded layer does not
+    /// fit the set's DRAM.  Used by the greedy per-layer seeding of the
+    /// second-level search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer_index` is not a compute layer of the network.
+    pub fn conv_latency_under(
+        &self,
+        assignment: &Assignment,
+        layer_index: usize,
+        strategy: Strategy,
+    ) -> f64 {
+        let model = self.model_for(assignment);
+        let ctx = EvalContext::new(model.as_dyn(), &self.sim, &assignment.accels);
+        let signature = self.context_signature(assignment);
+        let (latency, _, ok) = self.cached_conv_eval(layer_index, strategy, signature, &ctx);
+        if ok {
+            latency
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Evaluates the intra-set cost of one assignment under the given
+    /// per-layer strategies.
+    pub fn evaluate_assignment(
+        &self,
+        assignment: &Assignment,
+        strategies: &BTreeMap<usize, Strategy>,
+    ) -> AssignmentCost {
+        if assignment.is_idle() {
+            return AssignmentCost {
+                seconds: 0.0,
+                weight_bytes_per_accel: 0,
+                memory_ok: true,
+            };
+        }
+        let model = self.model_for(assignment);
+        let ctx = EvalContext::new(model.as_dyn(), &self.sim, &assignment.accels);
+        let signature = self.context_signature(assignment);
+
+        let mut seconds = 0.0;
+        let mut weight_bytes = 0u64;
+        let mut memory_ok = true;
+        let mut prev_es: Option<DimSet> = None;
+        let mut prev_out_bytes = 0u64;
+
+        for idx in assignment.layers.clone() {
+            let layer = &self.net.layers()[idx];
+            if layer.is_compute() {
+                let strategy = strategies.get(&idx).copied().unwrap_or_default();
+                let (latency, wbytes, ok) =
+                    self.cached_conv_eval(idx, strategy, signature, &ctx);
+                seconds += latency;
+                weight_bytes += wbytes;
+                memory_ok &= ok;
+                // Re-sharding of the activation when the exclusive partitioning
+                // changes between consecutive compute layers of the same set.
+                if let Some(prev) = prev_es {
+                    if prev != strategy.es() && assignment.set_size() > 1 {
+                        let shard = prev_out_bytes / assignment.set_size() as u64;
+                        seconds += self.sim.all_gather(&assignment.accels, shard);
+                    }
+                }
+                prev_es = Some(strategy.es());
+                prev_out_bytes = layer.output_bytes();
+            } else {
+                seconds += evaluate_non_conv(layer, &ctx);
+                prev_out_bytes = layer.output_bytes();
+            }
+        }
+
+        // Resident weights of every mapped layer must fit the smallest DRAM of
+        // the set alongside a working activation buffer.
+        let dram = self.topo.min_dram_within(&assignment.accels);
+        let activation_headroom = assignment
+            .layers
+            .clone()
+            .map(|idx| self.net.layers()[idx].output_bytes())
+            .max()
+            .unwrap_or(0);
+        memory_ok &= weight_bytes + activation_headroom <= dram;
+
+        AssignmentCost {
+            seconds,
+            weight_bytes_per_accel: weight_bytes,
+            memory_ok,
+        }
+    }
+
+    /// Evaluates the end-to-end latency of a complete set of assignments and
+    /// strategies, in seconds.  Returns [`f64::INFINITY`] for invalid mappings
+    /// (uncovered layers, overlapping ranges, or DRAM overflow).
+    pub fn evaluate(
+        &self,
+        assignments: &[Assignment],
+        strategies: &BTreeMap<usize, Strategy>,
+    ) -> f64 {
+        // Coverage check: every layer belongs to exactly one assignment.
+        let mut owner: Vec<Option<usize>> = vec![None; self.net.len()];
+        for (ai, a) in assignments.iter().enumerate() {
+            for idx in a.layers.clone() {
+                if idx >= owner.len() || owner[idx].is_some() {
+                    return f64::INFINITY;
+                }
+                owner[idx] = Some(ai);
+            }
+        }
+        if owner.iter().any(Option::is_none) {
+            return f64::INFINITY;
+        }
+
+        let mut total = 0.0;
+        for a in assignments {
+            let cost = self.evaluate_assignment(a, strategies);
+            if !cost.memory_ok {
+                return f64::INFINITY;
+            }
+            total += cost.seconds;
+        }
+
+        // Inter-set activation transfers along every cut edge of the graph.
+        for (u, v) in self.net.edges() {
+            let (au, av) = (owner[u.0].expect("covered"), owner[v.0].expect("covered"));
+            if au != av {
+                let bytes = self.net.layers()[u.0].output_bytes();
+                total += self.sim.redistribute(
+                    &assignments[au].accels,
+                    &assignments[av].accels,
+                    bytes,
+                );
+            }
+        }
+
+        // Host staging of the network input and output.
+        if let Some(first) = assignments.iter().find(|a| !a.is_idle()) {
+            let bytes = self.net.layers()[first.layers.start].input_bytes()
+                / first.set_size().max(1) as u64;
+            total += self.sim.host_scatter(&first.accels, bytes);
+        }
+        if let Some(last) = assignments.iter().rev().find(|a| !a.is_idle()) {
+            let idx = last.layers.end - 1;
+            let bytes = self.net.layers()[idx].output_bytes() / last.set_size().max(1) as u64;
+            total += self.sim.host_gather(&last.accels, bytes);
+        }
+
+        total
+    }
+
+    /// Convenience: evaluates and wraps the result into a [`Mapping`].
+    pub fn into_mapping(
+        &self,
+        assignments: Vec<Assignment>,
+        strategies: BTreeMap<usize, Strategy>,
+    ) -> crate::mapping::Mapping {
+        let latency = self.evaluate(&assignments, &strategies);
+        crate::mapping::Mapping::new(assignments, strategies, latency)
+    }
+}
+
+impl std::fmt::Debug for Evaluator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("network", &self.net.name())
+            .field("topology", &self.topo.name())
+            .field("designs", &self.catalog.len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_model::{zoo, Dim};
+    use mars_topology::presets;
+
+    fn fixture() -> (Network, Topology, Catalog) {
+        (
+            zoo::alexnet(1000),
+            presets::f1_16xlarge(),
+            Catalog::standard_three(),
+        )
+    }
+
+    fn two_group_assignments(net: &Network, topo: &Topology) -> Vec<Assignment> {
+        let half = net.len() / 2;
+        vec![
+            Assignment::new(topo.group_members(0), DesignId(0), 0..half),
+            Assignment::new(topo.group_members(1), DesignId(2), half..net.len()),
+        ]
+    }
+
+    #[test]
+    fn evaluates_a_simple_two_set_mapping() {
+        let (net, topo, catalog) = fixture();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let assignments = two_group_assignments(&net, &topo);
+        let latency = eval.evaluate(&assignments, &BTreeMap::new());
+        assert!(latency.is_finite());
+        // AlexNet on 8 accelerators without intra-layer parallelism still
+        // lands in the milliseconds range.
+        assert!(latency > 1e-4 && latency < 1.0, "latency {latency}");
+    }
+
+    #[test]
+    fn parallel_strategies_reduce_total_latency() {
+        let (net, topo, catalog) = fixture();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let assignments = two_group_assignments(&net, &topo);
+        let sequential = eval.evaluate(&assignments, &BTreeMap::new());
+        let mut strategies = BTreeMap::new();
+        for (id, _) in net.compute_layers() {
+            strategies.insert(
+                id.0,
+                Strategy::exclusive(DimSet::from_dims([Dim::H, Dim::W])),
+            );
+        }
+        let parallel = eval.evaluate(&assignments, &strategies);
+        assert!(parallel < sequential, "{parallel} !< {sequential}");
+    }
+
+    #[test]
+    fn uncovered_or_overlapping_layers_are_invalid() {
+        let (net, topo, catalog) = fixture();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        // Gap: second range starts one layer late.
+        let gap = vec![
+            Assignment::new(topo.group_members(0), DesignId(0), 0..3),
+            Assignment::new(topo.group_members(1), DesignId(0), 4..net.len()),
+        ];
+        assert!(eval.evaluate(&gap, &BTreeMap::new()).is_infinite());
+        // Overlap.
+        let overlap = vec![
+            Assignment::new(topo.group_members(0), DesignId(0), 0..5),
+            Assignment::new(topo.group_members(1), DesignId(0), 4..net.len()),
+        ];
+        assert!(eval.evaluate(&overlap, &BTreeMap::new()).is_infinite());
+    }
+
+    #[test]
+    fn vgg_on_one_tiny_dram_accelerator_is_invalid() {
+        let net = zoo::vgg16(1000);
+        // 64 MiB DRAM cannot hold VGG-16's 276 MB of weights on one set.
+        let topo = presets::multi_group("small", 1, 4, 8.0, 2.0, 64 << 20);
+        let catalog = Catalog::standard_three();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let all = Assignment::new(topo.accelerators().collect(), DesignId(0), 0..net.len());
+        assert!(eval.evaluate(&[all], &BTreeMap::new()).is_infinite());
+    }
+
+    #[test]
+    fn cache_is_populated_and_reused() {
+        let (net, topo, catalog) = fixture();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let assignments = two_group_assignments(&net, &topo);
+        assert_eq!(eval.cache_entries(), 0);
+        let first = eval.evaluate(&assignments, &BTreeMap::new());
+        let populated = eval.cache_entries();
+        assert!(populated > 0);
+        let second = eval.evaluate(&assignments, &BTreeMap::new());
+        assert_eq!(eval.cache_entries(), populated);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fixed_policy_uses_worst_member_for_mixed_sets() {
+        let (net, topo, catalog) = fixture();
+        // Group 0 mixes design 0 and design 1 accelerators.
+        let mut map = BTreeMap::new();
+        for a in topo.accelerators() {
+            map.insert(a, DesignId(a.0 % 2));
+        }
+        let fixed = Evaluator::with_policy(&net, &topo, &catalog, DesignPolicy::Fixed(map));
+        let adaptive = Evaluator::new(&net, &topo, &catalog);
+        let assignments = vec![Assignment::new(
+            topo.group_members(0),
+            DesignId(0),
+            0..net.len(),
+        )];
+        let t_fixed = fixed.evaluate(&assignments, &BTreeMap::new());
+        // The adaptive evaluator can use the best single design; the stalled
+        // heterogeneous set can only be as fast as its slowest member.
+        let best = (0..catalog.len())
+            .map(|d| {
+                let a = vec![Assignment::new(
+                    topo.group_members(0),
+                    DesignId(d),
+                    0..net.len(),
+                )];
+                adaptive.evaluate(&a, &BTreeMap::new())
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(t_fixed >= best, "worst-of {t_fixed} must be >= best {best}");
+    }
+
+    #[test]
+    fn worst_of_model_reports_max_cycles() {
+        let catalog = Catalog::standard_three();
+        let models: Vec<Arc<dyn PerformanceModel>> = (0..3)
+            .map(|i| catalog.model_arc(DesignId(i)).unwrap())
+            .collect();
+        let worst = WorstOfModel::new(models);
+        let conv = mars_model::ConvParams::new(256, 256, 14, 14, 1, 1);
+        let max = (0..3)
+            .map(|i| catalog.model(DesignId(i)).conv_cycles(&conv))
+            .max()
+            .unwrap();
+        assert_eq!(worst.conv_cycles(&conv), max);
+        assert!(worst.design().name.contains("worst-of"));
+    }
+
+    #[test]
+    fn cross_group_sets_pay_host_staging() {
+        let (net, topo, catalog) = fixture();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let mut strategies = BTreeMap::new();
+        for (id, _) in net.compute_layers() {
+            strategies.insert(id.0, Strategy::exclusive(DimSet::from_dims([Dim::Cin])));
+        }
+        // Same design and layer split, but one variant uses an accelerator set
+        // that straddles the two groups, so the All-Reduce over the whole set
+        // must go through the host.
+        let half = net.len() / 2;
+        let intra = vec![
+            Assignment::new(topo.group_members(0), DesignId(0), 0..half),
+            Assignment::new(topo.group_members(1), DesignId(0), half..net.len()),
+        ];
+        let straddle = vec![
+            Assignment::new(
+                vec![AccelId(0), AccelId(1), AccelId(4), AccelId(5)],
+                DesignId(0),
+                0..half,
+            ),
+            Assignment::new(
+                vec![AccelId(2), AccelId(3), AccelId(6), AccelId(7)],
+                DesignId(0),
+                half..net.len(),
+            ),
+        ];
+        let t_intra = eval.evaluate(&intra, &strategies);
+        let t_straddle = eval.evaluate(&straddle, &strategies);
+        assert!(
+            t_straddle > t_intra,
+            "straddling groups ({t_straddle}) must cost more than staying inside them ({t_intra})"
+        );
+    }
+}

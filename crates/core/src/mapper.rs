@@ -1,0 +1,414 @@
+//! The MARS two-level genetic mapping search (Fig. 3 of the paper).
+
+use crate::evaluator::{DesignPolicy, Evaluator};
+use crate::ga::{GaConfig, GeneticAlgorithm};
+use crate::genome::{FirstLevelGenome, SecondLevelGenome};
+use crate::mapping::{Assignment, Mapping};
+use mars_accel::{Catalog, DesignId, ProfileTable};
+use mars_model::{LoopNest, Network};
+use mars_parallel::Strategy;
+use mars_topology::{partition, AccelId, Topology};
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// Configuration of the complete two-level search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Hyper-parameters of the first-level GA (accelerator sets, designs,
+    /// workload allocation).
+    pub first_level: GaConfig,
+    /// Hyper-parameters of the second-level GA (per-layer strategies).
+    pub second_level: GaConfig,
+    /// Maximum number of accelerator sets (0 = one per accelerator).
+    pub max_sets: usize,
+    /// Master seed; the per-level seeds are derived from it.
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// The configuration used for the paper-scale experiments.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            first_level: GaConfig::first_level(seed),
+            second_level: GaConfig::second_level(seed.wrapping_add(1)),
+            max_sets: 0,
+            seed,
+        }
+    }
+
+    /// A reduced configuration for unit tests, examples and quick runs.
+    pub fn fast(seed: u64) -> Self {
+        Self {
+            first_level: GaConfig {
+                population: 8,
+                generations: 5,
+                ..GaConfig::first_level(seed)
+            },
+            second_level: GaConfig {
+                population: 10,
+                generations: 6,
+                ..GaConfig::second_level(seed.wrapping_add(1))
+            },
+            max_sets: 0,
+            seed,
+        }
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self::standard(0)
+    }
+}
+
+/// Outcome of a mapping search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best mapping found, with its evaluated latency.
+    pub mapping: Mapping,
+    /// Best end-to-end latency after every first-level generation.
+    pub history: Vec<f64>,
+    /// Number of first-level fitness evaluations.
+    pub evaluations: usize,
+}
+
+impl SearchResult {
+    /// Latency of the best mapping in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.mapping.latency_ms()
+    }
+}
+
+type SecondLevelKey = (Vec<AccelId>, DesignId, usize, usize);
+type SecondLevelValue = (BTreeMap<usize, Strategy>, f64);
+
+/// The MARS mapping framework: computation-aware accelerator selection and
+/// communication-aware multi-level parallelism search.
+pub struct Mars<'a> {
+    net: &'a Network,
+    topo: &'a Topology,
+    catalog: &'a Catalog,
+    config: SearchConfig,
+    policy: DesignPolicy,
+}
+
+impl<'a> Mars<'a> {
+    /// Creates a search over `net` on `topo` with the adaptive design policy.
+    pub fn new(net: &'a Network, topo: &'a Topology, catalog: &'a Catalog) -> Self {
+        Self {
+            net,
+            topo,
+            catalog,
+            config: SearchConfig::standard(0),
+            policy: DesignPolicy::Adaptive,
+        }
+    }
+
+    /// Replaces the search configuration.
+    pub fn with_config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Switches to the fixed heterogeneous-design policy used for the H2H
+    /// comparison: each accelerator keeps its given design and mixed sets
+    /// stall at the pace of their slowest member.
+    pub fn with_fixed_designs(mut self, designs: BTreeMap<AccelId, DesignId>) -> Self {
+        self.policy = DesignPolicy::Fixed(designs);
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs the two-level genetic search and returns the best mapping found.
+    pub fn search(&self) -> SearchResult {
+        let candidates = partition::accset_candidates(self.topo);
+        let profile = ProfileTable::build(self.net, self.catalog);
+        let design_scores = profile.normalized_scores();
+        let evaluator =
+            Evaluator::with_policy(self.net, self.topo, self.catalog, self.policy.clone());
+
+        let max_sets = if self.config.max_sets == 0 {
+            self.topo.len()
+        } else {
+            self.config.max_sets.min(self.topo.len()).max(1)
+        };
+        let layout = FirstLevelGenome::new(
+            candidates.len(),
+            self.catalog.len(),
+            max_sets,
+            self.net.len(),
+        );
+
+        // Cache of second-level search results per (set, design, range).
+        let second_cache: RefCell<HashMap<SecondLevelKey, SecondLevelValue>> =
+            RefCell::new(HashMap::new());
+        // Best complete decision seen so far.
+        let best: RefCell<Option<(f64, Vec<Assignment>, BTreeMap<usize, Strategy>)>> =
+            RefCell::new(None);
+
+        let first_ga = GeneticAlgorithm::new(self.config.first_level);
+        let outcome = first_ga.run(
+            layout.len(),
+            |rng, i| match i {
+                // The baseline-like seed: the topology groups as sets, evenly
+                // split layers, and the profiling-preferred design *per range*
+                // (not just per network), so the search starts from a point at
+                // least as good as the computation-prioritised baseline.
+                0 => {
+                    let mut genes =
+                        layout.heuristic_seed(self.topo, &candidates, &design_scores);
+                    let n_groups = self.topo.groups().len().max(1);
+                    for slot in 0..n_groups {
+                        let start = slot * self.net.len() / n_groups;
+                        let end = (slot + 1) * self.net.len() / n_groups;
+                        if start < end {
+                            layout.set_preferred_design(
+                                &mut genes,
+                                slot,
+                                profile.best_design_for_range(start, end),
+                            );
+                        }
+                    }
+                    genes
+                }
+                1 => layout.full_platform_seed(&candidates, &design_scores),
+                // "One group runs everything": the group-structured seed with
+                // all cut points pushed to the end, so the remaining sets idle.
+                2 => {
+                    let mut genes =
+                        layout.heuristic_seed(self.topo, &candidates, &design_scores);
+                    let cuts_start = genes.len() - (max_sets - 1);
+                    for g in &mut genes[cuts_start..] {
+                        *g = 1.0;
+                    }
+                    genes
+                }
+                _ => layout.random_init(rng, &design_scores),
+            },
+            |genes| {
+                let assignments = layout.decode(genes, &candidates);
+                let mut strategies = BTreeMap::new();
+                for a in &assignments {
+                    if a.is_idle() {
+                        continue;
+                    }
+                    let (strats, _) =
+                        self.second_level(a, &evaluator, &second_cache);
+                    strategies.extend(strats);
+                }
+                let latency = evaluator.evaluate(&assignments, &strategies);
+                let mut best = best.borrow_mut();
+                let improved = best.as_ref().map_or(true, |(l, _, _)| latency < *l);
+                if improved && latency.is_finite() {
+                    *best = Some((latency, assignments, strategies));
+                }
+                latency
+            },
+        );
+
+        let (latency, assignments, strategies) = best.into_inner().unwrap_or_else(|| {
+            // Every individual was invalid; fall back to the heuristic seed.
+            let genes = layout.heuristic_seed(self.topo, &candidates, &design_scores);
+            let assignments = layout.decode(&genes, &candidates);
+            let latency = evaluator.evaluate(&assignments, &BTreeMap::new());
+            (latency, assignments, BTreeMap::new())
+        });
+
+        SearchResult {
+            mapping: Mapping::new(assignments, strategies, latency),
+            history: outcome.history,
+            evaluations: outcome.evaluations,
+        }
+    }
+
+    /// Runs (or fetches from cache) the second-level GA for one assignment:
+    /// the best per-layer strategies for its layer range on its accelerator
+    /// set, considering both computation and communication costs.
+    fn second_level(
+        &self,
+        assignment: &Assignment,
+        evaluator: &Evaluator<'_>,
+        cache: &RefCell<HashMap<SecondLevelKey, SecondLevelValue>>,
+    ) -> SecondLevelValue {
+        let key: SecondLevelKey = (
+            assignment.accels.clone(),
+            assignment.design,
+            assignment.layers.start,
+            assignment.layers.end,
+        );
+        if let Some(v) = cache.borrow().get(&key) {
+            return v.clone();
+        }
+
+        let compute_layers: Vec<usize> = assignment
+            .layers
+            .clone()
+            .filter(|idx| self.net.layers()[*idx].is_compute())
+            .collect();
+        if compute_layers.is_empty() {
+            let value = (BTreeMap::new(), 0.0);
+            cache.borrow_mut().insert(key, value.clone());
+            return value;
+        }
+
+        let nests: Vec<LoopNest> = compute_layers
+            .iter()
+            .map(|idx| {
+                self.net.layers()[*idx]
+                    .as_conv()
+                    .expect("compute layer")
+                    .loop_nest()
+            })
+            .collect();
+
+        let layout = SecondLevelGenome::new(compute_layers.len());
+        let mut seed_hasher = DefaultHasher::new();
+        key.hash(&mut seed_hasher);
+        let ga = GeneticAlgorithm::new(GaConfig {
+            seed: self.config.second_level.seed ^ seed_hasher.finish(),
+            ..self.config.second_level
+        });
+
+        let to_strategy_map = |genes: &[f64]| -> BTreeMap<usize, Strategy> {
+            layout
+                .decode(genes)
+                .into_iter()
+                .zip(compute_layers.iter())
+                .map(|(s, idx)| (*idx, s))
+                .collect()
+        };
+
+        // Greedy per-layer seed: for every layer, the best strategy from the
+        // paper's candidate space when evaluated in isolation.  The GA then
+        // only has to repair the (usually few) places where neighbouring
+        // layers should align their sharding to avoid re-distribution.
+        let greedy: Vec<Strategy> = compute_layers
+            .iter()
+            .map(|idx| {
+                let mut best = Strategy::default();
+                let mut best_latency =
+                    evaluator.conv_latency_under(assignment, *idx, best);
+                for s in mars_parallel::paper_strategies() {
+                    let latency = evaluator.conv_latency_under(assignment, *idx, s);
+                    if latency < best_latency {
+                        best_latency = latency;
+                        best = s;
+                    }
+                }
+                best
+            })
+            .collect();
+
+        let outcome = ga.run(
+            layout.len(),
+            |rng, i| match i {
+                0 => layout.heuristic_seed(&nests),
+                1 => layout.genes_for(&greedy),
+                _ => layout.random_init(rng),
+            },
+            |genes| {
+                let strategies = to_strategy_map(genes);
+                let cost = evaluator.evaluate_assignment(assignment, &strategies);
+                if cost.memory_ok {
+                    cost.seconds
+                } else {
+                    f64::INFINITY
+                }
+            },
+        );
+
+        let value = (to_strategy_map(&outcome.best_genes), outcome.best_fitness);
+        cache.borrow_mut().insert(key, value.clone());
+        value
+    }
+}
+
+impl std::fmt::Debug for Mars<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mars")
+            .field("network", &self.net.name())
+            .field("topology", &self.topo.name())
+            .field("designs", &self.catalog.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use mars_model::zoo;
+    use mars_topology::presets;
+
+    #[test]
+    fn search_finds_a_valid_mapping_for_alexnet() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let result = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(1))
+            .search();
+        assert!(result.mapping.is_valid());
+        assert!(result.latency_ms() > 0.0);
+        // Every layer is covered.
+        for idx in 0..net.len() {
+            assert!(result.mapping.assignment_for_layer(idx).is_some(), "layer {idx} uncovered");
+        }
+        // History never regresses (elitism).
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn search_beats_the_computation_prioritized_baseline() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let baseline = baseline::computation_prioritized(&net, &topo, &catalog);
+        let result = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(2))
+            .search();
+        assert!(
+            result.mapping.latency_seconds <= baseline.latency_seconds * 1.001,
+            "MARS {} ms must not lose to the baseline {} ms",
+            result.latency_ms(),
+            baseline.latency_ms()
+        );
+    }
+
+    #[test]
+    fn search_is_reproducible_for_a_fixed_seed() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let a = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(7))
+            .search();
+        let b = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(7))
+            .search();
+        assert_eq!(a.mapping.latency_seconds, b.mapping.latency_seconds);
+        assert_eq!(a.mapping.assignments, b.mapping.assignments);
+    }
+
+    #[test]
+    fn fixed_design_policy_searches_without_reconfiguration() {
+        let net = zoo::casia_surf_like();
+        let topo = presets::h2h_cloud(4.0);
+        let catalog = Catalog::h2h_heterogeneous();
+        let designs = baseline::default_fixed_designs(&topo, &catalog);
+        let result = Mars::new(&net, &topo, &catalog)
+            .with_fixed_designs(designs)
+            .with_config(SearchConfig::fast(3))
+            .search();
+        assert!(result.mapping.is_valid());
+    }
+}

@@ -1,0 +1,115 @@
+//! Human-readable mapping reports in the style of Table III's "Mapping found
+//! by MARS" column.
+
+use crate::mapping::Mapping;
+use mars_model::Network;
+use std::collections::BTreeMap;
+
+/// Returns, for every convolution layer, its 1-based ordinal among the
+/// network's convolutions (the "ConvN" numbering used in Table III).
+pub fn conv_ordinals(net: &Network) -> BTreeMap<usize, usize> {
+    net.conv_layers()
+        .enumerate()
+        .map(|(ordinal, (id, _))| (id.0, ordinal + 1))
+        .collect()
+}
+
+/// One line per non-idle accelerator set: which convolutions it runs, how many
+/// accelerators with which design, and the strategy of a representative layer
+/// (the largest convolution of the range).
+pub fn describe_mapping(net: &Network, mapping: &Mapping) -> Vec<String> {
+    let ordinals = conv_ordinals(net);
+    let mut lines = Vec::new();
+    for a in &mapping.assignments {
+        if a.is_idle() {
+            continue;
+        }
+        let convs: Vec<usize> = a
+            .layers
+            .clone()
+            .filter(|idx| ordinals.contains_key(idx))
+            .collect();
+        if convs.is_empty() {
+            continue;
+        }
+        let first = ordinals[convs.first().expect("non-empty")];
+        let last = ordinals[convs.last().expect("non-empty")];
+        // Representative layer: the convolution with the most MACs.
+        let representative = convs
+            .iter()
+            .copied()
+            .max_by_key(|idx| net.layers()[*idx].macs())
+            .expect("non-empty");
+        let strategy = mapping.strategy_for_layer(representative);
+        lines.push(format!(
+            "Conv{}-{} -> {}x{}; Conv{}: {}",
+            first,
+            last,
+            a.set_size(),
+            a.design,
+            ordinals[&representative],
+            strategy
+        ));
+    }
+    lines
+}
+
+/// A compact multi-line report: latency plus the per-set description.
+pub fn render(net: &Network, mapping: &Mapping) -> String {
+    let mut out = format!(
+        "{}: {:.3} ms ({} sets, {} designs)\n",
+        net.name(),
+        mapping.latency_ms(),
+        mapping.assignments.iter().filter(|a| !a.is_idle()).count(),
+        mapping.distinct_designs()
+    );
+    for line in describe_mapping(net, mapping) {
+        out.push_str("  ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use mars_accel::Catalog;
+    use mars_model::zoo;
+    use mars_topology::presets;
+
+    #[test]
+    fn conv_ordinals_are_one_based_and_dense() {
+        let net = zoo::alexnet(1000);
+        let ords = conv_ordinals(&net);
+        assert_eq!(ords.len(), 5);
+        let mut values: Vec<usize> = ords.values().copied().collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn describe_mapping_mentions_designs_and_strategies() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let mapping = baseline::computation_prioritized(&net, &topo, &catalog);
+        let lines = describe_mapping(&net, &mapping);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("Conv1-"));
+        assert!(lines[0].contains("4xDesign"));
+        assert!(lines[0].contains("ES ="));
+    }
+
+    #[test]
+    fn render_contains_latency_and_network_name() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let mapping = baseline::computation_prioritized(&net, &topo, &catalog);
+        let text = render(&net, &mapping);
+        assert!(text.contains("AlexNet"));
+        assert!(text.contains("ms"));
+    }
+}

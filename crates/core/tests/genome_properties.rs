@@ -1,0 +1,65 @@
+//! Property-based tests for the genome decoders: any gene vector must decode
+//! into a structurally valid mapping decision (the GA mutates genes freely, so
+//! the decoders must never produce garbage).
+
+use mars_core::{FirstLevelGenome, SecondLevelGenome};
+use mars_topology::{partition, presets, AccelId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn first_level_decode_is_total_and_valid(
+        seed_genes in proptest::collection::vec(0.0f64..=1.0, 0..256),
+        n_layers in 1usize..400,
+    ) {
+        let topo = presets::f1_16xlarge();
+        let candidates = partition::accset_candidates(&topo);
+        let layout = FirstLevelGenome::new(candidates.len(), 3, topo.len(), n_layers);
+
+        // Pad or trim the random genes to the layout length.
+        let mut genes = seed_genes;
+        genes.resize(layout.len(), 0.5);
+
+        let assignments = layout.decode(&genes, &candidates);
+
+        // Accelerators: all eight used exactly once.
+        let mut members: Vec<AccelId> = assignments.iter().flat_map(|a| a.accels.clone()).collect();
+        members.sort();
+        let mut deduped = members.clone();
+        deduped.dedup();
+        prop_assert_eq!(members.len(), deduped.len(), "no accelerator may appear twice");
+        prop_assert_eq!(deduped.len(), topo.len(), "every accelerator must be used");
+
+        // Layer ranges tile [0, n_layers) in order.
+        let mut cursor = 0usize;
+        for a in &assignments {
+            prop_assert_eq!(a.layers.start, cursor);
+            prop_assert!(a.layers.end >= a.layers.start);
+            cursor = a.layers.end;
+        }
+        prop_assert_eq!(cursor, n_layers);
+
+        // Designs are in range.
+        prop_assert!(assignments.iter().all(|a| a.design.0 < 3));
+    }
+
+    #[test]
+    fn second_level_decode_is_total_and_valid(
+        genes in proptest::collection::vec(0.0f64..=1.0, 0..(12 * 40)),
+    ) {
+        let n_layers = genes.len() / 12;
+        let layout = SecondLevelGenome::new(n_layers);
+        let mut genes = genes;
+        genes.resize(layout.len(), 0.5);
+        let strategies = layout.decode(&genes);
+        prop_assert_eq!(strategies.len(), n_layers);
+        for s in strategies {
+            prop_assert!(s.es().len() <= 2);
+            if let Some(d) = s.ss() {
+                prop_assert!(!s.es().contains(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Classic (non-residual) CNN benchmarks: AlexNet and VGG-16.
+
+use crate::graph::{ChainBuilder, Network};
+use crate::layer::{
+    ConvParams, DenseParams, Layer, LayerKind, NormActParams, PoolKind, PoolParams,
+};
+use crate::tensor::FeatureMap;
+
+/// Pushes a convolution followed by a ReLU activation.
+fn conv_relu(chain: &mut ChainBuilder, name: &str, conv: ConvParams) {
+    chain.push(Layer::new(name, LayerKind::Conv(conv)));
+    chain.push(Layer::new(
+        format!("{name}_relu"),
+        LayerKind::Activation(NormActParams {
+            shape: conv.output_shape(),
+        }),
+    ));
+}
+
+/// Pushes a max-pooling layer.
+fn max_pool(chain: &mut ChainBuilder, name: &str, channels: usize, h_out: usize, w_out: usize) {
+    chain.push(Layer::new(
+        name,
+        LayerKind::Pool(PoolParams {
+            kind: PoolKind::Max,
+            channels,
+            h_out,
+            w_out,
+            window: 2,
+            stride: 2,
+        }),
+    ));
+}
+
+/// Pushes a fully-connected layer followed by a ReLU (optional).
+fn dense(chain: &mut ChainBuilder, name: &str, out_features: usize, in_features: usize, relu: bool) {
+    chain.push(Layer::new(
+        name,
+        LayerKind::Dense(DenseParams::new(out_features, in_features)),
+    ));
+    if relu {
+        chain.push(Layer::new(
+            format!("{name}_relu"),
+            LayerKind::Activation(NormActParams {
+                shape: FeatureMap::new(out_features, 1, 1),
+            }),
+        ));
+    }
+}
+
+/// AlexNet (Krizhevsky et al., 2012) for 224×224×3 inputs.
+///
+/// Five convolutions and three fully-connected layers; roughly 61 M parameters
+/// and 0.72 G MACs, matching the AlexNet row of Table III.
+///
+/// ```
+/// let net = mars_model::zoo::alexnet(1000);
+/// assert_eq!(net.conv_layers().count(), 5);
+/// ```
+pub fn alexnet(classes: usize) -> Network {
+    let mut chain = ChainBuilder::new("AlexNet");
+
+    // Channel widths follow the single-stream (torchvision) variant, whose
+    // parameter and MAC totals match the Table III row (61.1M / 727M).
+    // conv1: 64 filters, 11x11, stride 4 -> 55x55.
+    conv_relu(&mut chain, "conv1", ConvParams::new(64, 3, 55, 55, 11, 4));
+    max_pool(&mut chain, "pool1", 64, 27, 27);
+    // conv2: 192 filters, 5x5 -> 27x27.
+    conv_relu(&mut chain, "conv2", ConvParams::new(192, 64, 27, 27, 5, 1));
+    max_pool(&mut chain, "pool2", 192, 13, 13);
+    // conv3-5: 3x3 at 13x13.
+    conv_relu(&mut chain, "conv3", ConvParams::new(384, 192, 13, 13, 3, 1));
+    conv_relu(&mut chain, "conv4", ConvParams::new(256, 384, 13, 13, 3, 1));
+    conv_relu(&mut chain, "conv5", ConvParams::new(256, 256, 13, 13, 3, 1));
+    max_pool(&mut chain, "pool5", 256, 6, 6);
+
+    dense(&mut chain, "fc6", 4096, 256 * 6 * 6, true);
+    dense(&mut chain, "fc7", 4096, 4096, true);
+    dense(&mut chain, "fc8", classes, 4096, false);
+
+    chain.finish()
+}
+
+/// VGG-16 (Simonyan & Zisserman, 2015) for 224×224×3 inputs.
+///
+/// Thirteen convolutions and three fully-connected layers; roughly 138 M
+/// parameters and 15.5 G MACs, matching the VGG16 row of Table III.
+///
+/// ```
+/// let net = mars_model::zoo::vgg16(1000);
+/// assert_eq!(net.conv_layers().count(), 13);
+/// ```
+pub fn vgg16(classes: usize) -> Network {
+    let mut chain = ChainBuilder::new("VGG16");
+
+    // (output channels, number of convs, spatial extent) per stage.
+    let stages: [(usize, usize, usize); 5] = [
+        (64, 2, 224),
+        (128, 2, 112),
+        (256, 3, 56),
+        (512, 3, 28),
+        (512, 3, 14),
+    ];
+
+    let mut c_in = 3;
+    let mut conv_index = 1;
+    for (stage_idx, (c_out, n_convs, hw)) in stages.into_iter().enumerate() {
+        for _ in 0..n_convs {
+            conv_relu(
+                &mut chain,
+                &format!("conv{conv_index}"),
+                ConvParams::new(c_out, c_in, hw, hw, 3, 1),
+            );
+            c_in = c_out;
+            conv_index += 1;
+        }
+        max_pool(
+            &mut chain,
+            &format!("pool{}", stage_idx + 1),
+            c_out,
+            hw / 2,
+            hw / 2,
+        );
+    }
+
+    dense(&mut chain, "fc6", 4096, 512 * 7 * 7, true);
+    dense(&mut chain, "fc7", 4096, 4096, true);
+    dense(&mut chain, "fc8", classes, 4096, false);
+
+    chain.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_structure() {
+        let net = alexnet(1000);
+        assert_eq!(net.conv_layers().count(), 5);
+        assert_eq!(net.compute_layers().count(), 8);
+        // First conv consumes a 3x224x224-ish input (224 = 55*4 + pad slack).
+        let (_, first) = net.conv_layers().next().unwrap();
+        assert_eq!(first.as_conv().unwrap().c_in, 3);
+        // Most parameters come from the fully-connected layers.
+        let fc_params: u64 = net
+            .compute_layers()
+            .filter(|(_, l)| !l.is_conv())
+            .map(|(_, l)| l.param_count())
+            .sum();
+        assert!(fc_params > net.total_params() / 2);
+    }
+
+    #[test]
+    fn vgg16_structure() {
+        let net = vgg16(1000);
+        assert_eq!(net.conv_layers().count(), 13);
+        assert_eq!(net.compute_layers().count(), 16);
+        // Feature-map resolution decreases while channel width increases.
+        let convs: Vec<ConvParams> = net.conv_layers().map(|(_, l)| l.as_conv().unwrap()).collect();
+        assert!(convs.first().unwrap().h_out > convs.last().unwrap().h_out);
+        assert!(convs.first().unwrap().c_out < convs.last().unwrap().c_out);
+    }
+
+    #[test]
+    fn vgg16_is_much_heavier_than_alexnet() {
+        assert!(vgg16(1000).total_macs() > 10 * alexnet(1000).total_macs());
+    }
+
+    #[test]
+    fn class_count_is_respected() {
+        let net = alexnet(10);
+        let last_fc = net
+            .compute_layers()
+            .last()
+            .and_then(|(_, l)| match l.kind {
+                LayerKind::Dense(d) => Some(d),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(last_fc.out_features, 10);
+    }
+}

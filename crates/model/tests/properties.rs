@@ -1,0 +1,101 @@
+//! Property-based tests for the workload IR invariants.
+
+use mars_model::{ChainBuilder, ConvParams, Dim, DimSet, Layer, LayerKind, LoopNest};
+use proptest::prelude::*;
+
+/// Strategy for plausible convolution shapes (bounded so MAC counts stay in
+/// u64 comfortably).
+fn conv_strategy() -> impl Strategy<Value = ConvParams> {
+    (
+        1usize..=2048,
+        1usize..=2048,
+        1usize..=256,
+        1usize..=256,
+        prop_oneof![Just(1usize), Just(3usize), Just(5usize), Just(7usize), Just(11usize)],
+        1usize..=4,
+    )
+        .prop_map(|(c_out, c_in, h, w, k, s)| ConvParams::new(c_out, c_in, h, w, k, s))
+}
+
+proptest! {
+    #[test]
+    fn conv_macs_equal_loop_nest_product(conv in conv_strategy()) {
+        let nest = conv.loop_nest();
+        prop_assert_eq!(conv.macs(), nest.macs());
+        // MACs scale exactly with output channels.
+        let doubled = ConvParams::new(conv.c_out * 2, conv.c_in, conv.h_out, conv.w_out, conv.kernel, conv.stride);
+        prop_assert_eq!(doubled.macs(), conv.macs() * 2);
+    }
+
+    #[test]
+    fn sharding_never_increases_bounds_and_never_hits_zero(
+        conv in conv_strategy(),
+        dim_idx in 0usize..6,
+        factor in 1usize..=16,
+    ) {
+        let dim = Dim::from_index(dim_idx);
+        let nest = conv.loop_nest();
+        let sharded = nest.sharded(dim, factor);
+        for d in Dim::ALL {
+            prop_assert!(sharded.bound(d) >= 1);
+            prop_assert!(sharded.bound(d) <= nest.bound(d));
+        }
+        // Sharding by 1 is the identity.
+        prop_assert_eq!(nest.sharded(dim, 1), nest);
+        // Work per shard times factor covers the original work.
+        prop_assert!(sharded.macs() * factor as u64 >= nest.macs());
+    }
+
+    #[test]
+    fn dims_by_extent_is_a_permutation_sorted_descending(
+        bounds in proptest::array::uniform6(1usize..=512)
+    ) {
+        let nest = LoopNest::new(bounds[0], bounds[1], bounds[2], bounds[3], bounds[4], bounds[5]);
+        let order = nest.dims_by_extent();
+        let mut seen = DimSet::new();
+        for d in order {
+            seen.insert(d);
+        }
+        prop_assert_eq!(seen.len(), 6);
+        for w in order.windows(2) {
+            prop_assert!(nest.bound(w[0]) >= nest.bound(w[1]));
+        }
+    }
+
+    #[test]
+    fn dimset_roundtrips_through_iteration(bits in 0u8..64) {
+        let dims: Vec<Dim> = Dim::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, d)| d)
+            .collect();
+        let set = DimSet::from_dims(dims.iter().copied());
+        prop_assert_eq!(set.len(), dims.len());
+        let back: Vec<Dim> = set.iter().collect();
+        prop_assert_eq!(back, dims);
+    }
+
+    #[test]
+    fn chain_networks_are_always_valid_and_totals_are_additive(
+        convs in proptest::collection::vec(conv_strategy(), 1..12)
+    ) {
+        let mut chain = ChainBuilder::new("prop");
+        let mut expected_macs = 0u64;
+        let mut expected_params = 0u64;
+        for (i, conv) in convs.iter().enumerate() {
+            let layer = Layer::new(format!("c{i}"), LayerKind::Conv(*conv));
+            expected_macs += layer.macs();
+            expected_params += layer.param_count();
+            chain.push(layer);
+        }
+        let net = chain.finish();
+        prop_assert!(net.validate().is_ok());
+        prop_assert_eq!(net.total_macs(), expected_macs);
+        prop_assert_eq!(net.total_params(), expected_params);
+        prop_assert_eq!(net.conv_layers().count(), convs.len());
+        // A chain has exactly one source and one sink.
+        prop_assert_eq!(net.sources().len(), 1);
+        prop_assert_eq!(net.sinks().len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Enumeration of the per-layer strategy candidate space.
+//!
+//! Section IV: "When applying exclusive shards on two dimensions of the
+//! convolution layers, there are C(6,2) = 15 choices.  In addition, when
+//! applying shared shards on one certain dimension, the number of choices
+//! increases to C(6,2) · 6 = 90."  MARS additionally considers single-dimension
+//! and empty ES sets (a layer may not be worth partitioning at all), and this
+//! module lets callers pick how much of that space to search.
+
+use crate::strategy::Strategy;
+use mars_model::{Dim, DimSet};
+
+/// Which slice of the strategy space to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategySpace {
+    /// Only exclusive shards on exactly two dimensions (the 15 ES choices).
+    EsPairs,
+    /// Exclusive shards on exactly two dimensions, optionally combined with a
+    /// shared shard on one of the remaining dimensions (the paper's combined
+    /// space, with overlapping ES/SS combinations excluded as invalid).
+    Paper,
+    /// Everything MARS searches: 0–2 exclusive dimensions, optional shared
+    /// dimension disjoint from them.
+    Full,
+}
+
+/// Enumerates all ES sets of exactly `k` dimensions.
+fn es_sets_of_size(k: usize) -> Vec<DimSet> {
+    let mut out = Vec::new();
+    match k {
+        0 => out.push(DimSet::EMPTY),
+        1 => {
+            for d in Dim::ALL {
+                out.push(DimSet::from_dims([d]));
+            }
+        }
+        2 => {
+            for (i, a) in Dim::ALL.iter().enumerate() {
+                for b in &Dim::ALL[i + 1..] {
+                    out.push(DimSet::from_dims([*a, *b]));
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Enumerates the chosen slice of the strategy space, deduplicated and in a
+/// deterministic order.
+pub fn all_strategies(space: StrategySpace) -> Vec<Strategy> {
+    let es_sizes: &[usize] = match space {
+        StrategySpace::EsPairs | StrategySpace::Paper => &[2],
+        StrategySpace::Full => &[0, 1, 2],
+    };
+    let with_ss = !matches!(space, StrategySpace::EsPairs);
+
+    let mut out = Vec::new();
+    for &k in es_sizes {
+        for es in es_sets_of_size(k) {
+            out.push(Strategy::exclusive(es));
+            if with_ss {
+                for d in Dim::ALL {
+                    if let Ok(s) = Strategy::try_new(es, Some(d)) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The paper's combined candidate space (ES pairs with optional SS).
+pub fn paper_strategies() -> Vec<Strategy> {
+    all_strategies(StrategySpace::Paper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn es_pairs_count_matches_paper() {
+        let pairs = all_strategies(StrategySpace::EsPairs);
+        assert_eq!(pairs.len(), 15);
+        assert!(pairs.iter().all(|s| s.es().len() == 2 && s.ss().is_none()));
+    }
+
+    #[test]
+    fn paper_space_counts() {
+        // 15 ES pairs, each optionally combined with one of the 4 dimensions
+        // not already exclusive: 15 * (1 + 4) = 75 valid strategies (the
+        // paper's 90 counts overlapping ES/SS combinations that we reject as
+        // invalid).
+        let space = paper_strategies();
+        assert_eq!(space.len(), 75);
+        assert_eq!(space.iter().filter(|s| s.ss().is_some()).count(), 60);
+    }
+
+    #[test]
+    fn full_space_includes_the_default_strategy() {
+        let space = all_strategies(StrategySpace::Full);
+        assert!(space.contains(&Strategy::none()));
+        // 1 empty + 6 singles + 15 pairs ES-only = 22;
+        // SS variants: empty ES: 6; single ES: 6*5=30; pairs: 60 -> 96; total 118.
+        assert_eq!(space.len(), 118);
+        // No duplicates.
+        let mut dedup = space.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), space.len());
+    }
+
+    #[test]
+    fn all_strategies_are_valid() {
+        for s in all_strategies(StrategySpace::Full) {
+            if let Some(d) = s.ss() {
+                assert!(!s.es().contains(d), "invalid strategy {s}");
+            }
+            assert!(s.es().len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The ES/SS strategy representation.
+
+use mars_model::{Dim, DimSet};
+use serde::{Deserialize, Serialize};
+
+/// Errors produced when constructing an invalid [`Strategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyError {
+    /// The shared dimension also appears in the exclusive set.
+    SharedDimInExclusiveSet(Dim),
+    /// More exclusive dimensions than the paper's strategy space allows.
+    TooManyExclusiveDims(usize),
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::SharedDimInExclusiveSet(d) => {
+                write!(f, "shared dimension {d} also appears in the exclusive set")
+            }
+            StrategyError::TooManyExclusiveDims(n) => {
+                write!(f, "strategy has {n} exclusive dimensions, at most {MAX_ES_DIMS} allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// Maximum number of exclusively-sharded dimensions per layer.  The paper's
+/// strategy space applies exclusive shards "on two dimensions of the
+/// convolution layers" (plus an optional shared dimension).
+pub const MAX_ES_DIMS: usize = 2;
+
+/// A per-layer parallelism strategy: the set of dimensions partitioned into
+/// exclusive shards (`ES`) and the optional dimension partitioned into shared
+/// shards (`SS`), exactly as formalised at the end of Section IV
+/// ("`ES = {Cin, W}, SS = ∅`" for Fig. 2(b), "`ES = {W}, SS = {Cout}`" for
+/// Fig. 2(c)).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Strategy {
+    es: DimSet,
+    ss: Option<Dim>,
+}
+
+impl Strategy {
+    /// The default strategy `<N, N, N, N, N, N>`: no partitioning — the layer
+    /// runs on a single accelerator of its set.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An exclusive-shard-only strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `es` has more than [`MAX_ES_DIMS`] dimensions; use
+    /// [`Strategy::try_new`] for fallible construction.
+    pub fn exclusive(es: DimSet) -> Self {
+        Self::try_new(es, None).expect("valid exclusive strategy")
+    }
+
+    /// A strategy with both exclusive and shared dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations; use [`Strategy::try_new`] for fallible
+    /// construction.
+    pub fn with_shared(es: DimSet, ss: Dim) -> Self {
+        Self::try_new(es, Some(ss)).expect("valid shared strategy")
+    }
+
+    /// Fallible constructor enforcing the strategy-space rules.
+    ///
+    /// # Errors
+    ///
+    /// * [`StrategyError::TooManyExclusiveDims`] when `es` has more than
+    ///   [`MAX_ES_DIMS`] dimensions;
+    /// * [`StrategyError::SharedDimInExclusiveSet`] when `ss` is also in `es`.
+    pub fn try_new(es: DimSet, ss: Option<Dim>) -> Result<Self, StrategyError> {
+        if es.len() > MAX_ES_DIMS {
+            return Err(StrategyError::TooManyExclusiveDims(es.len()));
+        }
+        if let Some(d) = ss {
+            if es.contains(d) {
+                return Err(StrategyError::SharedDimInExclusiveSet(d));
+            }
+        }
+        Ok(Self { es, ss })
+    }
+
+    /// The exclusively-sharded dimensions.
+    pub fn es(&self) -> DimSet {
+        self.es
+    }
+
+    /// The shared dimension, if any.
+    pub fn ss(&self) -> Option<Dim> {
+        self.ss
+    }
+
+    /// `true` if the strategy partitions nothing.
+    pub fn is_none(&self) -> bool {
+        self.es.is_empty() && self.ss.is_none()
+    }
+
+    /// `true` if any exclusively-sharded dimension is a reduction dimension
+    /// (`Cin`, `Kh`, `Kw`), which forces an All-Reduce on the output.
+    pub fn needs_all_reduce(&self) -> bool {
+        self.es.iter().any(Dim::is_reduction)
+    }
+
+    /// The six-position annotation string used in Fig. 2 of the paper, e.g.
+    /// `<N,ES,N,ES,N,N>` for `ES = {Cin, W}`.
+    pub fn annotation(&self) -> String {
+        let mut parts = Vec::with_capacity(6);
+        for d in Dim::ALL {
+            if self.es.contains(d) {
+                parts.push("ES");
+            } else if self.ss == Some(d) {
+                parts.push("SS");
+            } else {
+                parts.push("N");
+            }
+        }
+        format!("<{}>", parts.join(","))
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ss = match self.ss {
+            Some(d) => format!("{{{d}}}"),
+            None => "∅".to_string(),
+        };
+        write!(f, "ES = {}, SS = {}", self.es, ss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Strategy::exclusive(DimSet::from_dims([Dim::Cin, Dim::W]));
+        assert_eq!(s.es().len(), 2);
+        assert_eq!(s.ss(), None);
+        assert!(!s.is_none());
+        assert!(s.needs_all_reduce());
+
+        let t = Strategy::with_shared(DimSet::from_dims([Dim::W]), Dim::Cout);
+        assert_eq!(t.ss(), Some(Dim::Cout));
+        assert!(!t.needs_all_reduce());
+
+        assert!(Strategy::none().is_none());
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        let err = Strategy::try_new(DimSet::from_dims([Dim::W]), Some(Dim::W)).unwrap_err();
+        assert_eq!(err, StrategyError::SharedDimInExclusiveSet(Dim::W));
+
+        let err =
+            Strategy::try_new(DimSet::from_dims([Dim::Cout, Dim::Cin, Dim::H]), None).unwrap_err();
+        assert_eq!(err, StrategyError::TooManyExclusiveDims(3));
+    }
+
+    #[test]
+    fn annotation_matches_figure_2() {
+        // Fig. 2(b): ES = {Cin, W}.
+        let b = Strategy::exclusive(DimSet::from_dims([Dim::Cin, Dim::W]));
+        assert_eq!(b.annotation(), "<N,ES,N,ES,N,N>");
+        // Fig. 2(c): ES = {W}, SS = {Cout}.
+        let c = Strategy::with_shared(DimSet::from_dims([Dim::W]), Dim::Cout);
+        assert_eq!(c.annotation(), "<SS,N,N,ES,N,N>");
+        // Default.
+        assert_eq!(Strategy::none().annotation(), "<N,N,N,N,N,N>");
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let s = Strategy::exclusive(DimSet::from_dims([Dim::Cin, Dim::W]));
+        assert_eq!(s.to_string(), "ES = {Cin, W}, SS = ∅");
+        let t = Strategy::with_shared(DimSet::from_dims([Dim::W]), Dim::Cout);
+        assert_eq!(t.to_string(), "ES = {W}, SS = {Cout}");
+    }
+
+    #[test]
+    fn reduction_detection_covers_kernel_dims() {
+        let s = Strategy::exclusive(DimSet::from_dims([Dim::Kh]));
+        assert!(s.needs_all_reduce());
+        let s = Strategy::exclusive(DimSet::from_dims([Dim::Cout, Dim::H]));
+        assert!(!s.needs_all_reduce());
+    }
+
+    #[test]
+    fn ordering_and_hashing_are_derivable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(Strategy::none());
+        set.insert(Strategy::exclusive(DimSet::from_dims([Dim::H])));
+        set.insert(Strategy::exclusive(DimSet::from_dims([Dim::H])));
+        assert_eq!(set.len(), 2);
+    }
+}

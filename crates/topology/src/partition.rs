@@ -1,0 +1,250 @@
+//! AccSet-candidate generation.
+//!
+//! Section V of the paper prunes the search space of accelerator sets with a
+//! bandwidth-aware heuristic: "MARS iteratively removes the edge with the
+//! lowest bandwidth in `G(Acc, BW)`.  This will produce several connected
+//! sub-graphs, which are regarded as candidates of `AccSet`."  The resulting
+//! candidates have minimal internal communication bottlenecks: an AccSet never
+//! straddles a slow link unless it also contains every faster link.
+//!
+//! [`accset_candidates`] implements exactly that procedure and additionally
+//! always includes the singleton sets and the full platform, so the first-level
+//! genetic algorithm can express every granularity from "one accelerator per
+//! layer set" to "all accelerators work on every layer".
+
+use crate::system::{AccelId, Topology};
+use std::collections::BTreeSet;
+
+/// Union-find over accelerator indices.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn components(&mut self, n: usize) -> Vec<Vec<AccelId>> {
+        let mut map: std::collections::BTreeMap<usize, Vec<AccelId>> = Default::default();
+        for i in 0..n {
+            let root = self.find(i);
+            map.entry(root).or_default().push(AccelId(i));
+        }
+        map.into_values().collect()
+    }
+}
+
+/// Connected components of the topology when only links with bandwidth
+/// strictly greater than `threshold` Gbps are kept.
+pub fn components_above(topo: &Topology, threshold: f64) -> Vec<Vec<AccelId>> {
+    let n = topo.len();
+    let mut uf = UnionFind::new(n);
+    for link in topo.links() {
+        if link.bandwidth > threshold {
+            uf.union(link.a.0, link.b.0);
+        }
+    }
+    uf.components(n)
+}
+
+/// Generates the candidate accelerator sets used by the first-level genetic
+/// algorithm.
+///
+/// The procedure removes edges from the lowest bandwidth upwards; after each
+/// distinct bandwidth level is removed the connected components are recorded
+/// as candidates.  Singletons and the full accelerator set are always
+/// included.  Candidates are deduplicated and returned sorted by size then by
+/// first member, so the output is deterministic.
+///
+/// ```
+/// use mars_topology::{partition, presets};
+/// let topo = presets::f1_16xlarge();
+/// let cands = partition::accset_candidates(&topo);
+/// // Full platform, the two 4-accelerator groups, and the 8 singletons.
+/// assert!(cands.iter().any(|c| c.len() == 8));
+/// assert_eq!(cands.iter().filter(|c| c.len() == 4).count(), 2);
+/// assert_eq!(cands.iter().filter(|c| c.len() == 1).count(), 8);
+/// ```
+pub fn accset_candidates(topo: &Topology) -> Vec<Vec<AccelId>> {
+    let mut seen: BTreeSet<Vec<AccelId>> = BTreeSet::new();
+
+    // Always include the full set.
+    let full: Vec<AccelId> = topo.accelerators().collect();
+    seen.insert(full);
+
+    // Distinct bandwidth levels present in the graph, ascending.  Removing all
+    // edges with bandwidth <= level and recording components reproduces the
+    // paper's iterative lowest-edge removal (removing edges one by one only
+    // changes components when the last edge of a level disappears).
+    let mut levels: Vec<f64> = topo.links().iter().map(|l| l.bandwidth).collect();
+    levels.sort_by(|a, b| a.partial_cmp(b).expect("bandwidths are finite"));
+    levels.dedup();
+
+    // Threshold 0.0 keeps every link: components of the raw graph.
+    let mut thresholds = vec![0.0];
+    thresholds.extend(levels);
+
+    for threshold in thresholds {
+        for component in components_above(topo, threshold) {
+            seen.insert(component);
+        }
+    }
+
+    let mut out: Vec<Vec<AccelId>> = seen.into_iter().collect();
+    out.sort_by_key(|c| (c.len(), c.first().copied()));
+    out
+}
+
+/// Returns all ways of covering the full accelerator set with `k` disjoint
+/// candidate sets drawn from `candidates`.  Used by the first-level decoder to
+/// turn gene values into a concrete AccSet partition; the number of results is
+/// kept tractable because candidates are nested by construction.
+pub fn disjoint_covers(
+    topo: &Topology,
+    candidates: &[Vec<AccelId>],
+    k: usize,
+) -> Vec<Vec<Vec<AccelId>>> {
+    let all: BTreeSet<AccelId> = topo.accelerators().collect();
+    let mut results = Vec::new();
+    let mut current: Vec<Vec<AccelId>> = Vec::new();
+    cover_rec(&all, candidates, k, 0, &mut current, &mut results);
+    results
+}
+
+fn cover_rec(
+    remaining: &BTreeSet<AccelId>,
+    candidates: &[Vec<AccelId>],
+    k: usize,
+    start: usize,
+    current: &mut Vec<Vec<AccelId>>,
+    results: &mut Vec<Vec<Vec<AccelId>>>,
+) {
+    if remaining.is_empty() {
+        if current.len() == k {
+            results.push(current.clone());
+        }
+        return;
+    }
+    if current.len() >= k {
+        return;
+    }
+    // Cap the enumeration: covers are a pruning aid, not an exhaustive search.
+    if results.len() >= 256 {
+        return;
+    }
+    let anchor = *remaining.iter().next().expect("non-empty");
+    for (i, cand) in candidates.iter().enumerate().skip(start) {
+        if !cand.contains(&anchor) {
+            continue;
+        }
+        if !cand.iter().all(|a| remaining.contains(a)) {
+            continue;
+        }
+        let next: BTreeSet<AccelId> = remaining
+            .iter()
+            .copied()
+            .filter(|a| !cand.contains(a))
+            .collect();
+        current.push(cand.clone());
+        cover_rec(&next, candidates, k, i, current, results);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::system::TopologyBuilder;
+
+    #[test]
+    fn f1_candidates_contain_groups_singletons_and_full_set() {
+        let topo = presets::f1_16xlarge();
+        let cands = accset_candidates(&topo);
+        assert!(cands.iter().any(|c| c.len() == 8));
+        assert_eq!(cands.iter().filter(|c| c.len() == 4).count(), 2);
+        assert_eq!(cands.iter().filter(|c| c.len() == 1).count(), 8);
+        // Nothing else: the F1 graph only has one bandwidth level.
+        assert_eq!(cands.len(), 1 + 2 + 8);
+    }
+
+    #[test]
+    fn heterogeneous_bandwidths_produce_nested_candidates() {
+        // A chain 0 -16- 1 -8- 2 -1- 3: removing the 1 Gbps edge splits {0,1,2}
+        // and {3}; removing the 8 Gbps edge further splits {0,1}.
+        let t = TopologyBuilder::new("chain")
+            .accelerators(4, 1.0, 1 << 20)
+            .link(AccelId(0), AccelId(1), 16.0)
+            .unwrap()
+            .link(AccelId(1), AccelId(2), 8.0)
+            .unwrap()
+            .link(AccelId(2), AccelId(3), 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let cands = accset_candidates(&t);
+        let has = |set: &[usize]| {
+            cands
+                .iter()
+                .any(|c| c.iter().map(|a| a.0).collect::<Vec<_>>() == set)
+        };
+        assert!(has(&[0, 1, 2, 3]));
+        assert!(has(&[0, 1, 2]));
+        assert!(has(&[0, 1]));
+        assert!(has(&[3]));
+        assert!(has(&[2]));
+    }
+
+    #[test]
+    fn components_above_threshold() {
+        let topo = presets::f1_16xlarge();
+        // Above 8 Gbps nothing survives: 8 singletons.
+        assert_eq!(components_above(&topo, 8.0).len(), 8);
+        // Above 0 the two groups survive.
+        assert_eq!(components_above(&topo, 0.0).len(), 2);
+    }
+
+    #[test]
+    fn covers_partition_the_platform() {
+        let topo = presets::f1_16xlarge();
+        let cands = accset_candidates(&topo);
+        let covers = disjoint_covers(&topo, &cands, 2);
+        assert!(!covers.is_empty());
+        for cover in &covers {
+            let mut members: Vec<AccelId> = cover.iter().flatten().copied().collect();
+            members.sort();
+            assert_eq!(members, topo.accelerators().collect::<Vec<_>>());
+            assert_eq!(cover.len(), 2);
+        }
+        // The "two groups" cover must be present.
+        assert!(covers.iter().any(|c| c.iter().all(|s| s.len() == 4)));
+    }
+
+    #[test]
+    fn covers_with_k_equal_one_is_full_set() {
+        let topo = presets::single_group(4, 8.0, 2.0);
+        let cands = accset_candidates(&topo);
+        let covers = disjoint_covers(&topo, &cands, 1);
+        assert_eq!(covers.len(), 1);
+        assert_eq!(covers[0][0].len(), 4);
+    }
+}

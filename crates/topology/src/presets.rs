@@ -1,0 +1,169 @@
+//! Platform presets used in the paper's evaluation.
+
+use crate::system::{AccelId, Topology, TopologyBuilder};
+use crate::Gbps;
+
+/// One gibibyte, the per-accelerator DRAM capacity used in Section VI-A.
+pub const GIB: u64 = 1 << 30;
+
+/// The AWS EC2 F1.16xlarge-style adaptive multi-accelerator system of Fig. 1
+/// and Section VI-A:
+///
+/// * 8 accelerators (FPGAs) split into two groups of four;
+/// * 8 Gbps between accelerators of the same group (peer-to-peer links);
+/// * no direct link across groups — traffic is staged through the host;
+/// * 2 Gbps accelerator-to-host bandwidth;
+/// * 1 GiB off-chip DRAM per accelerator.
+///
+/// ```
+/// let t = mars_topology::presets::f1_16xlarge();
+/// assert_eq!(t.len(), 8);
+/// assert_eq!(t.groups().len(), 2);
+/// ```
+pub fn f1_16xlarge() -> Topology {
+    multi_group("F1.16xlarge", 2, 4, 8.0, 2.0, GIB)
+}
+
+/// A generic hierarchical platform: `groups` groups of `per_group`
+/// accelerators, fully connected inside a group at `intra_bw` Gbps, host links
+/// at `host_bw` Gbps, `dram` bytes of DRAM each.
+pub fn multi_group(
+    name: &str,
+    groups: usize,
+    per_group: usize,
+    intra_bw: Gbps,
+    host_bw: Gbps,
+    dram: u64,
+) -> Topology {
+    let n = groups * per_group;
+    let mut b = TopologyBuilder::new(name).accelerators(n, host_bw, dram);
+    for g in 0..groups {
+        let members: Vec<AccelId> = (0..per_group).map(|i| AccelId(g * per_group + i)).collect();
+        for &m in &members {
+            b = b.set_group(m, g).expect("member exists");
+        }
+        b = b.clique(&members, intra_bw).expect("valid clique");
+    }
+    b.build().expect("non-empty topology")
+}
+
+/// A single fully-connected group of `n` accelerators at `bw` Gbps with `host_bw`
+/// Gbps host links — the degenerate flat platform used in unit tests and
+/// ablations.
+pub fn single_group(n: usize, bw: Gbps, host_bw: Gbps) -> Topology {
+    multi_group("single-group", 1, n, bw, host_bw, GIB)
+}
+
+/// The cloud-scale multi-FPGA system used for the H2H comparison (Table IV).
+///
+/// H2H evaluates five bandwidth levels; the paper reuses them: `Low-` (1 Gbps),
+/// `Low` (1.2 Gbps), `Mid-` (2 Gbps), `Mid` (4 Gbps) and `High` (10 Gbps).
+/// The platform has eight accelerators in two groups (like the F1 instance);
+/// the swept `bandwidth` sets the inter-accelerator links while the host link
+/// is half of it (the host bus is the congested resource in H2H's setting),
+/// with 1 GiB DRAM per accelerator.
+pub fn h2h_cloud(bandwidth: Gbps) -> Topology {
+    multi_group(
+        "H2H-cloud",
+        2,
+        4,
+        bandwidth,
+        (bandwidth * 0.5).max(0.1),
+        GIB,
+    )
+}
+
+/// The five named bandwidth levels of Table IV, as `(label, Gbps)` pairs.
+pub fn h2h_bandwidth_levels() -> [(&'static str, Gbps); 5] {
+    [
+        ("Low-(1Gbps)", 1.0),
+        ("Low(1.2Gbps)", 1.2),
+        ("Mid-(2Gbps)", 2.0),
+        ("Mid(4Gbps)", 4.0),
+        ("High(10Gbps)", 10.0),
+    ]
+}
+
+/// A 2-D mesh of accelerators (chiplet-style platform, e.g. NN-Baton [11]):
+/// `rows x cols` accelerators with nearest-neighbour links at `bw` Gbps.
+/// Row-major group labels place each row in its own group.
+pub fn chiplet_mesh(rows: usize, cols: usize, bw: Gbps, host_bw: Gbps, dram: u64) -> Topology {
+    let mut b = TopologyBuilder::new("chiplet-mesh").accelerators(rows * cols, host_bw, dram);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = AccelId(r * cols + c);
+            b = b.set_group(id, r).expect("member exists");
+            if c + 1 < cols {
+                b = b.link(id, AccelId(r * cols + c + 1), bw).expect("valid link");
+            }
+            if r + 1 < rows {
+                b = b.link(id, AccelId((r + 1) * cols + c), bw).expect("valid link");
+            }
+        }
+    }
+    b.build().expect("non-empty topology")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_matches_paper_parameters() {
+        let t = f1_16xlarge();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.groups(), vec![0, 1]);
+        assert_eq!(t.group_members(0).len(), 4);
+        // 8 Gbps inside a group.
+        assert_eq!(t.bandwidth(AccelId(0), AccelId(1)), 8.0);
+        // No direct link across groups; host staging at 2 Gbps.
+        assert_eq!(t.bandwidth(AccelId(0), AccelId(4)), 0.0);
+        assert_eq!(t.path_bandwidth(AccelId(0), AccelId(4)), 2.0);
+        // 1 GiB DRAM.
+        assert_eq!(t.dram_bytes(AccelId(3)), GIB);
+    }
+
+    #[test]
+    fn f1_group_is_fully_connected() {
+        let t = f1_16xlarge();
+        assert!(t.is_fully_connected(&t.group_members(0)));
+        assert!(!t.is_fully_connected(&[AccelId(0), AccelId(7)]));
+        // 2 groups x C(4,2) = 12 links.
+        assert_eq!(t.links().len(), 12);
+    }
+
+    #[test]
+    fn h2h_levels_cover_table4() {
+        let levels = h2h_bandwidth_levels();
+        assert_eq!(levels.len(), 5);
+        assert_eq!(levels[0].1, 1.0);
+        assert_eq!(levels[4].1, 10.0);
+        for (_, bw) in levels {
+            let t = h2h_cloud(bw);
+            assert_eq!(t.len(), 8);
+            assert_eq!(t.bandwidth(AccelId(0), AccelId(1)), bw);
+            assert!(t.host_bandwidth(AccelId(0)) <= bw);
+        }
+    }
+
+    #[test]
+    fn single_group_is_flat() {
+        let t = single_group(4, 8.0, 2.0);
+        assert_eq!(t.groups(), vec![0]);
+        assert!(t.is_fully_connected(&t.accelerators().collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn chiplet_mesh_has_nearest_neighbour_links() {
+        let t = chiplet_mesh(2, 3, 16.0, 4.0, GIB);
+        assert_eq!(t.len(), 6);
+        // Horizontal neighbours linked, diagonal not.
+        assert_eq!(t.bandwidth(AccelId(0), AccelId(1)), 16.0);
+        assert_eq!(t.bandwidth(AccelId(0), AccelId(3)), 16.0);
+        assert_eq!(t.bandwidth(AccelId(0), AccelId(4)), 0.0);
+        // 2 rows: groups 0 and 1.
+        assert_eq!(t.groups(), vec![0, 1]);
+        // Link count: horizontal 2*2 + vertical 3 = 7.
+        assert_eq!(t.links().len(), 7);
+    }
+}

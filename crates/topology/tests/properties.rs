@@ -1,0 +1,102 @@
+//! Property-based tests for topology construction and AccSet-candidate
+//! generation.
+
+use mars_topology::{partition, presets, AccelId, TopologyBuilder};
+use proptest::prelude::*;
+
+/// Builds a random two-level platform: `groups` groups of `per_group`
+/// accelerators with random (but valid) bandwidths.
+fn random_platform(
+    groups: usize,
+    per_group: usize,
+    intra: f64,
+    host: f64,
+) -> mars_topology::Topology {
+    presets::multi_group("prop", groups, per_group, intra, host, 1 << 30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn candidates_cover_every_accelerator_and_are_sorted(
+        groups in 1usize..=4,
+        per_group in 1usize..=4,
+        intra in 1.0f64..64.0,
+        host in 0.5f64..8.0,
+    ) {
+        let topo = random_platform(groups, per_group, intra, host);
+        let candidates = partition::accset_candidates(&topo);
+
+        // The full platform is always a candidate.
+        prop_assert!(candidates.iter().any(|c| c.len() == topo.len()));
+        // Every singleton is a candidate.
+        for a in topo.accelerators() {
+            prop_assert!(candidates.iter().any(|c| c.as_slice() == [a]));
+        }
+        // Every candidate is sorted, unique and non-empty.
+        for c in &candidates {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Every group is a candidate (it is a connected component of the
+        // surviving graph after host-only edges are removed).
+        for g in topo.groups() {
+            let members = topo.group_members(g);
+            prop_assert!(candidates.iter().any(|c| *c == members));
+        }
+    }
+
+    #[test]
+    fn components_partition_the_accelerators(
+        groups in 1usize..=3,
+        per_group in 1usize..=5,
+        threshold in 0.0f64..20.0,
+    ) {
+        let topo = random_platform(groups, per_group, 8.0, 2.0);
+        let comps = partition::components_above(&topo, threshold);
+        let mut all: Vec<AccelId> = comps.into_iter().flatten().collect();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), topo.len());
+    }
+
+    #[test]
+    fn path_bandwidth_is_never_above_direct_and_scales(
+        intra in 1.0f64..32.0,
+        host in 0.5f64..8.0,
+        factor in 0.1f64..4.0,
+    ) {
+        let topo = random_platform(2, 3, intra, host);
+        let scaled = topo.scaled_bandwidth(factor);
+        for a in topo.accelerators() {
+            for b in topo.accelerators() {
+                if a == b { continue; }
+                let p = topo.path_bandwidth(a, b);
+                prop_assert!(p > 0.0);
+                // Host-staged paths are bounded by the host bandwidth.
+                if topo.requires_host_staging(a, b) {
+                    prop_assert!(p <= host + 1e-9);
+                }
+                let ps = scaled.path_bandwidth(a, b);
+                prop_assert!((ps - p * factor).abs() < 1e-9 * p.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_round_trips_links(n in 2usize..=6, bw in 0.5f64..64.0) {
+        let mut b = TopologyBuilder::new("ring").accelerators(n, 1.0, 1 << 20);
+        for i in 0..n {
+            b = b.link(AccelId(i), AccelId((i + 1) % n), bw).unwrap();
+        }
+        let topo = b.build().unwrap();
+        // A ring of n nodes has n links (for n > 2) or 1 link (n == 2).
+        let expected = if n == 2 { 1 } else { n };
+        prop_assert_eq!(topo.links().len(), expected);
+        for link in topo.links() {
+            prop_assert!((link.bandwidth - bw).abs() < 1e-12);
+            prop_assert_eq!(topo.bandwidth(link.a, link.b), topo.bandwidth(link.b, link.a));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: map ResNet-34 onto an F1-style adaptive multi-accelerator
+//! system and compare MARS against the computation-prioritised baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mars::prelude::*;
+
+fn main() {
+    // 1. The workload: a Table III benchmark network.
+    let net = mars::model::zoo::resnet34(1000);
+    println!("workload: {}", net.summary());
+
+    // 2. The platform: 8 FPGAs in two groups, 8 Gbps intra-group, 2 Gbps to
+    //    the host, 1 GiB DRAM each (Fig. 1 / Section VI-A).
+    let topo = mars::topology::presets::f1_16xlarge();
+    println!("platform: {topo}");
+
+    // 3. The available accelerator designs (Table II).
+    let catalog = Catalog::standard_three();
+    println!("designs:\n{catalog}");
+
+    // 4. The baseline mapper: fixed two sets, best design per half, ES along
+    //    the two longest dimensions of every layer.
+    let baseline = mars::core::baseline::computation_prioritized(&net, &topo, &catalog);
+    println!("baseline latency: {:.3} ms", baseline.latency_ms());
+
+    // 5. MARS: two-level genetic search over accelerator sets, designs,
+    //    workload allocation and per-layer ES/SS strategies.
+    let result = Mars::new(&net, &topo, &catalog)
+        .with_config(SearchConfig::fast(42))
+        .search();
+    println!("MARS latency:     {:.3} ms", result.latency_ms());
+    println!(
+        "latency reduction: {:.1}%",
+        100.0 * result.mapping.improvement_over(&baseline)
+    );
+
+    // 6. The mapping itself, in the format of Table III's last column.
+    println!("\n{}", mars::core::report::render(&net, &result.mapping));
+}

@@ -1,0 +1,79 @@
+//! # MARS — Exploiting Multi-Level Parallelism for DNN Workloads on Adaptive
+//! # Multi-Accelerator Systems
+//!
+//! This crate is the facade of a full reproduction of the MARS mapping
+//! framework (Shen et al., DAC 2023).  It re-exports the workspace crates so
+//! downstream users need a single dependency:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`model`]    | `mars-model`    | DNN workload IR and model zoo (AlexNet … WRN-50-2, heterogeneous models) |
+//! | [`accel`]    | `mars-accel`    | Accelerator design catalogue and analytical performance models (Table II) |
+//! | [`topology`] | `mars-topology` | Multi-accelerator platform graph `G(Acc, BW)` and presets (F1, H2H) |
+//! | [`comm`]     | `mars-comm`     | Collective-communication simulator (ASTRA-Sim substitute) |
+//! | [`parallel`] | `mars-parallel` | ES/SS parallelism strategies, shard algebra and per-layer evaluation |
+//! | [`core`]     | `mars-core`     | Two-level genetic mapping search, baselines, reports, ablations |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use mars::prelude::*;
+//!
+//! let net = mars::model::zoo::resnet34(1000);
+//! let topo = mars::topology::presets::f1_16xlarge();
+//! let catalog = Catalog::standard_three();
+//!
+//! let baseline = mars::core::baseline::computation_prioritized(&net, &topo, &catalog);
+//! let result = Mars::new(&net, &topo, &catalog)
+//!     .with_config(SearchConfig::fast(42))
+//!     .search();
+//!
+//! println!("baseline: {:.2} ms", baseline.latency_ms());
+//! println!("MARS:     {:.2} ms", result.latency_ms());
+//! println!("{}", mars::core::report::render(&net, &result.mapping));
+//! ```
+//!
+//! The `examples/` directory contains runnable versions of this flow
+//! (`quickstart`, `resnet_on_f1`, `hetero_bandwidth_sweep`,
+//! `custom_accelerator`), and the `mars-bench` crate regenerates every table
+//! and figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mars_accel as accel;
+pub use mars_comm as comm;
+pub use mars_core as core;
+pub use mars_model as model;
+pub use mars_parallel as parallel;
+pub use mars_topology as topology;
+
+/// Commonly used types, importable with `use mars::prelude::*`.
+pub mod prelude {
+    pub use mars_accel::{AccelDesign, Catalog, DesignId, PerformanceModel, ProfileTable};
+    pub use mars_comm::{CommConfig, CommSim};
+    pub use mars_core::{
+        Assignment, DesignPolicy, Evaluator, GaConfig, Mapping, Mars, SearchConfig, SearchResult,
+    };
+    pub use mars_model::{
+        ConvParams, Dim, DimSet, FeatureMap, Layer, LayerId, LayerKind, LoopNest, Network,
+    };
+    pub use mars_parallel::{evaluate_layer, EvalContext, LayerEval, ShardPlan, Strategy};
+    pub use mars_topology::{AccelId, Gbps, Topology, TopologyBuilder};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile_and_are_usable() {
+        use crate::prelude::*;
+        let catalog = Catalog::standard_three();
+        assert_eq!(catalog.len(), 3);
+        let topo = crate::topology::presets::f1_16xlarge();
+        assert_eq!(topo.len(), 8);
+        let net = crate::model::zoo::alexnet(10);
+        assert_eq!(net.conv_layers().count(), 5);
+        let s = Strategy::none();
+        assert!(s.is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end integration tests across all crates: build a workload, a
+//! platform and a catalogue, run the baseline and the MARS search, and check
+//! the global properties the paper's evaluation relies on.
+
+use mars::prelude::*;
+use std::collections::BTreeMap;
+
+#[test]
+fn mars_improves_on_the_baseline_for_alexnet_on_f1() {
+    let net = mars::model::zoo::alexnet(1000);
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+
+    let baseline = mars::core::baseline::computation_prioritized(&net, &topo, &catalog);
+    let result = Mars::new(&net, &topo, &catalog)
+        .with_config(SearchConfig::fast(123))
+        .search();
+
+    assert!(baseline.is_valid());
+    assert!(result.mapping.is_valid());
+    // The GA is seeded with the baseline-like individual, so it can never be
+    // worse; with intra-layer freedom it should strictly improve.
+    assert!(result.mapping.latency_seconds <= baseline.latency_seconds * 1.001);
+}
+
+#[test]
+fn every_layer_is_assigned_and_strategies_are_valid() {
+    let net = mars::model::zoo::resnet18(1000);
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let result = Mars::new(&net, &topo, &catalog)
+        .with_config(SearchConfig::fast(5))
+        .search();
+
+    for idx in 0..net.len() {
+        let a = result
+            .mapping
+            .assignment_for_layer(idx)
+            .unwrap_or_else(|| panic!("layer {idx} has no assignment"));
+        assert!(!a.accels.is_empty());
+        assert!(a.design.0 < catalog.len());
+    }
+    for (idx, strategy) in &result.mapping.strategies {
+        assert!(net.layers()[*idx].is_compute(), "strategy on non-compute layer");
+        if let Some(d) = strategy.ss() {
+            assert!(!strategy.es().contains(d));
+        }
+    }
+}
+
+#[test]
+fn evaluator_is_consistent_with_reported_mapping_latency() {
+    let net = mars::model::zoo::alexnet(1000);
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let result = Mars::new(&net, &topo, &catalog)
+        .with_config(SearchConfig::fast(9))
+        .search();
+
+    // Re-evaluating the returned assignments and strategies with a fresh
+    // evaluator reproduces the reported latency exactly.
+    let evaluator = Evaluator::new(&net, &topo, &catalog);
+    let re = evaluator.evaluate(&result.mapping.assignments, &result.mapping.strategies);
+    assert!((re - result.mapping.latency_seconds).abs() < 1e-12);
+}
+
+#[test]
+fn faster_interconnect_never_hurts_the_same_mapping() {
+    let net = mars::model::zoo::casia_surf_like();
+    let catalog = Catalog::standard_three();
+
+    let slow_topo = mars::topology::presets::h2h_cloud(1.0);
+    let fast_topo = mars::topology::presets::h2h_cloud(10.0);
+
+    // A fixed mapping: everything on the full platform with Design 1 and H/W
+    // sharding on every compute layer.
+    let mut strategies = BTreeMap::new();
+    for (id, _) in net.compute_layers() {
+        strategies.insert(id.0, Strategy::exclusive(DimSet::from_dims([Dim::H, Dim::W])));
+    }
+    let make = |topo: &Topology| {
+        vec![Assignment::new(
+            topo.accelerators().collect(),
+            DesignId(0),
+            0..net.len(),
+        )]
+    };
+
+    let slow = Evaluator::new(&net, &slow_topo, &catalog)
+        .evaluate(&make(&slow_topo), &strategies);
+    let fast = Evaluator::new(&net, &fast_topo, &catalog)
+        .evaluate(&make(&fast_topo), &strategies);
+    assert!(fast <= slow, "10 Gbps ({fast}) must not be slower than 1 Gbps ({slow})");
+}
+
+#[test]
+fn mars_beats_h2h_like_mapper_on_heterogeneous_model() {
+    let net = mars::model::zoo::casia_surf_like();
+    let topo = mars::topology::presets::h2h_cloud(4.0);
+    let catalog = Catalog::h2h_heterogeneous();
+    let designs = mars::core::baseline::default_fixed_designs(&topo, &catalog);
+
+    let h2h = mars::core::baseline::h2h_like(&net, &topo, &catalog, &designs);
+    let result = Mars::new(&net, &topo, &catalog)
+        .with_fixed_designs(designs)
+        .with_config(SearchConfig::fast(31))
+        .search();
+
+    assert!(h2h.is_valid() && result.mapping.is_valid());
+    assert!(
+        result.mapping.latency_seconds < h2h.latency_seconds,
+        "MARS {} ms should beat the layer-per-accelerator mapper {} ms",
+        result.latency_ms(),
+        h2h.latency_ms()
+    );
+}
+
+#[test]
+fn report_covers_every_non_idle_assignment() {
+    let net = mars::model::zoo::vgg16(1000);
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let mapping = mars::core::baseline::computation_prioritized(&net, &topo, &catalog);
+    let lines = mars::core::report::describe_mapping(&net, &mapping);
+    let non_idle = mapping
+        .assignments
+        .iter()
+        .filter(|a| !a.is_idle() && a.layers.clone().any(|i| net.layers()[i].is_conv()))
+        .count();
+    assert_eq!(lines.len(), non_idle);
+    for line in lines {
+        assert!(line.contains("Design"));
+        assert!(line.contains("ES ="));
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the qualitative mapping patterns the paper reports in
+//! Section VI-B — the behavioural "shape" of the results rather than absolute
+//! numbers.
+
+use mars::prelude::*;
+
+/// Section VI-B: "The first few layers of these models are always mapped to
+/// accelerator sets configured with Design 1 (SuperLIP) ... because the first
+/// few layers usually have larger resolutions and fewer channels."
+#[test]
+fn early_layers_prefer_superlip_late_layers_do_not() {
+    let catalog = Catalog::standard_three();
+    for net in [mars::model::zoo::resnet34(1000), mars::model::zoo::vgg16(1000)] {
+        let profile = ProfileTable::build(&net, &catalog);
+        let convs: Vec<LayerId> = net.conv_layers().map(|(id, _)| id).collect();
+        // The stem / first convolution prefers Design 1.
+        assert_eq!(
+            profile.best_design(convs[0]),
+            DesignId(0),
+            "{}: first conv should prefer SuperLIP",
+            net.name()
+        );
+        // The deepest convolution prefers one of the channel-parallel designs.
+        assert_ne!(
+            profile.best_design(*convs.last().unwrap()),
+            DesignId(0),
+            "{}: last conv should not prefer SuperLIP",
+            net.name()
+        );
+    }
+}
+
+/// Section VI-B: "design 3 does not show up in ResNet101 and WRN-50-2.  This
+/// is because design 3 is an accelerator based on Winograd algorithm, which
+/// makes it impossible to effectively handle 1×1 convolution in the bottleneck
+/// block of these models."
+#[test]
+fn winograd_is_not_competitive_on_bottleneck_networks() {
+    let catalog = Catalog::standard_three();
+    for net in [
+        mars::model::zoo::resnet101(1000),
+        mars::model::zoo::wide_resnet50_2(1000),
+    ] {
+        let profile = ProfileTable::build(&net, &catalog);
+        // Winograd must not be the best whole-network design.
+        let scores = profile.normalized_scores();
+        let winograd = scores[2];
+        assert!(
+            winograd < scores[0] || winograd < scores[1],
+            "{}: Winograd should not dominate ({scores:?})",
+            net.name()
+        );
+        // And on the 1x1 convolutions specifically it is never the best.
+        for (id, layer) in net.conv_layers() {
+            if layer.as_conv().unwrap().is_pointwise() {
+                assert_ne!(
+                    profile.best_design(id),
+                    DesignId(2),
+                    "{}: 1x1 conv {id} should not prefer Winograd",
+                    net.name()
+                );
+            }
+        }
+    }
+}
+
+/// Section VI-C: "When the bandwidth is extremely low, MARS tends to partition
+/// convolution layers along H/W-dimension, which requires low communication
+/// cost."  We check the underlying cost model: at 1 Gbps the best strategy for
+/// a representative layer avoids reduction-dimension sharding, while at
+/// 10 Gbps channel sharding becomes competitive for channel-heavy layers.
+#[test]
+fn low_bandwidth_favours_spatial_sharding() {
+    let catalog = Catalog::standard_three();
+    let conv = ConvParams::new(512, 512, 14, 14, 3, 1);
+
+    let best_strategy = |gbps: f64| -> Strategy {
+        let topo = mars::topology::presets::h2h_cloud(gbps);
+        let sim = CommSim::new(&topo);
+        let set: Vec<AccelId> = (0..4).map(AccelId).collect();
+        let ctx = EvalContext::new(catalog.model(DesignId(1)), &sim, &set);
+        mars::parallel::paper_strategies()
+            .into_iter()
+            .min_by(|a, b| {
+                evaluate_layer(&conv, a, &ctx)
+                    .total_seconds()
+                    .partial_cmp(&evaluate_layer(&conv, b, &ctx).total_seconds())
+                    .unwrap()
+            })
+            .unwrap()
+    };
+
+    let low = best_strategy(1.0);
+    assert!(
+        !low.needs_all_reduce(),
+        "at 1 Gbps the best strategy should avoid All-Reduce, got {low}"
+    );
+    assert!(
+        low.es().contains(Dim::H) || low.es().contains(Dim::W),
+        "at 1 Gbps the best strategy should shard H/W, got {low}"
+    );
+}
+
+/// The deeper layers of a CNN have wide channels; the paper observes MARS
+/// "is more likely to partition these layers along CIn/COut-dimension".  At
+/// high bandwidth the best strategy for a deep layer should include a channel
+/// dimension.
+#[test]
+fn high_bandwidth_allows_channel_sharding_on_deep_layers() {
+    let catalog = Catalog::standard_three();
+    let conv = ConvParams::new(2048, 512, 7, 7, 1, 1);
+    let topo = mars::topology::presets::single_group(4, 100.0, 25.0);
+    let sim = CommSim::new(&topo);
+    let set: Vec<AccelId> = (0..4).map(AccelId).collect();
+    let ctx = EvalContext::new(catalog.model(DesignId(1)), &sim, &set);
+    let best = mars::parallel::paper_strategies()
+        .into_iter()
+        .min_by(|a, b| {
+            evaluate_layer(&conv, a, &ctx)
+                .total_seconds()
+                .partial_cmp(&evaluate_layer(&conv, b, &ctx).total_seconds())
+                .unwrap()
+        })
+        .unwrap();
+    assert!(
+        best.es().contains(Dim::Cout) || best.es().contains(Dim::Cin),
+        "deep 7x7x2048 layer should shard a channel dimension at high bandwidth, got {best}"
+    );
+}
+
+/// Strategy validity from Section III: partitioned tensors must fit the DRAM
+/// of the accelerator set.  A VGG-16 fully-connected layer replicated on a
+/// tiny-DRAM platform is invalid; sharding it makes it valid again.
+#[test]
+fn memory_validity_gates_strategies() {
+    let catalog = Catalog::standard_three();
+    let topo = mars::topology::presets::multi_group("tiny-dram", 1, 4, 8.0, 2.0, 32 << 20);
+    let sim = CommSim::new(&topo);
+    let set: Vec<AccelId> = topo.accelerators().collect();
+    let ctx = EvalContext::new(catalog.model(DesignId(0)), &sim, &set);
+    let fc6 = ConvParams::new(4096, 25088, 1, 1, 1, 1);
+
+    let replicated = evaluate_layer(&fc6, &Strategy::none(), &ctx);
+    assert!(!replicated.memory_ok, "200 MB of weights cannot fit 32 MiB DRAM");
+
+    let sharded = evaluate_layer(
+        &fc6,
+        &Strategy::with_shared(DimSet::from_dims([Dim::Cin]), Dim::Cout),
+        &ctx,
+    );
+    assert!(sharded.per_accel_bytes < replicated.per_accel_bytes);
+    assert!(sharded.memory_ok, "sharded footprint should fit");
+}
