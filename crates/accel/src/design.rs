@@ -1,6 +1,6 @@
 //! Design descriptors and the analytical performance-model trait.
 
-use mars_model::{Layer, LayerKind, ConvParams};
+use mars_model::{ConvParams, Layer, LayerKind};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of an accelerator design inside a [`Catalog`](crate::Catalog).

@@ -79,7 +79,10 @@ impl ProfileTable {
     /// when it picks "the accelerator design with the lowest computation
     /// latency" for a layer range.
     pub fn range_cycles(&self, start: usize, end: usize, design: DesignId) -> u64 {
-        self.cycles[start..end].iter().map(|row| row[design.0]).sum()
+        self.cycles[start..end]
+            .iter()
+            .map(|row| row[design.0])
+            .sum()
     }
 
     /// The design minimising [`ProfileTable::range_cycles`] over `[start, end)`.
@@ -159,9 +162,7 @@ mod tests {
     #[test]
     fn range_cycles_sums_rows() {
         let (_, t) = table();
-        let total: u64 = (0..4)
-            .map(|i| t.cycles(LayerId(i), DesignId(1)))
-            .sum();
+        let total: u64 = (0..4).map(|i| t.cycles(LayerId(i), DesignId(1))).sum();
         assert_eq!(t.range_cycles(0, 4, DesignId(1)), total);
         assert_eq!(t.range_cycles(2, 2, DesignId(1)), 0);
     }

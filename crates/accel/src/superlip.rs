@@ -31,11 +31,22 @@ impl SuperLipModel {
     }
 
     /// Creates a custom configuration.
-    pub fn new(id: DesignId, frequency_mhz: u32, tm: usize, tn: usize, tr: usize, tc: usize) -> Self {
+    pub fn new(
+        id: DesignId,
+        frequency_mhz: u32,
+        tm: usize,
+        tn: usize,
+        tr: usize,
+        tc: usize,
+    ) -> Self {
         // The published implementation achieves 438 effective PEs out of the
         // nominal Tm*Tn = 448 multiplier array; we keep the nominal product
         // for custom configurations and the published figure for the default.
-        let num_pes = if (tm, tn) == (64, 7) { 438 } else { (tm * tn) as u32 };
+        let num_pes = if (tm, tn) == (64, 7) {
+            438
+        } else {
+            (tm * tn) as u32
+        };
         Self {
             design: AccelDesign {
                 id,

@@ -89,8 +89,8 @@ impl PerformanceModel for WinogradModel {
             // Other kernel extents are not supported by the transform engines;
             // the design falls back to a direct convolution that keeps only a
             // small fraction of the multiplier array busy.
-            let direct_macs_per_cycle = (self.out_tile() * self.out_tile() * self.pn * self.pm / 2)
-                .max(1) as u64;
+            let direct_macs_per_cycle =
+                (self.out_tile() * self.out_tile() * self.pn * self.pm / 2).max(1) as u64;
             nest.macs().div_ceil(direct_macs_per_cycle)
         }
     }

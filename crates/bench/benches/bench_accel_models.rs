@@ -11,7 +11,10 @@ use mars_topology::presets;
 fn bench_profile_table(c: &mut Criterion) {
     let catalog = Catalog::standard_three();
     let mut group = c.benchmark_group("accel/profile-table");
-    for (name, net) in [("ResNet34", zoo::resnet34(1000)), ("ResNet101", zoo::resnet101(1000))] {
+    for (name, net) in [
+        ("ResNet34", zoo::resnet34(1000)),
+        ("ResNet101", zoo::resnet101(1000)),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
             b.iter(|| ProfileTable::build(net, &catalog))
         });

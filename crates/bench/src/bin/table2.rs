@@ -13,7 +13,10 @@ fn main() {
     let catalog = Catalog::standard_three();
 
     println!("TABLE II: AVAILABLE ACCELERATOR DESIGNS");
-    println!("{:<4} {:<10} {:>10} {:>8}  {}", "#", "Design", "Freq(MHz)", "#PEs", "Design Parameters");
+    println!(
+        "{:<4} {:<10} {:>10} {:>8}  Design Parameters",
+        "#", "Design", "Freq(MHz)", "#PEs"
+    );
     for (id, model) in catalog.iter() {
         let d = model.design();
         println!(

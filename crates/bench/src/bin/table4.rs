@@ -18,7 +18,9 @@ fn main() {
 
     println!(
         "{:<16} {:>22} {:>22}",
-        "Bandwidth", models[0].name(), models[1].name()
+        "Bandwidth",
+        models[0].name(),
+        models[1].name()
     );
     println!(
         "{:<16} {:>10} {:>11} {:>10} {:>11}",
@@ -31,9 +33,7 @@ fn main() {
         .map(|(i, net)| table4_rows(net, budget, 90 + i as u64))
         .collect();
 
-    for level in 0..rows[0].len() {
-        let a = &rows[0][level];
-        let b = &rows[1][level];
+    for (a, b) in rows[0].iter().zip(&rows[1]) {
         all_reductions.push(a.reduction_percent());
         all_reductions.push(b.reduction_percent());
         println!(

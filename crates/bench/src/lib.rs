@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 
 use mars_accel::Catalog;
-use mars_core::{baseline, Mars, Mapping, SearchConfig, SearchResult};
+use mars_core::{baseline, Mapping, Mars, SearchConfig, SearchResult};
 use mars_model::zoo::Benchmark;
 use mars_model::Network;
 use mars_topology::{presets, Topology};
@@ -185,7 +185,11 @@ mod tests {
         }
         // And clearly wins once bandwidth stops being the bottleneck.
         let high = rows.last().unwrap();
-        assert!(high.reduction_percent() > 10.0, "high-bandwidth reduction {}", high.reduction_percent());
+        assert!(
+            high.reduction_percent() > 10.0,
+            "high-bandwidth reduction {}",
+            high.reduction_percent()
+        );
         // Higher bandwidth means lower latency for both mappers.
         assert!(rows.last().unwrap().mars_ms < rows.first().unwrap().mars_ms);
     }

@@ -80,12 +80,7 @@ pub fn all_reduce(engine: &Engine<'_>, cfg: &CommConfig, set: &[AccelId], bytes:
 }
 
 /// Closed-form estimate of [`all_reduce`].
-pub fn estimate_all_reduce(
-    topo: &Topology,
-    cfg: &CommConfig,
-    set: &[AccelId],
-    bytes: u64,
-) -> f64 {
+pub fn estimate_all_reduce(topo: &Topology, cfg: &CommConfig, set: &[AccelId], bytes: u64) -> f64 {
     let p = set.len();
     if p < 2 || bytes == 0 {
         return 0.0;
@@ -164,9 +159,8 @@ pub fn broadcast(engine: &Engine<'_>, set: &[AccelId], bytes: u64) -> f64 {
         } else {
             vec![transfers.len() - 1]
         };
-        transfers.push(
-            Transfer::new(Endpoint::Accel(w[0]), Endpoint::Accel(w[1]), bytes).after(dep),
-        );
+        transfers
+            .push(Transfer::new(Endpoint::Accel(w[0]), Endpoint::Accel(w[1]), bytes).after(dep));
     }
     engine.simulate(&transfers)
 }

@@ -185,7 +185,11 @@ impl<'a> Engine<'a> {
 
     /// Latency of a single point-to-point transfer.
     pub fn point_to_point(&self, src: AccelId, dst: AccelId, bytes: u64) -> f64 {
-        self.simulate(&[Transfer::new(Endpoint::Accel(src), Endpoint::Accel(dst), bytes)])
+        self.simulate(&[Transfer::new(
+            Endpoint::Accel(src),
+            Endpoint::Accel(dst),
+            bytes,
+        )])
     }
 }
 
@@ -243,15 +247,31 @@ mod tests {
         let e = engine(&topo);
         // Two 1 MB transfers over the same link: 2 ms total.
         let transfers = vec![
-            Transfer::new(Endpoint::Accel(AccelId(0)), Endpoint::Accel(AccelId(1)), 1_000_000),
-            Transfer::new(Endpoint::Accel(AccelId(0)), Endpoint::Accel(AccelId(1)), 1_000_000),
+            Transfer::new(
+                Endpoint::Accel(AccelId(0)),
+                Endpoint::Accel(AccelId(1)),
+                1_000_000,
+            ),
+            Transfer::new(
+                Endpoint::Accel(AccelId(0)),
+                Endpoint::Accel(AccelId(1)),
+                1_000_000,
+            ),
         ];
         let t = e.simulate(&transfers);
         assert!((t - 2e-3).abs() < 1e-9, "{t}");
         // Two transfers on disjoint links proceed in parallel: 1 ms.
         let transfers = vec![
-            Transfer::new(Endpoint::Accel(AccelId(0)), Endpoint::Accel(AccelId(1)), 1_000_000),
-            Transfer::new(Endpoint::Accel(AccelId(2)), Endpoint::Accel(AccelId(3)), 1_000_000),
+            Transfer::new(
+                Endpoint::Accel(AccelId(0)),
+                Endpoint::Accel(AccelId(1)),
+                1_000_000,
+            ),
+            Transfer::new(
+                Endpoint::Accel(AccelId(2)),
+                Endpoint::Accel(AccelId(3)),
+                1_000_000,
+            ),
         ];
         let t = e.simulate(&transfers);
         assert!((t - 1e-3).abs() < 1e-9, "{t}");
@@ -263,9 +283,17 @@ mod tests {
         let e = engine(&topo);
         // Chain of two dependent transfers on disjoint links: 2 ms.
         let transfers = vec![
-            Transfer::new(Endpoint::Accel(AccelId(0)), Endpoint::Accel(AccelId(1)), 1_000_000),
-            Transfer::new(Endpoint::Accel(AccelId(2)), Endpoint::Accel(AccelId(3)), 1_000_000)
-                .after([0]),
+            Transfer::new(
+                Endpoint::Accel(AccelId(0)),
+                Endpoint::Accel(AccelId(1)),
+                1_000_000,
+            ),
+            Transfer::new(
+                Endpoint::Accel(AccelId(2)),
+                Endpoint::Accel(AccelId(3)),
+                1_000_000,
+            )
+            .after([0]),
         ];
         let (makespan, completions) = e.simulate_with_completions(&transfers);
         assert!((makespan - 2e-3).abs() < 1e-9);
@@ -291,8 +319,16 @@ mod tests {
         // A host-staged transfer (0 -> 4) and a direct transfer (0 -> 1) do not
         // share a resource, so the makespan is the host-staged time.
         let transfers = vec![
-            Transfer::new(Endpoint::Accel(AccelId(0)), Endpoint::Accel(AccelId(4)), 1_000_000),
-            Transfer::new(Endpoint::Accel(AccelId(0)), Endpoint::Accel(AccelId(1)), 1_000_000),
+            Transfer::new(
+                Endpoint::Accel(AccelId(0)),
+                Endpoint::Accel(AccelId(4)),
+                1_000_000,
+            ),
+            Transfer::new(
+                Endpoint::Accel(AccelId(0)),
+                Endpoint::Accel(AccelId(1)),
+                1_000_000,
+            ),
         ];
         let t = e.simulate(&transfers);
         assert!((t - 8e-3).abs() < 1e-8, "{t}");

@@ -46,7 +46,12 @@ impl<'a> FlatProblem<'a> {
         let compute_layers: Vec<usize> = net.compute_layers().map(|(id, _)| id.0).collect();
         let nests = compute_layers
             .iter()
-            .map(|idx| net.layers()[*idx].as_conv().expect("compute layer").loop_nest())
+            .map(|idx| {
+                net.layers()[*idx]
+                    .as_conv()
+                    .expect("compute layer")
+                    .loop_nest()
+            })
             .collect();
         Self {
             layout1: FirstLevelGenome::new(candidates.len(), catalog.len(), topo.len(), net.len()),
@@ -97,7 +102,12 @@ impl<'a> FlatProblem<'a> {
     }
 }
 
-fn result_from(problem: &FlatProblem<'_>, genes: &[f64], history: Vec<f64>, evals: usize) -> SearchResult {
+fn result_from(
+    problem: &FlatProblem<'_>,
+    genes: &[f64],
+    history: Vec<f64>,
+    evals: usize,
+) -> SearchResult {
     let (assignments, strategies) = problem.decode(genes);
     let latency = problem.evaluator.evaluate(&assignments, &strategies);
     SearchResult {
@@ -130,7 +140,7 @@ pub fn single_level_search(
         |genes| {
             let f = problem.fitness(genes);
             let mut best = best.borrow_mut();
-            if best.as_ref().map_or(true, |(b, _)| f < *b) {
+            if best.as_ref().is_none_or(|(b, _)| f < *b) {
                 *best = Some((f, genes.to_vec()));
             }
             f

@@ -14,11 +14,11 @@ use mars_comm::CommSim;
 use mars_model::{DimSet, Network};
 use mars_parallel::{evaluate_layer, evaluate_non_conv, EvalContext, Strategy};
 use mars_topology::{AccelId, Topology};
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// How accelerator designs are decided.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +48,10 @@ impl WorstOfModel {
     /// Panics if `models` is empty or the members disagree on clock frequency
     /// (cycle counts would then not be comparable).
     pub fn new(models: Vec<Arc<dyn PerformanceModel>>) -> Self {
-        assert!(!models.is_empty(), "worst-of model needs at least one member");
+        assert!(
+            !models.is_empty(),
+            "worst-of model needs at least one member"
+        );
         let freq = models[0].design().frequency_mhz;
         assert!(
             models.iter().all(|m| m.design().frequency_mhz == freq),
@@ -173,7 +176,7 @@ impl<'a> Evaluator<'a> {
 
     /// Number of memoised per-layer evaluations.
     pub fn cache_entries(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().expect("layer cache poisoned").len()
     }
 
     fn model_for(&self, assignment: &Assignment) -> ModelHandle {
@@ -230,7 +233,7 @@ impl<'a> Evaluator<'a> {
         ctx: &EvalContext<'_>,
     ) -> LayerCacheValue {
         let key = (layer_index, signature, strategy);
-        if let Some(v) = self.cache.lock().get(&key) {
+        if let Some(v) = self.cache.lock().expect("layer cache poisoned").get(&key) {
             return *v;
         }
         let conv = self.net.layers()[layer_index]
@@ -242,7 +245,10 @@ impl<'a> Evaluator<'a> {
             eval.plan.weight_shard_bytes,
             eval.memory_ok,
         );
-        self.cache.lock().insert(key, value);
+        self.cache
+            .lock()
+            .expect("layer cache poisoned")
+            .insert(key, value);
         value
     }
 
@@ -299,8 +305,7 @@ impl<'a> Evaluator<'a> {
             let layer = &self.net.layers()[idx];
             if layer.is_compute() {
                 let strategy = strategies.get(&idx).copied().unwrap_or_default();
-                let (latency, wbytes, ok) =
-                    self.cached_conv_eval(idx, strategy, signature, &ctx);
+                let (latency, wbytes, ok) = self.cached_conv_eval(idx, strategy, signature, &ctx);
                 seconds += latency;
                 weight_bytes += wbytes;
                 memory_ok &= ok;
@@ -374,11 +379,9 @@ impl<'a> Evaluator<'a> {
             let (au, av) = (owner[u.0].expect("covered"), owner[v.0].expect("covered"));
             if au != av {
                 let bytes = self.net.layers()[u.0].output_bytes();
-                total += self.sim.redistribute(
-                    &assignments[au].accels,
-                    &assignments[av].accels,
-                    bytes,
-                );
+                total +=
+                    self.sim
+                        .redistribute(&assignments[au].accels, &assignments[av].accels, bytes);
             }
         }
 

@@ -249,7 +249,11 @@ mod tests {
         let ga = GeneticAlgorithm::new(GaConfig::first_level(3));
         let out = ga.run(6, |rng, _| (0..6).map(|_| rng.gen()).collect(), sphere);
         for w in out.history.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "history must not regress: {:?}", out.history);
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "history must not regress: {:?}",
+                out.history
+            );
         }
     }
 
@@ -304,7 +308,11 @@ mod tests {
             generations: 20,
             ..GaConfig::first_level(9)
         });
-        let out = ga.run(3, |rng, _| (0..3).map(|_| rng.gen_range(0.0..0.4)).collect(), fitness);
+        let out = ga.run(
+            3,
+            |rng, _| (0..3).map(|_| rng.gen_range(0.0..0.4)).collect(),
+            fitness,
+        );
         assert!(out.best_fitness.is_finite());
     }
 

@@ -83,7 +83,11 @@ impl FirstLevelGenome {
     /// from the layout's candidate count.
     pub fn decode(&self, genes: &[f64], candidates: &[Vec<AccelId>]) -> Vec<Assignment> {
         assert_eq!(genes.len(), self.len(), "genome length mismatch");
-        assert_eq!(candidates.len(), self.n_candidates, "candidate count mismatch");
+        assert_eq!(
+            candidates.len(),
+            self.n_candidates,
+            "candidate count mismatch"
+        );
 
         // --- Accelerator sets: greedy disjoint cover by gene score -----------
         let mut order: Vec<usize> = (0..self.n_candidates).collect();
@@ -181,7 +185,11 @@ impl FirstLevelGenome {
         }
         let start = self.n_candidates + slot * self.n_designs;
         for (d, gene) in genes[start..start + self.n_designs].iter_mut().enumerate() {
-            *gene = if d == preferred.0 { 1.0 } else { (*gene * 0.5).min(0.5) };
+            *gene = if d == preferred.0 {
+                1.0
+            } else {
+                (*gene * 0.5).min(0.5)
+            };
         }
     }
 
@@ -210,7 +218,7 @@ impl FirstLevelGenome {
                 genes.push(design_scores.get(d).copied().unwrap_or(0.5).clamp(0.0, 1.0));
             }
         }
-        genes.extend(std::iter::repeat(1.0).take(self.max_sets - 1));
+        genes.extend(std::iter::repeat_n(1.0, self.max_sets - 1));
         genes
     }
 
@@ -285,7 +293,9 @@ impl SecondLevelGenome {
     /// Decodes all per-layer strategies.
     pub fn decode(&self, genes: &[f64]) -> Vec<Strategy> {
         assert_eq!(genes.len(), self.len(), "genome length mismatch");
-        (0..self.n_layers).map(|i| self.decode_layer(genes, i)).collect()
+        (0..self.n_layers)
+            .map(|i| self.decode_layer(genes, i))
+            .collect()
     }
 
     /// Random initial genome.
@@ -297,7 +307,11 @@ impl SecondLevelGenome {
     /// back to exactly those strategies.  Used to seed the second-level search
     /// with the greedy per-layer optimum.
     pub fn genes_for(&self, strategies: &[Strategy]) -> Vec<f64> {
-        assert_eq!(strategies.len(), self.n_layers, "one strategy per compute layer");
+        assert_eq!(
+            strategies.len(),
+            self.n_layers,
+            "one strategy per compute layer"
+        );
         let mut genes = Vec::with_capacity(self.len());
         for s in strategies {
             // ES scores: the first chosen dimension scores highest.
@@ -326,9 +340,7 @@ impl SecondLevelGenome {
             for d in Dim::ALL {
                 genes.push(if longest.contains(&d) { 0.85 } else { 0.2 });
             }
-            for _ in Dim::ALL {
-                genes.push(0.2);
-            }
+            genes.extend(std::iter::repeat_n(0.2, Dim::ALL.len()));
         }
         genes
     }

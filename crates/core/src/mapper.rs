@@ -83,6 +83,7 @@ impl SearchResult {
 
 type SecondLevelKey = (Vec<AccelId>, DesignId, usize, usize);
 type SecondLevelValue = (BTreeMap<usize, Strategy>, f64);
+type BestDecision = (f64, Vec<Assignment>, BTreeMap<usize, Strategy>);
 
 /// The MARS mapping framework: computation-aware accelerator selection and
 /// communication-aware multi-level parallelism search.
@@ -149,8 +150,7 @@ impl<'a> Mars<'a> {
         let second_cache: RefCell<HashMap<SecondLevelKey, SecondLevelValue>> =
             RefCell::new(HashMap::new());
         // Best complete decision seen so far.
-        let best: RefCell<Option<(f64, Vec<Assignment>, BTreeMap<usize, Strategy>)>> =
-            RefCell::new(None);
+        let best: RefCell<Option<BestDecision>> = RefCell::new(None);
 
         let first_ga = GeneticAlgorithm::new(self.config.first_level);
         let outcome = first_ga.run(
@@ -161,8 +161,7 @@ impl<'a> Mars<'a> {
                 // (not just per network), so the search starts from a point at
                 // least as good as the computation-prioritised baseline.
                 0 => {
-                    let mut genes =
-                        layout.heuristic_seed(self.topo, &candidates, &design_scores);
+                    let mut genes = layout.heuristic_seed(self.topo, &candidates, &design_scores);
                     let n_groups = self.topo.groups().len().max(1);
                     for slot in 0..n_groups {
                         let start = slot * self.net.len() / n_groups;
@@ -181,8 +180,7 @@ impl<'a> Mars<'a> {
                 // "One group runs everything": the group-structured seed with
                 // all cut points pushed to the end, so the remaining sets idle.
                 2 => {
-                    let mut genes =
-                        layout.heuristic_seed(self.topo, &candidates, &design_scores);
+                    let mut genes = layout.heuristic_seed(self.topo, &candidates, &design_scores);
                     let cuts_start = genes.len() - (max_sets - 1);
                     for g in &mut genes[cuts_start..] {
                         *g = 1.0;
@@ -198,13 +196,12 @@ impl<'a> Mars<'a> {
                     if a.is_idle() {
                         continue;
                     }
-                    let (strats, _) =
-                        self.second_level(a, &evaluator, &second_cache);
+                    let (strats, _) = self.second_level(a, &evaluator, &second_cache);
                     strategies.extend(strats);
                 }
                 let latency = evaluator.evaluate(&assignments, &strategies);
                 let mut best = best.borrow_mut();
-                let improved = best.as_ref().map_or(true, |(l, _, _)| latency < *l);
+                let improved = best.as_ref().is_none_or(|(l, _, _)| latency < *l);
                 if improved && latency.is_finite() {
                     *best = Some((latency, assignments, strategies));
                 }
@@ -292,8 +289,7 @@ impl<'a> Mars<'a> {
             .iter()
             .map(|idx| {
                 let mut best = Strategy::default();
-                let mut best_latency =
-                    evaluator.conv_latency_under(assignment, *idx, best);
+                let mut best_latency = evaluator.conv_latency_under(assignment, *idx, best);
                 for s in mars_parallel::paper_strategies() {
                     let latency = evaluator.conv_latency_under(assignment, *idx, s);
                     if latency < best_latency {
@@ -359,7 +355,10 @@ mod tests {
         assert!(result.latency_ms() > 0.0);
         // Every layer is covered.
         for idx in 0..net.len() {
-            assert!(result.mapping.assignment_for_layer(idx).is_some(), "layer {idx} uncovered");
+            assert!(
+                result.mapping.assignment_for_layer(idx).is_some(),
+                "layer {idx} uncovered"
+            );
         }
         // History never regresses (elitism).
         for w in result.history.windows(2) {

@@ -197,14 +197,18 @@ mod tests {
         let mut slow = sample();
         slow.latency_seconds = 4e-3;
         assert!((fast.improvement_over(&slow) - 0.5).abs() < 1e-12);
-        assert_eq!(fast.improvement_over(&Mapping::new(vec![], BTreeMap::new(), 0.0)), 0.0);
+        assert_eq!(
+            fast.improvement_over(&Mapping::new(vec![], BTreeMap::new(), 0.0)),
+            0.0
+        );
     }
 
     #[test]
     fn distinct_designs_ignores_idle_sets() {
         let mut m = sample();
         assert_eq!(m.distinct_designs(), 2);
-        m.assignments.push(Assignment::new(vec![AccelId(7)], DesignId(1), 6..6));
+        m.assignments
+            .push(Assignment::new(vec![AccelId(7)], DesignId(1), 6..6));
         assert_eq!(m.distinct_designs(), 2);
     }
 

@@ -410,7 +410,10 @@ mod tests {
         let mut net = Network::new("t");
         let a = net.add_layer(conv(16, 3, 32));
         let ghost = LayerId(42);
-        assert_eq!(net.connect(a, ghost), Err(NetworkError::UnknownLayer(ghost)));
+        assert_eq!(
+            net.connect(a, ghost),
+            Err(NetworkError::UnknownLayer(ghost))
+        );
     }
 
     #[test]

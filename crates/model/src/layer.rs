@@ -98,7 +98,8 @@ impl ConvParams {
 
     /// Number of weight parameters (no bias).
     pub fn weight_count(&self) -> u64 {
-        self.c_out as u64 * (self.c_in / self.groups.max(1)) as u64
+        self.c_out as u64
+            * (self.c_in / self.groups.max(1)) as u64
             * self.kernel as u64
             * self.kernel as u64
     }
@@ -311,7 +312,9 @@ impl Layer {
         match &self.kind {
             LayerKind::Conv(c) => c.input_shape(),
             LayerKind::Dense(d) => FeatureMap::new(d.in_features, 1, 1),
-            LayerKind::Pool(p) => FeatureMap::new(p.channels, p.h_out * p.stride, p.w_out * p.stride),
+            LayerKind::Pool(p) => {
+                FeatureMap::new(p.channels, p.h_out * p.stride, p.w_out * p.stride)
+            }
             LayerKind::BatchNorm(p)
             | LayerKind::Activation(p)
             | LayerKind::Add(p)
@@ -400,7 +403,10 @@ mod tests {
 
     #[test]
     fn layer_param_count_includes_bias() {
-        let l = Layer::new("conv1", LayerKind::Conv(ConvParams::new(64, 3, 112, 112, 7, 2)));
+        let l = Layer::new(
+            "conv1",
+            LayerKind::Conv(ConvParams::new(64, 3, 112, 112, 7, 2)),
+        );
         assert_eq!(l.param_count(), 64 * 3 * 49 + 64);
         let fc = Layer::new("fc", LayerKind::Dense(DenseParams::new(1000, 2048)));
         assert_eq!(fc.param_count(), 1000 * 2048 + 1000);

@@ -252,7 +252,11 @@ impl std::fmt::Display for LoopNest {
         write!(
             f,
             "[Cout={} Cin={} H={} W={} Kh={} Kw={}]",
-            self.bounds[0], self.bounds[1], self.bounds[2], self.bounds[3], self.bounds[4],
+            self.bounds[0],
+            self.bounds[1],
+            self.bounds[2],
+            self.bounds[3],
+            self.bounds[4],
             self.bounds[5]
         )
     }

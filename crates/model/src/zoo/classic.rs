@@ -33,7 +33,13 @@ fn max_pool(chain: &mut ChainBuilder, name: &str, channels: usize, h_out: usize,
 }
 
 /// Pushes a fully-connected layer followed by a ReLU (optional).
-fn dense(chain: &mut ChainBuilder, name: &str, out_features: usize, in_features: usize, relu: bool) {
+fn dense(
+    chain: &mut ChainBuilder,
+    name: &str,
+    out_features: usize,
+    in_features: usize,
+    relu: bool,
+) {
     chain.push(Layer::new(
         name,
         LayerKind::Dense(DenseParams::new(out_features, in_features)),
@@ -157,7 +163,10 @@ mod tests {
         assert_eq!(net.conv_layers().count(), 13);
         assert_eq!(net.compute_layers().count(), 16);
         // Feature-map resolution decreases while channel width increases.
-        let convs: Vec<ConvParams> = net.conv_layers().map(|(_, l)| l.as_conv().unwrap()).collect();
+        let convs: Vec<ConvParams> = net
+            .conv_layers()
+            .map(|(_, l)| l.as_conv().unwrap())
+            .collect();
         assert!(convs.first().unwrap().h_out > convs.last().unwrap().h_out);
         assert!(convs.first().unwrap().c_out < convs.last().unwrap().c_out);
     }

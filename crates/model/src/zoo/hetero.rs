@@ -116,10 +116,7 @@ fn concat_branches(
     let h = branches[0].1.height;
     let w = branches[0].1.width;
     let shape = FeatureMap::new(channels, h, w);
-    let concat = net.add_layer(Layer::new(
-        name,
-        LayerKind::Concat(NormActParams { shape }),
-    ));
+    let concat = net.add_layer(Layer::new(name, LayerKind::Concat(NormActParams { shape })));
     for (tail, _) in branches {
         net.connect(*tail, concat).expect("forward edge");
     }
@@ -146,7 +143,10 @@ fn classifier_head(net: &mut Network, tail: LayerId, shape: FeatureMap, classes:
         .expect("forward edge");
     net.push_after(
         pool,
-        Layer::new("fc", LayerKind::Dense(DenseParams::new(classes, shape.channels))),
+        Layer::new(
+            "fc",
+            LayerKind::Dense(DenseParams::new(classes, shape.channels)),
+        ),
     )
     .expect("forward edge");
 }
@@ -223,7 +223,14 @@ pub fn facebagnet_like() -> Network {
         &mut net,
         tail,
         "fuse_conv2",
-        ConvParams::new(1024, shape.channels, shape.height / 2, shape.width / 2, 3, 2),
+        ConvParams::new(
+            1024,
+            shape.channels,
+            shape.height / 2,
+            shape.width / 2,
+            3,
+            2,
+        ),
     );
     classifier_head(&mut net, tail, shape, 2);
     net
@@ -260,7 +267,10 @@ mod tests {
     #[test]
     fn branches_have_heterogeneous_shapes() {
         let net = casia_surf_like();
-        let convs: Vec<ConvParams> = net.conv_layers().map(|(_, l)| l.as_conv().unwrap()).collect();
+        let convs: Vec<ConvParams> = net
+            .conv_layers()
+            .map(|(_, l)| l.as_conv().unwrap())
+            .collect();
         let max_hw = convs.iter().map(|c| c.h_out).max().unwrap();
         let min_hw = convs.iter().map(|c| c.h_out).min().unwrap();
         assert!(max_hw >= 8 * min_hw, "resolution range {min_hw}..{max_hw}");

@@ -20,8 +20,8 @@ mod resnet;
 pub use classic::{alexnet, vgg16};
 pub use hetero::{casia_surf_like, facebagnet_like};
 pub use resnet::{
-    resnet101, resnet18, resnet34, resnet50, wide_resnet50_2, BasicBlockConfig,
-    BottleneckConfig, ResNetBuilder,
+    resnet101, resnet18, resnet34, resnet50, wide_resnet50_2, BasicBlockConfig, BottleneckConfig,
+    ResNetBuilder,
 };
 
 use crate::Network;

@@ -216,7 +216,14 @@ impl ResNetBuilder {
 
         self.conv_bn(
             &format!("{name}_conv1"),
-            ConvParams::new(mid_channels, in_shape.channels, in_shape.height, in_shape.width, 1, 1),
+            ConvParams::new(
+                mid_channels,
+                in_shape.channels,
+                in_shape.height,
+                in_shape.width,
+                1,
+                1,
+            ),
             true,
         );
         self.conv_bn(
@@ -445,7 +452,10 @@ mod tests {
     #[test]
     fn spatial_resolution_decreases_with_depth() {
         let net = resnet101(1000);
-        let convs: Vec<ConvParams> = net.conv_layers().map(|(_, l)| l.as_conv().unwrap()).collect();
+        let convs: Vec<ConvParams> = net
+            .conv_layers()
+            .map(|(_, l)| l.as_conv().unwrap())
+            .collect();
         assert_eq!(convs.first().unwrap().h_out, 112);
         assert_eq!(convs.last().unwrap().h_out, 7);
     }

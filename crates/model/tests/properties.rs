@@ -11,7 +11,13 @@ fn conv_strategy() -> impl Strategy<Value = ConvParams> {
         1usize..=2048,
         1usize..=256,
         1usize..=256,
-        prop_oneof![Just(1usize), Just(3usize), Just(5usize), Just(7usize), Just(11usize)],
+        prop_oneof![
+            Just(1usize),
+            Just(3usize),
+            Just(5usize),
+            Just(7usize),
+            Just(11usize)
+        ],
         1usize..=4,
     )
         .prop_map(|(c_out, c_in, h, w, k, s)| ConvParams::new(c_out, c_in, h, w, k, s))

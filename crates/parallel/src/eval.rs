@@ -24,7 +24,11 @@ impl<'a> EvalContext<'a> {
     /// # Panics
     ///
     /// Panics if `accset` is empty.
-    pub fn new(model: &'a dyn PerformanceModel, sim: &'a CommSim<'a>, accset: &'a [AccelId]) -> Self {
+    pub fn new(
+        model: &'a dyn PerformanceModel,
+        sim: &'a CommSim<'a>,
+        accset: &'a [AccelId],
+    ) -> Self {
         assert!(!accset.is_empty(), "accelerator set must not be empty");
         Self { model, sim, accset }
     }

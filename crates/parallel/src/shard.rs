@@ -44,7 +44,7 @@ pub fn balanced_factors(p: usize, k: usize) -> Vec<usize> {
                 d += 1;
             }
             let mut out = vec![p / small, small];
-            out.extend(std::iter::repeat(1).take(k - 2));
+            out.extend(std::iter::repeat_n(1, k - 2));
             out
         }
     }
@@ -144,12 +144,17 @@ impl ShardPlan {
 
         let input = conv.input_shape();
         let input_elems = input.elements();
-        let input_div = factor(Dim::Cin) * factor(Dim::H) * factor(Dim::W)
+        let input_div = factor(Dim::Cin)
+            * factor(Dim::H)
+            * factor(Dim::W)
             * ss_factor(&[Dim::Cin, Dim::H, Dim::W]);
         let input_shard_bytes = (input_elems / input_div.max(1)).max(1) * BYTES_PER_ELEMENT;
 
         let weight_elems = conv.weight_count();
-        let weight_div = factor(Dim::Cout) * factor(Dim::Cin) * factor(Dim::Kh) * factor(Dim::Kw)
+        let weight_div = factor(Dim::Cout)
+            * factor(Dim::Cin)
+            * factor(Dim::Kh)
+            * factor(Dim::Kw)
             * ss_factor(&[Dim::Cout, Dim::Kh, Dim::Kw]);
         let weight_shard_bytes = (weight_elems / weight_div.max(1)).max(1) * BYTES_PER_ELEMENT;
 

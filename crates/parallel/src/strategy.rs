@@ -19,7 +19,10 @@ impl std::fmt::Display for StrategyError {
                 write!(f, "shared dimension {d} also appears in the exclusive set")
             }
             StrategyError::TooManyExclusiveDims(n) => {
-                write!(f, "strategy has {n} exclusive dimensions, at most {MAX_ES_DIMS} allowed")
+                write!(
+                    f,
+                    "strategy has {n} exclusive dimensions, at most {MAX_ES_DIMS} allowed"
+                )
             }
         }
     }

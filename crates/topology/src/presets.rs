@@ -94,10 +94,14 @@ pub fn chiplet_mesh(rows: usize, cols: usize, bw: Gbps, host_bw: Gbps, dram: u64
             let id = AccelId(r * cols + c);
             b = b.set_group(id, r).expect("member exists");
             if c + 1 < cols {
-                b = b.link(id, AccelId(r * cols + c + 1), bw).expect("valid link");
+                b = b
+                    .link(id, AccelId(r * cols + c + 1), bw)
+                    .expect("valid link");
             }
             if r + 1 < rows {
-                b = b.link(id, AccelId((r + 1) * cols + c), bw).expect("valid link");
+                b = b
+                    .link(id, AccelId((r + 1) * cols + c), bw)
+                    .expect("valid link");
             }
         }
     }

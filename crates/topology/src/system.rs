@@ -141,7 +141,9 @@ impl Topology {
 
     /// All accelerators with the given group label, in id order.
     pub fn group_members(&self, group: usize) -> Vec<AccelId> {
-        self.accelerators().filter(|a| self.group(*a) == group).collect()
+        self.accelerators()
+            .filter(|a| self.group(*a) == group)
+            .collect()
     }
 
     /// The set of distinct group labels, in ascending order.
@@ -208,7 +210,10 @@ impl Topology {
     /// a replicated allocation must satisfy).  Returns `u64::MAX` for an empty
     /// set.
     pub fn min_dram_within(&self, set: &[AccelId]) -> u64 {
-        set.iter().map(|a| self.dram_bytes(*a)).min().unwrap_or(u64::MAX)
+        set.iter()
+            .map(|a| self.dram_bytes(*a))
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// The minimum host bandwidth over a set of accelerators.

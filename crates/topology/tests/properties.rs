@@ -43,7 +43,7 @@ proptest! {
         // surviving graph after host-only edges are removed).
         for g in topo.groups() {
             let members = topo.group_members(g);
-            prop_assert!(candidates.iter().any(|c| *c == members));
+            prop_assert!(candidates.contains(&members));
         }
     }
 

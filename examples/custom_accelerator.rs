@@ -28,7 +28,10 @@ fn main() {
     // Profile the catalogue on the workload: which design is best per layer?
     let net = mars::model::zoo::resnet18(1000);
     let profile = ProfileTable::build(&net, &catalog);
-    println!("normalised design scores: {:?}", profile.normalized_scores());
+    println!(
+        "normalised design scores: {:?}",
+        profile.normalized_scores()
+    );
 
     // Search.
     let baseline = mars::core::baseline::computation_prioritized(&net, &topo, &catalog);

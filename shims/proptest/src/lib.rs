@@ -1,0 +1,412 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! the subset of the proptest API the MARS property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, implemented
+//!   for numeric ranges, tuples and [`Just`](strategy::Just);
+//! * [`collection::vec`], [`option::of`], [`array::uniform6`] and the
+//!   [`prop_oneof!`] union combinator;
+//! * the [`proptest!`] macro with optional `#![proptest_config(..)]`, plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from the real crate, by design: cases are generated from a
+//! fixed deterministic seed (no persisted failure files), and failing cases
+//! are **not shrunk** — the panic message reports the case index so a failure
+//! is still reproducible by rerunning the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange, SampleStandard};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The random source handed to strategies; a deterministic [`StdRng`].
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real proptest there is no shrinking: a strategy only knows
+    /// how to produce a value from the runner's RNG.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`, like proptest's `prop_map`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies; the expansion of
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Uniform numeric range strategy backing the `lo..hi` / `lo..=hi` impls.
+    #[derive(Debug, Clone)]
+    pub struct Uniform<R, T> {
+        range: R,
+        _marker: PhantomData<T>,
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    // Keep `Uniform` exercised even though the range impls cover all current
+    // call sites; external code may name it.
+    impl<T> Uniform<Range<T>, T>
+    where
+        Range<T>: SampleRange<T> + Clone,
+        T: SampleStandard,
+    {
+        /// Wraps a half-open range.
+        pub fn from_range(range: Range<T>) -> Self {
+            Uniform {
+                range,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Strategy for Uniform<Range<T>, T>
+    where
+        Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.range.clone())
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn from
+    /// a half-open range, mirroring `proptest::collection::vec`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `len` (half-open).
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option`.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `None` half the time and `Some(inner)` otherwise.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Mirrors `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod array {
+    //! Strategies for fixed-size arrays.
+
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy for `[T; 6]` from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray6<S> {
+        elem: S,
+    }
+
+    /// Mirrors `proptest::array::uniform6`.
+    pub fn uniform6<S: Strategy>(elem: S) -> UniformArray6<S> {
+        UniformArray6 { elem }
+    }
+
+    impl<S: Strategy> Strategy for UniformArray6<S> {
+        type Value = [S::Value; 6];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.elem.generate(rng))
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-loop configuration and runner used by [`proptest!`](crate::proptest).
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a property: currently only the number of cases.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases — smaller than the real crate's 256, keeping `cargo test`
+        /// fast; individual properties override it via `with_cases`.
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Runs `body` for every case with a deterministic per-property RNG.
+    ///
+    /// `name` salts the seed so different properties see different streams;
+    /// the case index is reported on panic for reproducibility.
+    pub fn run_cases(config: &ProptestConfig, name: &str, mut body: impl FnMut(&mut TestRng)) {
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        let mut rng = TestRng::seed_from_u64(seed);
+        for case in 0..config.cases {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+            if let Err(payload) = result {
+                eprintln!(
+                    "proptest shim: property '{name}' failed at case {case}/{}",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = <$crate::test_runner::ProptestConfig as ::core::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run_cases(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+/// Uniformly picks one of the listed strategies each case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($s) as _),+])
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_compose(
+            a in 1usize..=8,
+            (x, y) in (0.0f64..1.0, 0u8..4),
+        ) {
+            prop_assert!((1..=8).contains(&a));
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn collections_options_and_oneof(
+            v in crate::collection::vec(0usize..10, 1..5),
+            o in crate::option::of(0usize..3),
+            k in prop_oneof![Just(1usize), Just(3usize)],
+            arr in crate::array::uniform6(1usize..=4),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            if let Some(i) = o { prop_assert!(i < 3); }
+            prop_assert!(k == 1usize || k == 3usize);
+            prop_assert!(arr.iter().all(|&e| (1..=4).contains(&e)));
+        }
+
+        #[test]
+        fn prop_map_applies(
+            doubled in (1usize..=10).prop_map(|n| n * 2),
+        ) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!((2..=20).contains(&doubled));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline API-surface stand-in for the `serde` crate.
+//!
+//! The MARS workspace annotates its IR types with
+//! `#[derive(Serialize, Deserialize)]` so that mappings and reports can be
+//! exported once a real serialisation backend is available, but the build
+//! environment cannot reach crates.io.  This shim provides the two marker
+//! traits and re-exports the no-op derives from the sibling `serde_derive`
+//! shim, so the annotations compile without pulling in the real crate.
+//!
+//! The shim is intentionally *not* functional: calling code must not rely on
+//! actual serialisation until the workspace dependency is switched to the
+//! real `serde`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The no-op derive emits no impl; the trait exists so `T: Serialize` bounds
+/// written against the real crate still name-resolve.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, and nothing in the MARS
+//! workspace serialises data yet — the `#[derive(Serialize, Deserialize)]`
+//! annotations on the IR types only reserve the capability.  These derives
+//! therefore expand to nothing.  Swap the `serde` entry in the workspace
+//! `Cargo.toml` for the real crate once a registry is reachable; no source
+//! change is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts the input, emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts the input, emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,7 +41,10 @@ fn every_layer_is_assigned_and_strategies_are_valid() {
         assert!(a.design.0 < catalog.len());
     }
     for (idx, strategy) in &result.mapping.strategies {
-        assert!(net.layers()[*idx].is_compute(), "strategy on non-compute layer");
+        assert!(
+            net.layers()[*idx].is_compute(),
+            "strategy on non-compute layer"
+        );
         if let Some(d) = strategy.ss() {
             assert!(!strategy.es().contains(d));
         }
@@ -76,7 +79,10 @@ fn faster_interconnect_never_hurts_the_same_mapping() {
     // sharding on every compute layer.
     let mut strategies = BTreeMap::new();
     for (id, _) in net.compute_layers() {
-        strategies.insert(id.0, Strategy::exclusive(DimSet::from_dims([Dim::H, Dim::W])));
+        strategies.insert(
+            id.0,
+            Strategy::exclusive(DimSet::from_dims([Dim::H, Dim::W])),
+        );
     }
     let make = |topo: &Topology| {
         vec![Assignment::new(
@@ -86,11 +92,12 @@ fn faster_interconnect_never_hurts_the_same_mapping() {
         )]
     };
 
-    let slow = Evaluator::new(&net, &slow_topo, &catalog)
-        .evaluate(&make(&slow_topo), &strategies);
-    let fast = Evaluator::new(&net, &fast_topo, &catalog)
-        .evaluate(&make(&fast_topo), &strategies);
-    assert!(fast <= slow, "10 Gbps ({fast}) must not be slower than 1 Gbps ({slow})");
+    let slow = Evaluator::new(&net, &slow_topo, &catalog).evaluate(&make(&slow_topo), &strategies);
+    let fast = Evaluator::new(&net, &fast_topo, &catalog).evaluate(&make(&fast_topo), &strategies);
+    assert!(
+        fast <= slow,
+        "10 Gbps ({fast}) must not be slower than 1 Gbps ({slow})"
+    );
 }
 
 #[test]

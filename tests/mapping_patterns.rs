@@ -10,7 +10,10 @@ use mars::prelude::*;
 #[test]
 fn early_layers_prefer_superlip_late_layers_do_not() {
     let catalog = Catalog::standard_three();
-    for net in [mars::model::zoo::resnet34(1000), mars::model::zoo::vgg16(1000)] {
+    for net in [
+        mars::model::zoo::resnet34(1000),
+        mars::model::zoo::vgg16(1000),
+    ] {
         let profile = ProfileTable::build(&net, &catalog);
         let convs: Vec<LayerId> = net.conv_layers().map(|(id, _)| id).collect();
         // The stem / first convolution prefers Design 1.
@@ -141,7 +144,10 @@ fn memory_validity_gates_strategies() {
     let fc6 = ConvParams::new(4096, 25088, 1, 1, 1, 1);
 
     let replicated = evaluate_layer(&fc6, &Strategy::none(), &ctx);
-    assert!(!replicated.memory_ok, "200 MB of weights cannot fit 32 MiB DRAM");
+    assert!(
+        !replicated.memory_ok,
+        "200 MB of weights cannot fit 32 MiB DRAM"
+    );
 
     let sharded = evaluate_layer(
         &fc6,
