@@ -11,9 +11,9 @@
 //!
 //! | # | Design | Freq | #PEs | Parameters |
 //! |---|--------|------|------|------------|
-//! | 1 | SuperLIP [14]          | 200 MHz | 438 | `Tm, Tn, Tr, Tc = 64, 7, 7, 14` |
-//! | 2 | Systolic array [15]    | 200 MHz | 572 | `row, col, vec = 11, 13, 8` |
-//! | 3 | Winograd (fast) [16]   | 200 MHz | 576 | `n, Pn, Pm = 6, 2, 8` |
+//! | 1 | SuperLIP \[14\]          | 200 MHz | 438 | `Tm, Tn, Tr, Tc = 64, 7, 7, 14` |
+//! | 2 | Systolic array \[15\]    | 200 MHz | 572 | `row, col, vec = 11, 13, 8` |
+//! | 3 | Winograd (fast) \[16\]   | 200 MHz | 576 | `n, Pn, Pm = 6, 2, 8` |
 //!
 //! The models are deliberately simple (tile-quantised roofline-style cycle
 //! counts) but reproduce the qualitative behaviour the paper's analysis relies

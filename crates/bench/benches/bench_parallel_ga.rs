@@ -1,0 +1,64 @@
+//! Criterion bench for the parallel search engine: the same MARS search at
+//! 1 worker thread vs N worker threads, on the ResNet-34 zoo model and a
+//! heterogeneous zoo model.
+//!
+//! The searched mapping is bit-identical at every thread count (asserted by
+//! `tests/parallel_determinism.rs` and the mapper unit tests), so the only
+//! thing this bench measures is wall-clock speedup.  On a multi-core machine
+//! expect the 4-thread search to be well under the 1-thread time; on a
+//! single-core container the two land within noise of each other.
+//!
+//! ```sh
+//! cargo bench -p mars-bench --bench bench_parallel_ga
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_accel::Catalog;
+use mars_bench::{run_mars, Budget};
+use mars_core::Mars;
+use mars_model::zoo;
+use mars_topology::presets;
+
+/// Thread counts compared by every group: serial, the paper-style 4-way
+/// fan-out, and whatever the host offers (`0` = auto).
+const THREADS: [usize; 3] = [1, 4, 0];
+
+fn bench_resnet_search(c: &mut Criterion) {
+    let net = zoo::resnet34(1000);
+    let topo = presets::f1_16xlarge();
+    let mut group = c.benchmark_group("parallel-ga/resnet34");
+    group.sample_size(5);
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_mars(&net, &topo, Budget::Fast, 3, threads)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hetero_search(c: &mut Criterion) {
+    let net = zoo::casia_surf_like();
+    let topo = presets::h2h_cloud(4.0);
+    let catalog = Catalog::h2h_heterogeneous();
+    let mut group = c.benchmark_group("parallel-ga/casia-surf");
+    group.sample_size(5);
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    Mars::new(&net, &topo, &catalog)
+                        .with_config(Budget::Fast.search_config(3).with_threads(threads))
+                        .search()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resnet_search, bench_hetero_search);
+criterion_main!(benches);

@@ -18,7 +18,11 @@ fn main() {
     let catalog = Catalog::standard_three();
     let seed = 17;
 
-    println!("Ablation on {} ({budget:?} budget)", net.summary());
+    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
+    println!(
+        "Ablation on {} ({budget:?} budget, {threads} search threads)",
+        net.summary()
+    );
 
     let baseline_mapping = baseline::computation_prioritized(&net, &topo, &catalog);
     println!("{:<34} {:>12}", "mapper", "latency/ms");
@@ -33,13 +37,17 @@ fn main() {
         .with_config(budget.search_config(seed))
         .search();
     println!(
-        "{:<34} {:>12.3}   ({} first-level evaluations)",
+        "{:<34} {:>12.3}   ({} first-level evaluations in {:.2} s, {:.1} evals/s)",
         "MARS two-level GA",
         two_level.latency_ms(),
-        two_level.evaluations
+        two_level.evaluations,
+        two_level.elapsed.as_secs_f64(),
+        two_level.evals_per_second()
     );
 
-    // Flat single-level GA with a comparable evaluation budget.
+    // Flat single-level GA with a comparable evaluation budget, on the same
+    // worker pool as the two-level search.  (Random search below stays
+    // serial: it is a sequential best-so-far sampling loop by construction.)
     let flat_cfg = match budget {
         Budget::Fast => GaConfig {
             population: 12,
@@ -51,7 +59,8 @@ fn main() {
             generations: 20,
             ..GaConfig::first_level(seed)
         },
-    };
+    }
+    .with_threads(mars_bench::threads_from_env());
     let single = ablation::single_level_search(&net, &topo, &catalog, flat_cfg);
     println!(
         "{:<34} {:>12.3}   ({} evaluations)",

@@ -13,10 +13,13 @@ use mars_model::zoo::Benchmark;
 
 fn main() {
     let budget = Budget::from_env();
-    println!("TABLE III: LATENCY COMPARISON BETWEEN BASELINE AND MARS ({budget:?} budget)");
+    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
     println!(
-        "{:<12} {:>7} {:>9} {:>8} {:>13} {:>18}",
-        "Model", "#Convs", "#Params", "FLOPs", "Baseline/ms", "MARS/ms"
+        "TABLE III: LATENCY COMPARISON BETWEEN BASELINE AND MARS ({budget:?} budget, {threads} search threads)"
+    );
+    println!(
+        "{:<12} {:>7} {:>9} {:>8} {:>13} {:>18} {:>10} {:>9}",
+        "Model", "#Convs", "#Params", "FLOPs", "Baseline/ms", "MARS/ms", "Search/s", "Evals/s"
     );
 
     let mut reductions = Vec::new();
@@ -24,14 +27,16 @@ fn main() {
         let row = table3_row(benchmark, budget, 40 + i as u64);
         reductions.push(row.reduction_percent());
         println!(
-            "{:<12} {:>7} {:>8.1}M {:>7.2}G {:>13.3} {:>11.3}({:+.1}%)",
+            "{:<12} {:>7} {:>8.1}M {:>7.2}G {:>13.3} {:>11.3}({:+.1}%) {:>10.2} {:>9.1}",
             row.benchmark.name(),
             row.convs,
             row.params_m,
             row.flops_g,
             row.baseline_ms,
             row.mars_ms,
-            -row.reduction_percent()
+            -row.reduction_percent(),
+            row.search_s,
+            row.evals_per_s
         );
         let net = benchmark.build();
         for line in report::describe_mapping(&net, &row.mapping) {

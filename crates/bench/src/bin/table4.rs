@@ -11,7 +11,10 @@ use mars_model::zoo;
 
 fn main() {
     let budget = Budget::from_env();
-    println!("TABLE IV: COMPARISON OF LATENCY (ms) WITH THE H2H-LIKE MAPPER ({budget:?} budget)");
+    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
+    println!(
+        "TABLE IV: COMPARISON OF LATENCY (ms) WITH THE H2H-LIKE MAPPER ({budget:?} budget, {threads} search threads)"
+    );
 
     let models = [zoo::casia_surf_like(), zoo::facebagnet_like()];
     let mut all_reductions = Vec::new();

@@ -5,6 +5,11 @@
 //! Criterion benches in `benches/` time the same workloads.  Everything they
 //! share — row structures, search-budget selection, formatting — lives here so
 //! the printed tables and the timed code paths are identical.
+//!
+//! Two environment variables tune every binary: `MARS_BUDGET` (`full` for the
+//! paper-scale GA budgets, anything else for the fast CI budgets) and
+//! `MARS_THREADS` (fitness-evaluation worker threads; `0`/unset = all cores,
+//! `1` = serial — the mapping found is identical either way).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,14 +39,22 @@ impl Budget {
         }
     }
 
-    /// The search configuration for this budget.
+    /// The search configuration for this budget, with the worker-thread knob
+    /// taken from [`threads_from_env`].
     pub fn search_config(self, seed: u64) -> SearchConfig {
-        match self {
+        let config = match self {
             Budget::Fast => SearchConfig::fast(seed),
             Budget::Full => SearchConfig::standard(seed),
-        }
+        };
+        config.with_threads(threads_from_env())
     }
 }
+
+/// Re-export of [`mars_parallel::threads_from_env`]: the `MARS_THREADS`
+/// worker-thread knob (`0` or unset/unparsable = all available cores,
+/// `1` = serial).  The searched mapping is bit-identical for every value;
+/// only the search time changes.
+pub use mars_parallel::threads_from_env;
 
 /// One row of the Table III reproduction.
 #[derive(Debug, Clone)]
@@ -58,6 +71,10 @@ pub struct Table3Row {
     pub baseline_ms: f64,
     /// MARS latency in milliseconds.
     pub mars_ms: f64,
+    /// Wall-clock time of the MARS search in seconds.
+    pub search_s: f64,
+    /// First-level fitness evaluations per second of search time.
+    pub evals_per_s: f64,
     /// The MARS mapping (for the report column).
     pub mapping: Mapping,
 }
@@ -85,6 +102,8 @@ pub fn table3_row(benchmark: Benchmark, budget: Budget, seed: u64) -> Table3Row 
         flops_g: net.total_macs() as f64 / 1e9,
         baseline_ms: baseline.latency_ms(),
         mars_ms: result.latency_ms(),
+        search_s: result.elapsed.as_secs_f64(),
+        evals_per_s: result.evals_per_second(),
         mapping: result.mapping,
     }
 }
@@ -133,12 +152,19 @@ pub fn table4_rows(net: &Network, budget: Budget, seed: u64) -> Vec<Table4Row> {
         .collect()
 }
 
-/// Runs a single MARS search on the F1 platform (used by the GA benches and
-/// the ablation harness).
-pub fn run_mars(net: &Network, topo: &Topology, budget: Budget, seed: u64) -> SearchResult {
+/// Runs a single MARS search on the F1 platform with an explicit worker
+/// count (used by the GA benches, the parallel-speedup bench and the
+/// ablation harness).
+pub fn run_mars(
+    net: &Network,
+    topo: &Topology,
+    budget: Budget,
+    seed: u64,
+    threads: usize,
+) -> SearchResult {
     let catalog = Catalog::standard_three();
     Mars::new(net, topo, &catalog)
-        .with_config(budget.search_config(seed))
+        .with_config(budget.search_config(seed).with_threads(threads))
         .search()
 }
 
@@ -155,6 +181,16 @@ mod tests {
     #[test]
     fn budget_from_env_defaults_to_fast() {
         assert_eq!(Budget::from_env(), Budget::Fast);
+    }
+
+    #[test]
+    fn threads_from_env_resolves_to_a_usable_worker_count() {
+        // The suite must stay green whether or not the ambient environment
+        // sets `MARS_THREADS`, so only pin the value when it is unset.
+        if std::env::var("MARS_THREADS").is_err() {
+            assert_eq!(threads_from_env(), 0);
+        }
+        assert!(mars_parallel::resolve_threads(threads_from_env()) >= 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each collective is provided in two forms:
 //!
 //! * a **transfer-DAG builder** executed on the discrete-event
-//!   [`Engine`](crate::event::Engine), which captures link contention and host
+//!   [`Engine`], which captures link contention and host
 //!   staging; and
 //! * a **closed-form alpha–beta estimate** (`estimate_*`), the textbook cost
 //!   model used by ASTRA-Sim's analytical backend.  Tests cross-check the two

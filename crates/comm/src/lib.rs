@@ -1,7 +1,7 @@
 //! # mars-comm
 //!
 //! Collective-communication latency simulator for multi-accelerator systems —
-//! the reproduction's substitute for ASTRA-Sim [9], which the paper uses "to
+//! the reproduction's substitute for ASTRA-Sim \[9\], which the paper uses "to
 //! simulate communication latency in the system".
 //!
 //! The simulator has two layers:

@@ -25,8 +25,8 @@ use mars_parallel::Strategy;
 use mars_topology::{partition, AccelId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 struct FlatProblem<'a> {
     layout1: FirstLevelGenome,
@@ -107,6 +107,7 @@ fn result_from(
     genes: &[f64],
     history: Vec<f64>,
     evals: usize,
+    elapsed: Duration,
 ) -> SearchResult {
     let (assignments, strategies) = problem.decode(genes);
     let latency = problem.evaluator.evaluate(&assignments, &strategies);
@@ -114,19 +115,21 @@ fn result_from(
         mapping: Mapping::new(assignments, strategies, latency),
         history,
         evaluations: evals,
+        elapsed,
     }
 }
 
 /// A flat, single-level GA over the joint genome (the ablation of the paper's
-/// two-level decomposition).
+/// two-level decomposition).  The GA engine tracks the best-ever genome
+/// itself, so the flat fitness function stays pure and parallelisable.
 pub fn single_level_search(
     net: &Network,
     topo: &Topology,
     catalog: &Catalog,
     ga: GaConfig,
 ) -> SearchResult {
+    let start = Instant::now();
     let problem = FlatProblem::new(net, topo, catalog);
-    let best: RefCell<Option<(f64, Vec<f64>)>> = RefCell::new(None);
     let engine = GeneticAlgorithm::new(ga);
     let outcome = engine.run(
         problem.genome_len(),
@@ -137,20 +140,15 @@ pub fn single_level_search(
                 problem.random_genes(rng)
             }
         },
-        |genes| {
-            let f = problem.fitness(genes);
-            let mut best = best.borrow_mut();
-            if best.as_ref().is_none_or(|(b, _)| f < *b) {
-                *best = Some((f, genes.to_vec()));
-            }
-            f
-        },
+        |genes| problem.fitness(genes),
     );
-    let genes = best
-        .into_inner()
-        .map(|(_, g)| g)
-        .unwrap_or(outcome.best_genes);
-    result_from(&problem, &genes, outcome.history, outcome.evaluations)
+    result_from(
+        &problem,
+        &outcome.best_genes,
+        outcome.history,
+        outcome.evaluations,
+        start.elapsed(),
+    )
 }
 
 /// Uniform random sampling of the flat genome (the sanity floor).
@@ -161,6 +159,7 @@ pub fn random_search(
     samples: usize,
     seed: u64,
 ) -> SearchResult {
+    let start = Instant::now();
     let problem = FlatProblem::new(net, topo, catalog);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best_genes = problem.seed_genes();
@@ -179,7 +178,7 @@ pub fn random_search(
         }
         history.push(best);
     }
-    result_from(&problem, &best_genes, history, samples)
+    result_from(&problem, &best_genes, history, samples, start.elapsed())
 }
 
 #[cfg(test)]

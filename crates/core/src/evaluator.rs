@@ -12,13 +12,12 @@ use crate::mapping::Assignment;
 use mars_accel::{AccelDesign, Catalog, DesignId, PerformanceModel};
 use mars_comm::CommSim;
 use mars_model::{DimSet, Network};
-use mars_parallel::{evaluate_layer, evaluate_non_conv, EvalContext, Strategy};
+use mars_parallel::{evaluate_layer, evaluate_non_conv, EvalContext, ShardedCache, Strategy};
 use mars_topology::{AccelId, Topology};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
-use std::sync::Mutex;
 
 /// How accelerator designs are decided.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,13 +121,37 @@ type LayerCacheValue = (f64, u64, bool);
 
 /// Evaluates mappings of one network onto one topology with one design
 /// catalogue.
+///
+/// The evaluator is `Sync` and designed to be shared by reference across the
+/// genetic search's worker threads: per-layer results are memoised in an
+/// N-way [`ShardedCache`] (keys hash to independent locks), so concurrent
+/// genome evaluations don't serialise on a single global mutex.
+///
+/// ```
+/// use mars_accel::Catalog;
+/// use mars_core::{Assignment, Evaluator};
+/// use mars_model::zoo;
+/// use mars_topology::presets;
+/// use std::collections::BTreeMap;
+///
+/// let net = zoo::alexnet(1000);
+/// let topo = presets::f1_16xlarge();
+/// let catalog = Catalog::standard_three();
+/// let eval = Evaluator::new(&net, &topo, &catalog);
+///
+/// // Map the whole network onto the first group with design 0.
+/// let all = Assignment::new(topo.group_members(0), mars_accel::DesignId(0), 0..net.len());
+/// let latency = eval.evaluate(&[all], &BTreeMap::new());
+/// assert!(latency.is_finite() && latency > 0.0);
+/// assert!(eval.cache_entries() > 0); // per-layer results were memoised
+/// ```
 pub struct Evaluator<'a> {
     net: &'a Network,
     topo: &'a Topology,
     catalog: &'a Catalog,
     sim: CommSim<'a>,
     policy: DesignPolicy,
-    cache: Mutex<HashMap<LayerCacheKey, LayerCacheValue>>,
+    cache: ShardedCache<LayerCacheKey, LayerCacheValue>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -150,7 +173,7 @@ impl<'a> Evaluator<'a> {
             catalog,
             sim: CommSim::new(topo),
             policy,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
         }
     }
 
@@ -176,7 +199,7 @@ impl<'a> Evaluator<'a> {
 
     /// Number of memoised per-layer evaluations.
     pub fn cache_entries(&self) -> usize {
-        self.cache.lock().expect("layer cache poisoned").len()
+        self.cache.len()
     }
 
     fn model_for(&self, assignment: &Assignment) -> ModelHandle {
@@ -233,23 +256,17 @@ impl<'a> Evaluator<'a> {
         ctx: &EvalContext<'_>,
     ) -> LayerCacheValue {
         let key = (layer_index, signature, strategy);
-        if let Some(v) = self.cache.lock().expect("layer cache poisoned").get(&key) {
-            return *v;
-        }
-        let conv = self.net.layers()[layer_index]
-            .as_conv()
-            .expect("compute layer");
-        let eval = evaluate_layer(&conv, &strategy, ctx);
-        let value = (
-            eval.total_seconds(),
-            eval.plan.weight_shard_bytes,
-            eval.memory_ok,
-        );
-        self.cache
-            .lock()
-            .expect("layer cache poisoned")
-            .insert(key, value);
-        value
+        self.cache.get_or_insert_with(key, || {
+            let conv = self.net.layers()[layer_index]
+                .as_conv()
+                .expect("compute layer");
+            let eval = evaluate_layer(&conv, &strategy, ctx);
+            (
+                eval.total_seconds(),
+                eval.plan.weight_shard_bytes,
+                eval.memory_ok,
+            )
+        })
     }
 
     /// Latency of one compute layer of `assignment` under `strategy`
@@ -400,7 +417,7 @@ impl<'a> Evaluator<'a> {
         total
     }
 
-    /// Convenience: evaluates and wraps the result into a [`Mapping`].
+    /// Convenience: evaluates and wraps the result into a [`Mapping`](crate::Mapping).
     pub fn into_mapping(
         &self,
         assignments: Vec<Assignment>,
@@ -514,6 +531,29 @@ mod tests {
         let second = eval.evaluate(&assignments, &BTreeMap::new());
         assert_eq!(eval.cache_entries(), populated);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn concurrent_evaluations_share_the_cache_and_agree_with_serial() {
+        let (net, topo, catalog) = fixture();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let assignments = two_group_assignments(&net, &topo);
+        let serial = eval.evaluate(&assignments, &BTreeMap::new());
+        // Hammer the shared evaluator from several threads at once; every
+        // evaluation must see the same memoised per-layer results.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let eval = &eval;
+                let assignments = &assignments;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let latency = eval.evaluate(assignments, &BTreeMap::new());
+                        assert_eq!(latency.to_bits(), serial.to_bits());
+                    }
+                });
+            }
+        });
+        assert!(eval.cache_entries() > 0);
     }
 
     #[test]

@@ -1,14 +1,28 @@
-//! A small real-valued genetic-algorithm engine.
+//! A small real-valued genetic-algorithm engine with parallel evaluation.
 //!
 //! Both levels of the MARS search optimise fixed-length vectors of gene values
 //! in `[0, 1]` that are *decoded* into discrete decisions (accelerator-set
 //! choices, designs, layer cuts, ES/SS dimensions).  The engine below is the
 //! shared machinery: tournament selection, uniform crossover, Gaussian
 //! mutation, elitism, and deterministic seeding.
+//!
+//! ## Parallelism and determinism
+//!
+//! Fitness evaluation dominates search time, and every genome of a generation
+//! is evaluated independently, so [`GeneticAlgorithm::run`] fans the
+//! population out over a scoped-thread worker pool
+//! ([`mars_parallel::scoped_map`]) sized by [`GaConfig::threads`].  Runs are
+//! **bit-identical for every thread count**: every stochastic step draws from
+//! a private RNG stream whose seed is derived from
+//! `(master seed, generation, genome index)` via [`genome_stream_seed`], so no
+//! random stream ever depends on the order in which workers finish, and the
+//! fitness function is required to be a pure `Fn` (same genes → same score).
 
+use mars_parallel::scoped_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Genetic-algorithm hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,8 +42,13 @@ pub struct GaConfig {
     pub tournament: usize,
     /// Number of best individuals copied unchanged into the next generation.
     pub elitism: usize,
-    /// PRNG seed; searches with the same seed and inputs are reproducible.
+    /// PRNG seed; searches with the same seed and inputs are reproducible,
+    /// bit-identically, for **any** value of [`threads`](Self::threads).
     pub seed: u64,
+    /// Worker threads for fitness evaluation: `1` evaluates serially on the
+    /// calling thread, `0` asks the OS for the available parallelism, any
+    /// other value is used as given.
+    pub threads: usize,
 }
 
 impl GaConfig {
@@ -44,6 +63,7 @@ impl GaConfig {
             tournament: 3,
             elitism: 2,
             seed,
+            threads: 1,
         }
     }
 
@@ -59,6 +79,7 @@ impl GaConfig {
             tournament: 3,
             elitism: 2,
             seed,
+            threads: 1,
         }
     }
 
@@ -73,7 +94,15 @@ impl GaConfig {
             tournament: 2,
             elitism: 1,
             seed,
+            threads: 1,
         }
+    }
+
+    /// Returns the configuration with the thread knob set (`0` = auto,
+    /// `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -83,10 +112,29 @@ impl Default for GaConfig {
     }
 }
 
+/// Derives the seed of the private RNG stream used for one genome.
+///
+/// Initialisation of individual `i` uses `(master_seed, 0, i)`; breeding of
+/// the offspring in population slot `i` of generation `g >= 1` uses
+/// `(master_seed, g, i)`.  Because each stream is a pure function of these
+/// coordinates, the random numbers a genome sees never depend on how work was
+/// interleaved across worker threads — the property behind the engine's
+/// thread-count-independent determinism.
+pub fn genome_stream_seed(master_seed: u64, generation: u64, genome_index: u64) -> u64 {
+    // SplitMix64 finaliser over a mix of the three coordinates; the odd
+    // multiplicative constants keep (gen, idx) and (idx, gen) distinct.
+    let mut z = master_seed
+        ^ generation.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ genome_index.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Outcome of one GA run.
 #[derive(Debug, Clone)]
 pub struct GaOutcome {
-    /// The best genome found.
+    /// The best genome found across all generations.
     pub best_genes: Vec<f64>,
     /// Fitness (lower is better) of the best genome.
     pub best_fitness: f64,
@@ -95,6 +143,27 @@ pub struct GaOutcome {
     pub history: Vec<f64>,
     /// Number of fitness evaluations performed.
     pub evaluations: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+/// Evaluations per second of wall-clock time ([`f64::INFINITY`] when no time
+/// elapsed); shared by [`GaOutcome`] and the mapper's `SearchResult` so the
+/// two throughput figures can never diverge.
+pub(crate) fn throughput(evaluations: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        evaluations as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+impl GaOutcome {
+    /// Fitness evaluations per second of wall-clock search time.
+    pub fn evals_per_second(&self) -> f64 {
+        throughput(self.evaluations, self.elapsed)
+    }
 }
 
 /// The genetic-algorithm engine (fitness is minimised).
@@ -121,40 +190,75 @@ impl GeneticAlgorithm {
     ///   heuristic seeding happens: individual 0 is conventionally the
     ///   heuristic seed, the rest random);
     /// * `fitness` — evaluates a genome (lower is better; `INFINITY` marks an
-    ///   invalid individual).
-    pub fn run<I, F>(&self, genome_len: usize, mut init: I, mut fitness: F) -> GaOutcome
+    ///   invalid individual).  It must be a *pure* function of the genes: the
+    ///   engine may evaluate a generation's genomes concurrently on
+    ///   [`GaConfig::threads`] worker threads and in any order.
+    ///
+    /// The outcome is bit-identical for every thread count (see the module
+    /// docs on determinism).
+    ///
+    /// ```
+    /// use mars_core::{GaConfig, GeneticAlgorithm};
+    ///
+    /// // Minimise the sphere function centred at 0.7 per gene.
+    /// let sphere = |genes: &[f64]| genes.iter().map(|g| (g - 0.7).powi(2)).sum();
+    /// let ga = GeneticAlgorithm::new(GaConfig::tiny(42).with_threads(2));
+    /// let out = ga.run(4, |rng, _| (0..4).map(|_| rand::Rng::gen(rng)).collect(), sphere);
+    /// assert!(out.best_fitness < 0.7);
+    /// assert_eq!(out.history.len(), ga.config().generations + 1);
+    /// assert!(out.evals_per_second() > 0.0);
+    /// ```
+    pub fn run<I, F>(&self, genome_len: usize, mut init: I, fitness: F) -> GaOutcome
     where
         I: FnMut(&mut StdRng, usize) -> Vec<f64>,
-        F: FnMut(&[f64]) -> f64,
+        F: Fn(&[f64]) -> f64 + Sync,
     {
+        let start = Instant::now();
         let cfg = self.cfg;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
         let pop_size = cfg.population.max(2);
 
         let mut population: Vec<Vec<f64>> = (0..pop_size)
             .map(|i| {
+                let mut rng = StdRng::seed_from_u64(genome_stream_seed(cfg.seed, 0, i as u64));
                 let mut g = init(&mut rng, i);
                 g.resize(genome_len, 0.5);
                 g.iter_mut().for_each(|x| *x = x.clamp(0.0, 1.0));
                 g
             })
             .collect();
-        let mut scores: Vec<f64> = population.iter().map(|g| fitness(g)).collect();
+        let mut scores = self.evaluate(&population, &fitness);
         let mut evaluations = pop_size;
+
+        // Best-ever individual, updated in index order after each (possibly
+        // parallel) evaluation so ties always resolve to the lowest index.
+        let mut best_genes = population[0].clone();
+        let mut best_fitness = scores[0];
+        for (g, &s) in population.iter().zip(&scores).skip(1) {
+            if s < best_fitness {
+                best_fitness = s;
+                best_genes = g.clone();
+            }
+        }
 
         let mut history = Vec::with_capacity(cfg.generations + 1);
         history.push(best_of(&scores));
 
-        for _ in 0..cfg.generations {
+        for generation in 1..=cfg.generations {
             let mut order: Vec<usize> = (0..pop_size).collect();
             order.sort_by(|a, b| scores[*a].partial_cmp(&scores[*b]).expect("finite or inf"));
 
+            let elites = cfg.elitism.min(pop_size);
             let mut next: Vec<Vec<f64>> = Vec::with_capacity(pop_size);
-            for &i in order.iter().take(cfg.elitism.min(pop_size)) {
+            for &i in order.iter().take(elites) {
                 next.push(population[i].clone());
             }
 
-            while next.len() < pop_size {
+            for slot in elites..pop_size {
+                let mut rng = StdRng::seed_from_u64(genome_stream_seed(
+                    cfg.seed,
+                    generation as u64,
+                    slot as u64,
+                ));
                 let a = self.tournament(&mut rng, &scores);
                 let child = if rng.gen_bool(cfg.crossover_rate) {
                     let b = self.tournament(&mut rng, &scores);
@@ -166,24 +270,34 @@ impl GeneticAlgorithm {
             }
 
             population = next;
-            scores = population.iter().map(|g| fitness(g)).collect();
+            scores = self.evaluate(&population, &fitness);
             evaluations += pop_size;
             history.push(best_of(&scores));
+
+            for (g, &s) in population.iter().zip(&scores) {
+                if s < best_fitness {
+                    best_fitness = s;
+                    best_genes = g.clone();
+                }
+            }
         }
 
-        let (best_idx, best_fitness) = scores
-            .iter()
-            .copied()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite or inf"))
-            .expect("non-empty population");
-
         GaOutcome {
-            best_genes: population[best_idx].clone(),
+            best_genes,
             best_fitness,
             history,
             evaluations,
+            elapsed: start.elapsed(),
         }
+    }
+
+    /// Scores one generation, fanning the genomes out over the worker pool
+    /// when `threads != 1`.
+    fn evaluate<F>(&self, population: &[Vec<f64>], fitness: &F) -> Vec<f64>
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        scoped_map(self.cfg.threads, population, |_, genes| fitness(genes))
     }
 
     fn tournament(&self, rng: &mut StdRng, scores: &[f64]) -> usize {
@@ -242,6 +356,8 @@ mod tests {
         assert!(out.best_fitness < 0.1, "fitness {}", out.best_fitness);
         assert_eq!(out.history.len(), 31);
         assert!(out.evaluations >= 24 * 31);
+        assert!(out.elapsed > Duration::ZERO);
+        assert!(out.evals_per_second() > 0.0);
     }
 
     #[test]
@@ -272,6 +388,45 @@ mod tests {
         assert_eq!(a.best_fitness, b.best_fitness);
         let c = run(12);
         assert_ne!(a.best_genes, c.best_genes);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let run = |threads| {
+            GeneticAlgorithm::new(GaConfig {
+                population: 12,
+                generations: 8,
+                ..GaConfig::first_level(21).with_threads(threads)
+            })
+            .run(6, |rng, _| (0..6).map(|_| rng.gen()).collect(), sphere)
+        };
+        let serial = run(1);
+        for threads in [2, 4, 0] {
+            let parallel = run(threads);
+            assert_eq!(serial.best_genes, parallel.best_genes, "threads={threads}");
+            assert_eq!(
+                serial.best_fitness.to_bits(),
+                parallel.best_fitness.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(serial.history, parallel.history, "threads={threads}");
+            assert_eq!(serial.evaluations, parallel.evaluations);
+        }
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct_across_coordinates() {
+        let mut seen = std::collections::HashSet::new();
+        for generation in 0..20 {
+            for index in 0..20 {
+                assert!(
+                    seen.insert(genome_stream_seed(99, generation, index)),
+                    "collision at ({generation}, {index})"
+                );
+            }
+        }
+        // Swapping the coordinates must give a different stream.
+        assert_ne!(genome_stream_seed(1, 2, 3), genome_stream_seed(1, 3, 2));
     }
 
     #[test]
@@ -325,5 +480,30 @@ mod tests {
         });
         let out = ga.run(4, |_, _| vec![0.5; 4], sphere);
         assert!(out.best_genes.iter().all(|g| (0.0..=1.0).contains(g)));
+    }
+
+    #[test]
+    fn best_ever_survives_even_without_elitism() {
+        // With elitism 0 the best individual can be bred away from the
+        // population, but the outcome still reports the best ever seen.
+        let ga = GeneticAlgorithm::new(GaConfig {
+            elitism: 0,
+            mutation_rate: 1.0,
+            mutation_sigma: 2.0,
+            ..GaConfig::tiny(13)
+        });
+        let out = ga.run(
+            4,
+            |rng, i| {
+                if i == 0 {
+                    vec![0.7; 4]
+                } else {
+                    (0..4).map(|_| rng.gen()).collect()
+                }
+            },
+            sphere,
+        );
+        assert!(out.best_fitness < 1e-12);
+        assert_eq!(out.best_genes, vec![0.7; 4]);
     }
 }

@@ -257,7 +257,7 @@ impl FirstLevelGenome {
 }
 
 /// Layout and decoder of the second-level genome (one block of
-/// [`GENES_PER_LAYER`] genes per compute layer of a layer range).
+/// `GENES_PER_LAYER` (= 12) genes per compute layer of a layer range).
 #[derive(Debug, Clone)]
 pub struct SecondLevelGenome {
     n_layers: usize,

@@ -51,7 +51,7 @@ mod mapping;
 pub mod report;
 
 pub use evaluator::{AssignmentCost, DesignPolicy, Evaluator, WorstOfModel};
-pub use ga::{GaConfig, GeneticAlgorithm};
+pub use ga::{genome_stream_seed, GaConfig, GaOutcome, GeneticAlgorithm};
 pub use genome::{FirstLevelGenome, SecondLevelGenome};
 pub use mapper::{Mars, SearchConfig, SearchResult};
 pub use mapping::{Assignment, Mapping};

@@ -6,12 +6,13 @@ use crate::genome::{FirstLevelGenome, SecondLevelGenome};
 use crate::mapping::{Assignment, Mapping};
 use mars_accel::{Catalog, DesignId, ProfileTable};
 use mars_model::{LoopNest, Network};
-use mars_parallel::Strategy;
+use mars_parallel::{ShardedCache, Strategy};
 use mars_topology::{partition, AccelId, Topology};
-use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Configuration of the complete two-level search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +56,24 @@ impl SearchConfig {
             seed,
         }
     }
+
+    /// Sets the worker-thread count for first-level fitness evaluation
+    /// (`0` = ask the OS, `1` = serial).
+    ///
+    /// The second-level GAs stay serial: they already run *inside* the
+    /// first-level worker threads, so giving them their own pools would only
+    /// oversubscribe the machine.  The search outcome is bit-identical for
+    /// every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.first_level.threads = threads;
+        self.second_level.threads = 1;
+        self
+    }
+
+    /// The configured worker-thread knob of the first-level search.
+    pub fn threads(&self) -> usize {
+        self.first_level.threads
+    }
 }
 
 impl Default for SearchConfig {
@@ -72,6 +91,8 @@ pub struct SearchResult {
     pub history: Vec<f64>,
     /// Number of first-level fitness evaluations.
     pub evaluations: usize,
+    /// Wall-clock time of the whole search.
+    pub elapsed: Duration,
 }
 
 impl SearchResult {
@@ -79,10 +100,19 @@ impl SearchResult {
     pub fn latency_ms(&self) -> f64 {
         self.mapping.latency_ms()
     }
+
+    /// First-level fitness evaluations per second of wall-clock search time.
+    pub fn evals_per_second(&self) -> f64 {
+        crate::ga::throughput(self.evaluations, self.elapsed)
+    }
 }
 
 type SecondLevelKey = (Vec<AccelId>, DesignId, usize, usize);
 type SecondLevelValue = (BTreeMap<usize, Strategy>, f64);
+/// One cache slot per second-level key: the `OnceLock` dedupes concurrent
+/// first-level workers racing on the same key, so the expensive second-level
+/// GA runs exactly once while the losers wait for (and share) its result.
+type SecondLevelSlot = Arc<OnceLock<SecondLevelValue>>;
 type BestDecision = (f64, Vec<Assignment>, BTreeMap<usize, Strategy>);
 
 /// The MARS mapping framework: computation-aware accelerator selection and
@@ -113,6 +143,14 @@ impl<'a> Mars<'a> {
         self
     }
 
+    /// Sets the worker-thread count for first-level fitness evaluation (see
+    /// [`SearchConfig::with_threads`]); the outcome is bit-identical for every
+    /// thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.config = self.config.with_threads(threads);
+        self
+    }
+
     /// Switches to the fixed heterogeneous-design policy used for the H2H
     /// comparison: each accelerator keeps its given design and mixed sets
     /// stall at the pace of their slowest member.
@@ -127,7 +165,14 @@ impl<'a> Mars<'a> {
     }
 
     /// Runs the two-level genetic search and returns the best mapping found.
+    ///
+    /// First-level fitness evaluations (each of which runs the second-level
+    /// GAs of its candidate assignments) are fanned out over
+    /// [`SearchConfig::threads`] worker threads; the result is bit-identical
+    /// for every thread count because all stochastic state uses per-genome
+    /// RNG streams and the shared caches only memoise pure functions.
     pub fn search(&self) -> SearchResult {
+        let start = Instant::now();
         let candidates = partition::accset_candidates(self.topo);
         let profile = ProfileTable::build(self.net, self.catalog);
         let design_scores = profile.normalized_scores();
@@ -146,11 +191,9 @@ impl<'a> Mars<'a> {
             self.net.len(),
         );
 
-        // Cache of second-level search results per (set, design, range).
-        let second_cache: RefCell<HashMap<SecondLevelKey, SecondLevelValue>> =
-            RefCell::new(HashMap::new());
-        // Best complete decision seen so far.
-        let best: RefCell<Option<BestDecision>> = RefCell::new(None);
+        // Cache of second-level search results per (set, design, range),
+        // sharded so concurrent first-level evaluations rarely contend.
+        let second_cache: ShardedCache<SecondLevelKey, SecondLevelSlot> = ShardedCache::new();
 
         let first_ga = GeneticAlgorithm::new(self.config.first_level);
         let outcome = first_ga.run(
@@ -190,48 +233,76 @@ impl<'a> Mars<'a> {
                 _ => layout.random_init(rng, &design_scores),
             },
             |genes| {
-                let assignments = layout.decode(genes, &candidates);
-                let mut strategies = BTreeMap::new();
-                for a in &assignments {
-                    if a.is_idle() {
-                        continue;
-                    }
-                    let (strats, _) = self.second_level(a, &evaluator, &second_cache);
-                    strategies.extend(strats);
-                }
-                let latency = evaluator.evaluate(&assignments, &strategies);
-                let mut best = best.borrow_mut();
-                let improved = best.as_ref().is_none_or(|(l, _, _)| latency < *l);
-                if improved && latency.is_finite() {
-                    *best = Some((latency, assignments, strategies));
-                }
+                let (latency, _, _) =
+                    self.decide(genes, &layout, &candidates, &evaluator, &second_cache);
                 latency
             },
         );
 
-        let (latency, assignments, strategies) = best.into_inner().unwrap_or_else(|| {
+        // Re-derive the winning decision from the best genome; every
+        // second-level search it needs is a cache hit, so this is cheap.
+        let (latency, assignments, strategies) = if outcome.best_fitness.is_finite() {
+            self.decide(
+                &outcome.best_genes,
+                &layout,
+                &candidates,
+                &evaluator,
+                &second_cache,
+            )
+        } else {
             // Every individual was invalid; fall back to the heuristic seed.
             let genes = layout.heuristic_seed(self.topo, &candidates, &design_scores);
             let assignments = layout.decode(&genes, &candidates);
             let latency = evaluator.evaluate(&assignments, &BTreeMap::new());
             (latency, assignments, BTreeMap::new())
-        });
+        };
 
         SearchResult {
             mapping: Mapping::new(assignments, strategies, latency),
             history: outcome.history,
             evaluations: outcome.evaluations,
+            elapsed: start.elapsed(),
         }
+    }
+
+    /// Decodes one first-level genome into a complete decision: assignments,
+    /// the per-layer strategies found by the (cached) second-level searches,
+    /// and the end-to-end latency.
+    fn decide(
+        &self,
+        genes: &[f64],
+        layout: &FirstLevelGenome,
+        candidates: &[Vec<AccelId>],
+        evaluator: &Evaluator<'_>,
+        second_cache: &ShardedCache<SecondLevelKey, SecondLevelSlot>,
+    ) -> BestDecision {
+        let assignments = layout.decode(genes, candidates);
+        let mut strategies = BTreeMap::new();
+        for a in &assignments {
+            if a.is_idle() {
+                continue;
+            }
+            let (strats, _) = self.second_level(a, evaluator, second_cache);
+            strategies.extend(strats);
+        }
+        let latency = evaluator.evaluate(&assignments, &strategies);
+        (latency, assignments, strategies)
     }
 
     /// Runs (or fetches from cache) the second-level GA for one assignment:
     /// the best per-layer strategies for its layer range on its accelerator
     /// set, considering both computation and communication costs.
+    ///
+    /// The cache stores one `Arc<OnceLock>` slot per key: when several
+    /// first-level workers decode assignments with the same (set, design,
+    /// range) at once, `OnceLock::get_or_init` lets exactly one of them run
+    /// the expensive second-level GA while the others wait for its result
+    /// instead of redundantly recomputing it.
     fn second_level(
         &self,
         assignment: &Assignment,
         evaluator: &Evaluator<'_>,
-        cache: &RefCell<HashMap<SecondLevelKey, SecondLevelValue>>,
+        cache: &ShardedCache<SecondLevelKey, SecondLevelSlot>,
     ) -> SecondLevelValue {
         let key: SecondLevelKey = (
             assignment.accels.clone(),
@@ -239,19 +310,26 @@ impl<'a> Mars<'a> {
             assignment.layers.start,
             assignment.layers.end,
         );
-        if let Some(v) = cache.borrow().get(&key) {
-            return v.clone();
-        }
+        let slot = cache.get_or_insert_with(key.clone(), || Arc::new(OnceLock::new()));
+        slot.get_or_init(|| self.search_strategies(assignment, evaluator, &key))
+            .clone()
+    }
 
+    /// The uncached second-level GA body: searches the best per-layer
+    /// strategies for one assignment.
+    fn search_strategies(
+        &self,
+        assignment: &Assignment,
+        evaluator: &Evaluator<'_>,
+        key: &SecondLevelKey,
+    ) -> SecondLevelValue {
         let compute_layers: Vec<usize> = assignment
             .layers
             .clone()
             .filter(|idx| self.net.layers()[*idx].is_compute())
             .collect();
         if compute_layers.is_empty() {
-            let value = (BTreeMap::new(), 0.0);
-            cache.borrow_mut().insert(key, value.clone());
-            return value;
+            return (BTreeMap::new(), 0.0);
         }
 
         let nests: Vec<LoopNest> = compute_layers
@@ -319,9 +397,7 @@ impl<'a> Mars<'a> {
             },
         );
 
-        let value = (to_strategy_map(&outcome.best_genes), outcome.best_fitness);
-        cache.borrow_mut().insert(key, value.clone());
-        value
+        (to_strategy_map(&outcome.best_genes), outcome.best_fitness)
     }
 }
 
@@ -396,6 +472,42 @@ mod tests {
             .search();
         assert_eq!(a.mapping.latency_seconds, b.mapping.latency_seconds);
         assert_eq!(a.mapping.assignments, b.mapping.assignments);
+    }
+
+    #[test]
+    fn search_outcome_is_identical_at_one_and_four_threads() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let run = |threads| {
+            Mars::new(&net, &topo, &catalog)
+                .with_config(SearchConfig::fast(17))
+                .with_threads(threads)
+                .search()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(
+            serial.mapping.latency_seconds.to_bits(),
+            parallel.mapping.latency_seconds.to_bits()
+        );
+        assert_eq!(serial.mapping.assignments, parallel.mapping.assignments);
+        assert_eq!(serial.mapping.strategies, parallel.mapping.strategies);
+        assert_eq!(serial.history, parallel.history);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn search_records_wall_clock_and_throughput() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let result = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(4))
+            .search();
+        assert!(result.elapsed > std::time::Duration::ZERO);
+        assert!(result.evals_per_second().is_finite());
+        assert!(result.evals_per_second() > 0.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Heterogeneous multi-branch models for the H2H comparison (Table IV).
 //!
 //! The paper evaluates MARS against H2H on two heterogeneous ResNet-based
-//! models from the face anti-spoofing literature: CASIA-SURF [17] and
-//! FaceBagNet [18].  Both combine several *modality branches* (RGB, depth and
+//! models from the face anti-spoofing literature: CASIA-SURF \[17\] and
+//! FaceBagNet \[18\].  Both combine several *modality branches* (RGB, depth and
 //! infra-red streams) that are later fused, so the layer shapes across the
 //! model vary far more than in a single-trunk CNN — precisely the
 //! heterogeneity H2H and MARS target.

@@ -1,0 +1,231 @@
+//! An N-way sharded concurrent memo cache.
+//!
+//! The mapping search memoises per-layer evaluations and second-level search
+//! results.  Under parallel fitness evaluation a single `Mutex<HashMap>`
+//! serialises every lookup; [`ShardedCache`] removes that bottleneck by
+//! hashing each key to one of N independent `Mutex<HashMap>` shards, so
+//! threads touching different keys almost never contend on the same lock.
+//!
+//! With `shards == 1` the cache is exactly the old single-mutex cache, which
+//! the tests use to check behavioural equivalence.
+//!
+//! ```
+//! use mars_parallel::cache::ShardedCache;
+//!
+//! let cache: ShardedCache<u32, String> = ShardedCache::new();
+//! assert_eq!(cache.get(&1), None);
+//! let v = cache.get_or_insert_with(1, || "one".to_string());
+//! assert_eq!(v, "one");
+//! // Second lookup hits the memoised value instead of recomputing.
+//! let v = cache.get_or_insert_with(1, || unreachable!("cached"));
+//! assert_eq!(v, "one");
+//! assert_eq!(cache.len(), 1);
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Default shard count: enough ways that a typical worker-pool's threads
+/// rarely collide, small enough that `len()` stays cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent memo cache sharded over N independent locks.
+///
+/// Keys are assigned to shards by hash, so two threads operating on different
+/// keys contend only when the keys happen to share a shard (probability
+/// `1/N`).  Values are returned by clone; the cache is intended for small
+/// value types (tuples of numbers, small maps).
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
+    /// Creates a cache with [`DEFAULT_SHARDS`] ways.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards the key space is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Returns a clone of the cached value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard_for(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard_for(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value)
+    }
+
+    /// Returns the cached value for `key`, computing and memoising it with
+    /// `compute` on a miss.
+    ///
+    /// The shard lock is *not* held while `compute` runs, so an expensive
+    /// computation never blocks unrelated lookups; if two threads race on the
+    /// same missing key both compute, and the first insert wins (the loser's
+    /// value is discarded, which is harmless for the deterministic
+    /// computations this cache memoises).
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let value = compute();
+        let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
+        shard.entry(key).or_insert(value).clone()
+    }
+
+    /// Total number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry from every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss_and_overwrite() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.insert(1, 10), None);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.insert(1, 11), Some(10));
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_with_memoises() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::with_shards(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(9, || {
+                calls += 1;
+                81
+            });
+            assert_eq!(v, 81);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn single_shard_matches_multi_shard_contents() {
+        // shards=1 is the old single-mutex cache; any shard count must expose
+        // exactly the same contents for the same operations.
+        let one = ShardedCache::with_shards(1);
+        let many = ShardedCache::with_shards(16);
+        for k in 0u64..200 {
+            one.insert(k, k * k);
+            many.insert(k, k * k);
+        }
+        assert_eq!(one.len(), many.len());
+        for k in 0u64..200 {
+            assert_eq!(one.get(&k), many.get(&k));
+        }
+        assert_eq!(one.shard_count(), 1);
+        assert_eq!(many.shard_count(), 16);
+    }
+
+    #[test]
+    fn keys_spread_over_multiple_shards() {
+        let cache: ShardedCache<u64, ()> = ShardedCache::with_shards(8);
+        for k in 0..1000 {
+            cache.insert(k, ());
+        }
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(occupied > 1, "all 1000 keys landed in one shard");
+    }
+
+    #[test]
+    fn concurrent_mixed_hit_miss_stress() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(8);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    // Overlapping key ranges: every thread both misses (its own
+                    // range) and hits (ranges already filled by neighbours).
+                    for i in 0..500 {
+                        let key = (t * 250 + i) % 1500;
+                        let got = cache.get_or_insert_with(key, || key * 7);
+                        assert_eq!(got, key * 7);
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(v, key * 7);
+                        }
+                    }
+                });
+            }
+        });
+        // Every key observed holds the deterministic value, never a torn one.
+        for key in 0..1500 {
+            if let Some(v) = cache.get(&key) {
+                assert_eq!(v, key * 7);
+            }
+        }
+        assert!(cache.len() <= 1500);
+    }
+}

@@ -20,6 +20,17 @@
 //!   communication (overlapped with compute) for the shared dimension, and a
 //!   DRAM-capacity validity check.
 //!
+//! The crate also hosts the concurrency primitives the genetic search runs
+//! on — they live here (rather than in `mars-core`) because they are generic,
+//! std-only and reusable by any crate in the workspace:
+//!
+//! * [`pool`] — a scoped-thread worker pool ([`scoped_map`]) that fans
+//!   independent evaluations out over N threads with dynamic work stealing
+//!   and order-preserving results.
+//! * [`cache`] — an N-way sharded concurrent memo cache ([`ShardedCache`])
+//!   that replaces a single global `Mutex<HashMap>` so concurrent genome
+//!   evaluations don't serialise on one lock.
+//!
 //! ```
 //! use mars_accel::Catalog;
 //! use mars_comm::CommSim;
@@ -48,12 +59,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod enumerate;
 pub mod eval;
+pub mod pool;
 pub mod shard;
 pub mod strategy;
 
+pub use cache::ShardedCache;
 pub use enumerate::{all_strategies, paper_strategies, StrategySpace};
 pub use eval::{evaluate_layer, evaluate_non_conv, EvalContext, LayerEval};
+pub use pool::{resolve_threads, scoped_map, threads_from_env};
 pub use shard::{balanced_factors, ShardPlan};
 pub use strategy::{Strategy, StrategyError};

@@ -84,7 +84,7 @@ pub fn h2h_bandwidth_levels() -> [(&'static str, Gbps); 5] {
     ]
 }
 
-/// A 2-D mesh of accelerators (chiplet-style platform, e.g. NN-Baton [11]):
+/// A 2-D mesh of accelerators (chiplet-style platform, e.g. NN-Baton \[11\]):
 /// `rows x cols` accelerators with nearest-neighbour links at `bw` Gbps.
 /// Row-major group labels place each row in its own group.
 pub fn chiplet_mesh(rows: usize, cols: usize, bw: Gbps, host_bw: Gbps, dram: u64) -> Topology {

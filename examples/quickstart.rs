@@ -3,11 +3,19 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! MARS_THREADS=4 cargo run --release --example quickstart  # explicit pool size
 //! ```
+//!
+//! `MARS_THREADS` sets the fitness-evaluation worker pool (`0` or unset =
+//! all available cores, `1` = serial).  The mapping found is bit-identical
+//! for every thread count.
 
 use mars::prelude::*;
 
 fn main() {
+    // 0. The worker-thread knob for parallel fitness evaluation.
+    let threads = mars::parallel::threads_from_env();
+
     // 1. The workload: a Table III benchmark network.
     let net = mars::model::zoo::resnet34(1000);
     println!("workload: {}", net.summary());
@@ -27,11 +35,21 @@ fn main() {
     println!("baseline latency: {:.3} ms", baseline.latency_ms());
 
     // 5. MARS: two-level genetic search over accelerator sets, designs,
-    //    workload allocation and per-layer ES/SS strategies.
-    let result = Mars::new(&net, &topo, &catalog)
-        .with_config(SearchConfig::fast(42))
-        .search();
+    //    workload allocation and per-layer ES/SS strategies, with first-level
+    //    fitness evaluation fanned out over the worker pool.
+    let result = mars::quickstart(&net, &topo, &catalog, 42, threads);
     println!("MARS latency:     {:.3} ms", result.latency_ms());
+    println!(
+        "search time:      {:.2} s ({} evaluations, {:.0} evals/s, threads={})",
+        result.elapsed.as_secs_f64(),
+        result.evaluations,
+        result.evals_per_second(),
+        if threads == 0 {
+            format!("auto({})", mars::parallel::resolve_threads(0))
+        } else {
+            threads.to_string()
+        }
+    );
     println!(
         "latency reduction: {:.1}%",
         100.0 * result.mapping.improvement_over(&baseline)

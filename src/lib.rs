@@ -16,6 +16,10 @@
 //!
 //! ## Quickstart
 //!
+//! The [`quickstart`] function is the one-call entry point: a fast-budget
+//! search with an explicit worker-thread knob (`0` = all available cores;
+//! the outcome is bit-identical for every thread count).
+//!
 //! ```no_run
 //! use mars::prelude::*;
 //!
@@ -24,14 +28,21 @@
 //! let catalog = Catalog::standard_three();
 //!
 //! let baseline = mars::core::baseline::computation_prioritized(&net, &topo, &catalog);
-//! let result = Mars::new(&net, &topo, &catalog)
-//!     .with_config(SearchConfig::fast(42))
-//!     .search();
+//! let result = mars::quickstart(&net, &topo, &catalog, 42, 0);
 //!
 //! println!("baseline: {:.2} ms", baseline.latency_ms());
 //! println!("MARS:     {:.2} ms", result.latency_ms());
+//! println!(
+//!     "search:   {:.2} s at {:.0} evals/s",
+//!     result.elapsed.as_secs_f64(),
+//!     result.evals_per_second()
+//! );
 //! println!("{}", mars::core::report::render(&net, &result.mapping));
 //! ```
+//!
+//! For full control (budgets, fixed-design policies, custom thread counts)
+//! use [`core::Mars`] directly with [`core::SearchConfig`] and
+//! [`core::SearchConfig::with_threads`].
 //!
 //! The `examples/` directory contains runnable versions of this flow
 //! (`quickstart`, `resnet_on_f1`, `hetero_bandwidth_sweep`,
@@ -47,6 +58,40 @@ pub use mars_core as core;
 pub use mars_model as model;
 pub use mars_parallel as parallel;
 pub use mars_topology as topology;
+
+/// Runs a fast-budget MARS search for `net` on `topo` over the designs in
+/// `catalog`, fanning fitness evaluation out over `threads` worker threads
+/// (`0` = ask the OS, `1` = serial).
+///
+/// This is the one-call entry point the quickstart example builds on.  The
+/// result is bit-identical for every `threads` value — parallelism only
+/// changes how fast the answer arrives, never which answer it is — and
+/// records its wall-clock time and evaluation throughput.
+///
+/// ```
+/// use mars::prelude::*;
+///
+/// let net = mars::model::zoo::alexnet(1000);
+/// let topo = mars::topology::presets::f1_16xlarge();
+/// let catalog = Catalog::standard_three();
+///
+/// let result = mars::quickstart(&net, &topo, &catalog, 42, 2);
+/// assert!(result.mapping.is_valid());
+/// assert!(result.latency_ms() > 0.0);
+/// assert!(result.evals_per_second() > 0.0);
+/// ```
+pub fn quickstart(
+    net: &model::Network,
+    topo: &topology::Topology,
+    catalog: &accel::Catalog,
+    seed: u64,
+    threads: usize,
+) -> core::SearchResult {
+    core::Mars::new(net, topo, catalog)
+        .with_config(core::SearchConfig::fast(seed))
+        .with_threads(threads)
+        .search()
+}
 
 /// Commonly used types, importable with `use mars::prelude::*`.
 pub mod prelude {

@@ -1,0 +1,79 @@
+//! End-to-end determinism of the parallel search engine: the same seed must
+//! produce bit-identical outcomes at 1 and 4 worker threads, both for the raw
+//! GA engine and for the full two-level MARS search.
+
+use mars::prelude::*;
+
+/// Same seed, 1 vs 4 threads → identical `GaOutcome` on the raw engine.
+#[test]
+fn ga_outcome_is_bit_identical_at_one_and_four_threads() {
+    let sphere = |genes: &[f64]| genes.iter().map(|g| (g - 0.3).powi(2)).sum::<f64>();
+    let run = |threads: usize| {
+        let cfg = GaConfig {
+            population: 20,
+            generations: 12,
+            ..GaConfig::first_level(2024).with_threads(threads)
+        };
+        mars::core::GeneticAlgorithm::new(cfg).run(
+            10,
+            |rng, _| (0..10).map(|_| rand::Rng::gen(rng)).collect(),
+            sphere,
+        )
+    };
+
+    let serial = run(1);
+    let parallel = run(4);
+
+    // Bit-identical: gene vectors, fitness bits, history bits, eval counts.
+    assert_eq!(serial.best_genes, parallel.best_genes);
+    assert_eq!(
+        serial.best_fitness.to_bits(),
+        parallel.best_fitness.to_bits()
+    );
+    let serial_bits: Vec<u64> = serial.history.iter().map(|f| f.to_bits()).collect();
+    let parallel_bits: Vec<u64> = parallel.history.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(serial_bits, parallel_bits);
+    assert_eq!(serial.evaluations, parallel.evaluations);
+}
+
+/// Same seed, 1 vs 4 threads → the full two-level search returns the same
+/// mapping, bit for bit.
+#[test]
+fn mars_search_is_bit_identical_at_one_and_four_threads() {
+    let net = mars::model::zoo::alexnet(1000);
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+
+    let serial = mars::quickstart(&net, &topo, &catalog, 77, 1);
+    let parallel = mars::quickstart(&net, &topo, &catalog, 77, 4);
+
+    assert_eq!(
+        serial.mapping.latency_seconds.to_bits(),
+        parallel.mapping.latency_seconds.to_bits()
+    );
+    assert_eq!(serial.mapping.assignments, parallel.mapping.assignments);
+    assert_eq!(serial.mapping.strategies, parallel.mapping.strategies);
+    let serial_bits: Vec<u64> = serial.history.iter().map(|f| f.to_bits()).collect();
+    let parallel_bits: Vec<u64> = parallel.history.iter().map(|f| f.to_bits()).collect();
+    assert_eq!(serial_bits, parallel_bits);
+    assert_eq!(serial.evaluations, parallel.evaluations);
+    // Both runs report real wall-clock throughput numbers.
+    assert!(serial.evals_per_second() > 0.0);
+    assert!(parallel.evals_per_second() > 0.0);
+}
+
+/// The auto knob (0 = all cores) also matches the serial outcome.
+#[test]
+fn auto_thread_count_matches_serial_outcome() {
+    let net = mars::model::zoo::alexnet(1000);
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+
+    let serial = mars::quickstart(&net, &topo, &catalog, 5, 1);
+    let auto = mars::quickstart(&net, &topo, &catalog, 5, 0);
+    assert_eq!(
+        serial.mapping.latency_seconds.to_bits(),
+        auto.mapping.latency_seconds.to_bits()
+    );
+    assert_eq!(serial.mapping.assignments, auto.mapping.assignments);
+}
