@@ -15,8 +15,11 @@
 #![warn(missing_docs)]
 
 use mars_accel::Catalog;
-use mars_core::{baseline, Mapping, Mars, SearchConfig, SearchResult};
-use mars_model::zoo::Benchmark;
+use mars_core::{
+    baseline, co_schedule, CoScheduleConfig, CoScheduleResult, Mapping, Mars, SearchConfig,
+    SearchResult, Workload,
+};
+use mars_model::zoo::{Benchmark, MixZoo};
 use mars_model::Network;
 use mars_topology::{presets, Topology};
 
@@ -45,6 +48,16 @@ impl Budget {
         let config = match self {
             Budget::Fast => SearchConfig::fast(seed),
             Budget::Full => SearchConfig::standard(seed),
+        };
+        config.with_threads(threads_from_env())
+    }
+
+    /// The co-schedule configuration for this budget, with the worker-thread
+    /// knob taken from [`threads_from_env`].
+    pub fn co_schedule_config(self, seed: u64) -> CoScheduleConfig {
+        let config = match self {
+            Budget::Fast => CoScheduleConfig::fast(seed),
+            Budget::Full => CoScheduleConfig::standard(seed),
         };
         config.with_threads(threads_from_env())
     }
@@ -152,6 +165,45 @@ pub fn table4_rows(net: &Network, budget: Budget, seed: u64) -> Vec<Table4Row> {
         .collect()
 }
 
+/// One row of the multi-workload co-scheduling comparison (`table_multi`).
+#[derive(Debug, Clone)]
+pub struct MultiRow {
+    /// The workload mix.
+    pub mix: MixZoo,
+    /// The workloads the co-schedule was computed from.
+    pub workloads: Vec<Workload>,
+    /// The full co-schedule outcome.
+    pub result: CoScheduleResult,
+}
+
+impl MultiRow {
+    /// Latency reduction of co-scheduling relative to sequential-exclusive
+    /// execution, in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        100.0 * (1.0 - self.result.makespan_seconds / self.result.sequential_makespan_seconds)
+    }
+}
+
+/// Runs one `table_multi` row: co-scheduling the mix on the F1-style platform
+/// versus running its workloads back to back on the whole platform.
+pub fn table_multi_row(mix: MixZoo, budget: Budget, seed: u64) -> MultiRow {
+    let workloads = mix.entries();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let result = co_schedule(
+        &workloads,
+        &topo,
+        &catalog,
+        &budget.co_schedule_config(seed),
+    )
+    .expect("bundled mixes fit the F1 platform");
+    MultiRow {
+        mix,
+        workloads,
+        result,
+    }
+}
+
 /// Runs a single MARS search on the F1 platform with an explicit worker
 /// count (used by the GA benches, the parallel-speedup bench and the
 /// ablation harness).
@@ -228,6 +280,20 @@ mod tests {
         );
         // Higher bandwidth means lower latency for both mappers.
         assert!(rows.last().unwrap().mars_ms < rows.first().unwrap().mars_ms);
+    }
+
+    #[test]
+    fn table_multi_row_co_scheduling_beats_sequential() {
+        let row = table_multi_row(MixZoo::ClassicPair, Budget::Fast, 42);
+        assert_eq!(row.workloads.len(), 2);
+        assert_eq!(row.result.placements.len(), 2);
+        assert!(row.result.is_valid());
+        assert!(
+            row.result.speedup_over_sequential() > 1.0,
+            "speedup {:.2}",
+            row.result.speedup_over_sequential()
+        );
+        assert!(row.reduction_percent() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Golden regression tests pinning the seeded headline numbers of the
+//! reproduced tables.
+//!
+//! The searches are deterministic (fixed seeds, thread-count-invariant), so
+//! these figures must not move unless an evaluator/mapper/search change is
+//! *intentional* — a drift here means paper-reproduction results silently
+//! changed.  When a change is deliberate, re-run
+//! `cargo run --release -p mars-bench --bin table3` (and `table_multi`) and
+//! update the pinned constants together with EXPERIMENTS/README notes.
+//!
+//! The search-running tests are `#[ignore]`d so `cargo test -q` stays fast;
+//! CI's test-matrix job runs them via `--include-ignored` at both
+//! `MARS_THREADS=1` and `MARS_THREADS=4`, which also enforces that the
+//! pinned numbers are identical at every thread count.
+
+use mars_accel::{Catalog, ProfileTable};
+use mars_bench::{table3_row, table_multi_row, Budget};
+use mars_model::zoo::{Benchmark, MixZoo};
+
+/// Tolerance in milliseconds: the pins are recorded at 1e-9 ms precision and
+/// the searches are bit-deterministic, so the only slack needed is decimal
+/// rounding of the constants themselves.
+const TOL_MS: f64 = 1e-6;
+
+#[track_caller]
+fn assert_pinned(what: &str, got: f64, pinned: f64) {
+    assert!(
+        (got - pinned).abs() <= TOL_MS,
+        "{what} drifted: got {got:.9} ms, pinned {pinned:.9} ms \
+         (intentional change? re-pin the golden constants)"
+    );
+}
+
+/// The fast-budget Table III headline figures at the standard seeds
+/// (`table3` uses seed `40 + row`): `(benchmark, baseline_ms, mars_ms)`.
+const TABLE3_GOLDEN: [(Benchmark, f64, f64); 5] = [
+    (Benchmark::AlexNet, 4.616181000, 3.403350500),
+    (Benchmark::Vgg16, 44.266184000, 27.644454000),
+    (Benchmark::ResNet34, 14.215456000, 5.450556000),
+    (Benchmark::ResNet101, 45.629612000, 28.281436000),
+    (Benchmark::WideResNet50_2, 50.612380000, 30.981862000),
+];
+
+fn golden_table3_row(index: usize) {
+    let (benchmark, baseline_ms, mars_ms) = TABLE3_GOLDEN[index];
+    let row = table3_row(benchmark, Budget::Fast, 40 + index as u64);
+    assert_pinned(
+        &format!("{} baseline", benchmark.name()),
+        row.baseline_ms,
+        baseline_ms,
+    );
+    assert_pinned(&format!("{} MARS", benchmark.name()), row.mars_ms, mars_ms);
+    // The pinned relationship, not just the numbers: MARS beats the baseline.
+    assert!(row.mars_ms < row.baseline_ms);
+}
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+fn golden_table3_alexnet() {
+    golden_table3_row(0);
+}
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+fn golden_table3_vgg16() {
+    golden_table3_row(1);
+}
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+fn golden_table3_resnet34() {
+    golden_table3_row(2);
+}
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+fn golden_table3_resnet101() {
+    golden_table3_row(3);
+}
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+fn golden_table3_wide_resnet50_2() {
+    golden_table3_row(4);
+}
+
+/// Table II's per-model design preferences: how many convolutions of each
+/// benchmark prefer each catalogue design `(SuperLIP, Systolic, Winograd)`.
+/// Pure profiling, no search — cheap enough to run unconditionally.
+#[test]
+fn golden_table2_design_preferences() {
+    const GOLDEN: [(Benchmark, [usize; 3]); 5] = [
+        (Benchmark::AlexNet, [0, 5, 0]),
+        (Benchmark::Vgg16, [1, 0, 12]),
+        (Benchmark::ResNet34, [1, 3, 32]),
+        (Benchmark::ResNet101, [1, 70, 33]),
+        (Benchmark::WideResNet50_2, [1, 36, 16]),
+    ];
+    let catalog = Catalog::standard_three();
+    for (benchmark, pinned) in GOLDEN {
+        let net = benchmark.build();
+        let profile = ProfileTable::build(&net, &catalog);
+        let mut counts = [0usize; 3];
+        for (id, _) in net.conv_layers() {
+            counts[profile.best_design(id).0] += 1;
+        }
+        assert_eq!(
+            counts,
+            pinned,
+            "{} design preferences drifted (intentional change? re-pin)",
+            benchmark.name()
+        );
+    }
+}
+
+/// The co-scheduling headline numbers of `table_multi` at its seeds
+/// (`42 + row`): `(mix, co_makespan_ms, sequential_makespan_ms)`.
+const MULTI_GOLDEN: [(MixZoo, f64, f64); 3] = [
+    (MixZoo::ClassicPair, 64.584400000, 82.098062000),
+    (MixZoo::ResNetSurf, 19.898528000, 28.942344000),
+    (MixZoo::HeteroTriple, 38.156704000, 40.679349000),
+];
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+fn golden_table_multi_makespans() {
+    for (index, (mix, co_ms, seq_ms)) in MULTI_GOLDEN.into_iter().enumerate() {
+        let row = table_multi_row(mix, Budget::Fast, 42 + index as u64);
+        assert_pinned(
+            &format!("{mix} co-scheduled"),
+            row.result.makespan_ms(),
+            co_ms,
+        );
+        assert_pinned(
+            &format!("{mix} sequential"),
+            row.result.sequential_makespan_ms(),
+            seq_ms,
+        );
+        // Co-scheduling beats sequential-exclusive on every bundled mix.
+        assert!(row.result.makespan_ms() < row.result.sequential_makespan_ms());
+    }
+}

@@ -21,6 +21,9 @@
 //!   the two-level design.
 //! * [`report`] — the human-readable "Mapping found by MARS" summaries of
 //!   Table III.
+//! * [`scheduler`] — multi-DNN co-scheduling: partitions the platform into
+//!   disjoint accelerator subsets and runs one inner search per workload,
+//!   optimising the system-level weighted makespan.
 //!
 //! ```no_run
 //! use mars_accel::Catalog;
@@ -49,9 +52,13 @@ mod genome;
 mod mapper;
 mod mapping;
 pub mod report;
+pub mod scheduler;
 
 pub use evaluator::{AssignmentCost, DesignPolicy, Evaluator, WorstOfModel};
 pub use ga::{genome_stream_seed, GaConfig, GaOutcome, GeneticAlgorithm};
 pub use genome::{FirstLevelGenome, SecondLevelGenome};
 pub use mapper::{Mars, SearchConfig, SearchResult};
 pub use mapping::{Assignment, Mapping};
+pub use scheduler::{
+    co_schedule, CoScheduleConfig, CoScheduleError, CoScheduleResult, Placement, Workload,
+};

@@ -6,12 +6,11 @@ use crate::genome::{FirstLevelGenome, SecondLevelGenome};
 use crate::mapping::{Assignment, Mapping};
 use mars_accel::{Catalog, DesignId, ProfileTable};
 use mars_model::{LoopNest, Network};
-use mars_parallel::{ShardedCache, Strategy};
+use mars_parallel::{OnceCache, Strategy};
 use mars_topology::{partition, AccelId, Topology};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Configuration of the complete two-level search.
@@ -109,10 +108,10 @@ impl SearchResult {
 
 type SecondLevelKey = (Vec<AccelId>, DesignId, usize, usize);
 type SecondLevelValue = (BTreeMap<usize, Strategy>, f64);
-/// One cache slot per second-level key: the `OnceLock` dedupes concurrent
-/// first-level workers racing on the same key, so the expensive second-level
-/// GA runs exactly once while the losers wait for (and share) its result.
-type SecondLevelSlot = Arc<OnceLock<SecondLevelValue>>;
+/// Exactly-once memo of the second-level searches: concurrent first-level
+/// workers racing on the same key block on the winner instead of redundantly
+/// re-running the expensive second-level GA.
+type SecondLevelCache = OnceCache<SecondLevelKey, SecondLevelValue>;
 type BestDecision = (f64, Vec<Assignment>, BTreeMap<usize, Strategy>);
 
 /// The MARS mapping framework: computation-aware accelerator selection and
@@ -193,7 +192,7 @@ impl<'a> Mars<'a> {
 
         // Cache of second-level search results per (set, design, range),
         // sharded so concurrent first-level evaluations rarely contend.
-        let second_cache: ShardedCache<SecondLevelKey, SecondLevelSlot> = ShardedCache::new();
+        let second_cache: SecondLevelCache = OnceCache::new();
 
         let first_ga = GeneticAlgorithm::new(self.config.first_level);
         let outcome = first_ga.run(
@@ -274,7 +273,7 @@ impl<'a> Mars<'a> {
         layout: &FirstLevelGenome,
         candidates: &[Vec<AccelId>],
         evaluator: &Evaluator<'_>,
-        second_cache: &ShardedCache<SecondLevelKey, SecondLevelSlot>,
+        second_cache: &SecondLevelCache,
     ) -> BestDecision {
         let assignments = layout.decode(genes, candidates);
         let mut strategies = BTreeMap::new();
@@ -293,16 +292,15 @@ impl<'a> Mars<'a> {
     /// the best per-layer strategies for its layer range on its accelerator
     /// set, considering both computation and communication costs.
     ///
-    /// The cache stores one `Arc<OnceLock>` slot per key: when several
-    /// first-level workers decode assignments with the same (set, design,
-    /// range) at once, `OnceLock::get_or_init` lets exactly one of them run
-    /// the expensive second-level GA while the others wait for its result
-    /// instead of redundantly recomputing it.
+    /// The [`OnceCache`] guarantees the expensive second-level GA runs exactly
+    /// once per (set, design, range) key: when several first-level workers
+    /// decode assignments with the same key at once, one computes while the
+    /// others wait for (and share) its result.
     fn second_level(
         &self,
         assignment: &Assignment,
         evaluator: &Evaluator<'_>,
-        cache: &ShardedCache<SecondLevelKey, SecondLevelSlot>,
+        cache: &SecondLevelCache,
     ) -> SecondLevelValue {
         let key: SecondLevelKey = (
             assignment.accels.clone(),
@@ -310,9 +308,9 @@ impl<'a> Mars<'a> {
             assignment.layers.start,
             assignment.layers.end,
         );
-        let slot = cache.get_or_insert_with(key.clone(), || Arc::new(OnceLock::new()));
-        slot.get_or_init(|| self.search_strategies(assignment, evaluator, &key))
-            .clone()
+        cache.get_or_compute(key.clone(), || {
+            self.search_strategies(assignment, evaluator, &key)
+        })
     }
 
     /// The uncached second-level GA body: searches the best per-layer

@@ -1,8 +1,10 @@
 //! Human-readable mapping reports in the style of Table III's "Mapping found
-//! by MARS" column.
+//! by MARS" column, plus the system-level co-schedule report.
 
 use crate::mapping::Mapping;
+use crate::scheduler::{CoScheduleResult, Workload};
 use mars_model::Network;
+use mars_topology::AccelId;
 use std::collections::BTreeMap;
 
 /// Returns, for every convolution layer, its 1-based ordinal among the
@@ -71,6 +73,61 @@ pub fn render(net: &Network, mapping: &Mapping) -> String {
     out
 }
 
+/// Compact rendering of an accelerator set: `Acc0-3` for a contiguous id
+/// range, the comma-joined ids otherwise.  The input is sorted and
+/// deduplicated first, so any order is accepted.
+pub fn describe_accel_set(set: &[AccelId]) -> String {
+    let mut ids: Vec<usize> = set.iter().map(|a| a.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    match (ids.first(), ids.last()) {
+        (Some(&first), Some(&last)) if ids.len() >= 2 && last - first == ids.len() - 1 => {
+            format!("Acc{first}-{last}")
+        }
+        (Some(&only), _) if ids.len() == 1 => format!("Acc{only}"),
+        _ => ids
+            .iter()
+            .map(|i| format!("Acc{i}"))
+            .collect::<Vec<_>>()
+            .join(","),
+    }
+}
+
+/// Renders a co-schedule outcome: the system-level makespan/throughput line,
+/// one line per placement, and the per-placement mapping description.
+///
+/// `workloads` must be the slice the co-schedule was computed from (the
+/// placements reference it by index for the mapping descriptions).
+pub fn render_co_schedule(workloads: &[Workload], result: &CoScheduleResult) -> String {
+    let mut out = format!(
+        "co-schedule: makespan {:.3} ms (weighted {:.3}) | sequential-exclusive {:.3} ms | speedup {:.2}x | {:.1} inf/s\n",
+        result.makespan_ms(),
+        result.weighted_makespan_seconds * 1e3,
+        result.sequential_makespan_ms(),
+        result.speedup_over_sequential(),
+        result.throughput_per_second(),
+    );
+    for p in &result.placements {
+        out.push_str(&format!(
+            "  {} (w={:.1}, batch={}) on {}: {:.3} ms/inf, {:.3} ms round\n",
+            p.name,
+            p.weight,
+            p.batch,
+            describe_accel_set(&p.accels),
+            p.result.latency_ms(),
+            p.round_seconds() * 1e3,
+        ));
+        if let Some(w) = workloads.get(p.workload) {
+            for line in describe_mapping(&w.network, &p.result.mapping) {
+                out.push_str("    ");
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +157,56 @@ mod tests {
         assert!(lines[0].starts_with("Conv1-"));
         assert!(lines[0].contains("4xDesign"));
         assert!(lines[0].contains("ES ="));
+    }
+
+    #[test]
+    fn accel_set_rendering_is_compact() {
+        assert_eq!(
+            describe_accel_set(&[AccelId(0), AccelId(1), AccelId(2), AccelId(3)]),
+            "Acc0-3"
+        );
+        assert_eq!(describe_accel_set(&[AccelId(5)]), "Acc5");
+        assert_eq!(
+            describe_accel_set(&[AccelId(0), AccelId(2), AccelId(3)]),
+            "Acc0,Acc2,Acc3"
+        );
+        // Unsorted and duplicated inputs are normalised, not mislabeled.
+        assert_eq!(
+            describe_accel_set(&[AccelId(3), AccelId(1), AccelId(2), AccelId(1)]),
+            "Acc1-3"
+        );
+        assert_eq!(
+            describe_accel_set(&[AccelId(0), AccelId(3), AccelId(2)]),
+            "Acc0,Acc2,Acc3"
+        );
+        assert_eq!(describe_accel_set(&[]), "");
+    }
+
+    #[test]
+    fn render_co_schedule_reports_system_and_per_workload_lines() {
+        let workloads = vec![
+            crate::scheduler::Workload::new(zoo::alexnet(100))
+                .with_batch(4)
+                .with_weight(1.5),
+            crate::scheduler::Workload::new(zoo::alexnet(10)).with_batch(2),
+        ];
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let config = crate::scheduler::CoScheduleConfig {
+            outer: crate::GaConfig {
+                population: 4,
+                generations: 1,
+                ..crate::GaConfig::tiny(1)
+            },
+            ..crate::scheduler::CoScheduleConfig::fast(1)
+        };
+        let result = crate::scheduler::co_schedule(&workloads, &topo, &catalog, &config).unwrap();
+        let text = render_co_schedule(&workloads, &result);
+        assert!(text.contains("makespan"));
+        assert!(text.contains("sequential-exclusive"));
+        assert!(text.contains("AlexNet"));
+        assert!(text.contains("batch=4"));
+        assert!(text.contains("Conv"));
     }
 
     #[test]

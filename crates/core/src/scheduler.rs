@@ -1,0 +1,844 @@
+//! Multi-DNN co-scheduling across the accelerator pool.
+//!
+//! MARS proper maps *one* network onto the platform.  This module adds the
+//! next level of parallelism above the ES/SS strategies: given several
+//! workloads (network + SLA weight + batch), it partitions the topology into
+//! disjoint accelerator subsets, runs the existing per-network [`Mars`] search
+//! inside each partition, and searches *over partitions* so that the workloads
+//! run concurrently with the best weighted makespan — the co-scheduling regime
+//! of MAGMA (Kao & Krishna, HPCA'22) and the multi-DNN accelerator survey.
+//!
+//! The search is two nested levels, mirroring the single-network design:
+//!
+//! * **Outer GA** — a genome of `k-1` *partition cut* genes (splitting the
+//!   accelerator id order into `k` contiguous, non-empty subsets; id order
+//!   keeps group members together on grouped platforms) plus `k` *rank* genes
+//!   (the permutation assigning workloads to subsets).  Seeds: a greedy
+//!   demand-proportional split and a group-boundary-aligned split.
+//! * **Inner searches** — for each `(workload, subset)` the existing
+//!   two-level [`Mars`] GA runs on the [`Topology::subtopology`] of the
+//!   subset.  Results are memoised in a [`OnceCache`] keyed by
+//!   `(workload, subset)`, so each inner search runs **exactly once** even
+//!   when concurrent outer genomes race on it, and the outer fitness is a
+//!   pure function of the genes — which makes the whole co-schedule
+//!   bit-identical for every thread count, like the single-network search.
+//!
+//! The fitness minimised is the *weighted makespan*: workloads start
+//! simultaneously on their disjoint subsets, workload `i` finishes its batch
+//! at `t_i = batch_i · latency_i`, and the objective is
+//! `max_i weight_i · t_i`.  The result also reports the
+//! sequential-exclusive baseline (every workload gets the whole platform,
+//! back to back, in descending-weight order) so callers can see when
+//! co-scheduling pays off.
+
+use crate::ga::{genome_stream_seed, GaConfig, GeneticAlgorithm};
+use crate::mapper::{Mars, SearchConfig, SearchResult};
+use crate::mapping::{Assignment, Mapping};
+use mars_accel::Catalog;
+use mars_model::Network;
+use mars_parallel::OnceCache;
+use mars_topology::{AccelId, Topology};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The workload type the co-scheduler consumes: a network with its SLA
+/// weight and batch size.  Defined in `mars-model` (next to the zoo whose
+/// [`MixZoo`](mars_model::zoo::MixZoo) mixes produce it) and re-exported here
+/// as the scheduler's input vocabulary.
+pub use mars_model::Workload;
+
+/// Errors rejected before a co-schedule search starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoScheduleError {
+    /// No workloads were given.
+    NoWorkloads,
+    /// More workloads than accelerators: disjoint non-empty partitions are
+    /// impossible.
+    TooManyWorkloads {
+        /// Number of workloads requested.
+        workloads: usize,
+        /// Number of accelerators available.
+        accelerators: usize,
+    },
+    /// A workload's SLA weight is not a positive finite number.
+    InvalidWeight {
+        /// Index of the offending workload.
+        workload: usize,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A workload's batch size is zero.
+    InvalidBatch {
+        /// Index of the offending workload.
+        workload: usize,
+    },
+}
+
+impl std::fmt::Display for CoScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoScheduleError::NoWorkloads => write!(f, "no workloads to schedule"),
+            CoScheduleError::TooManyWorkloads {
+                workloads,
+                accelerators,
+            } => write!(
+                f,
+                "{workloads} workloads cannot get disjoint subsets of {accelerators} accelerators"
+            ),
+            CoScheduleError::InvalidWeight { workload, weight } => {
+                write!(f, "workload {workload} has invalid SLA weight {weight}")
+            }
+            CoScheduleError::InvalidBatch { workload } => {
+                write!(f, "workload {workload} has batch size 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoScheduleError {}
+
+/// Configuration of the co-schedule search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoScheduleConfig {
+    /// Hyper-parameters of the outer GA over partition assignments.
+    ///
+    /// Its `seed` field is **ignored**: [`CoScheduleConfig::seed`] is the
+    /// single master seed of the whole co-schedule and overrides it, so the
+    /// outer GA and every derived inner-search seed stay consistent.
+    pub outer: GaConfig,
+    /// Budget template for the inner per-workload searches.  Each workload's
+    /// search reseeds this template deterministically from
+    /// [`CoScheduleConfig::seed`] and its workload index; the inner searches
+    /// always run serially because they already execute *inside* the outer
+    /// GA's worker threads.
+    pub inner: SearchConfig,
+    /// Master seed of the whole co-schedule: seeds the outer GA (overriding
+    /// [`GaConfig::seed`] in [`CoScheduleConfig::outer`]) and derives every
+    /// per-workload inner-search seed.
+    pub seed: u64,
+}
+
+impl CoScheduleConfig {
+    /// The paper-scale budget: a broader outer GA over fast inner searches.
+    pub fn standard(seed: u64) -> Self {
+        Self {
+            outer: GaConfig {
+                population: 12,
+                generations: 8,
+                ..GaConfig::first_level(seed)
+            },
+            inner: SearchConfig::fast(seed),
+            seed,
+        }
+    }
+
+    /// A reduced budget for unit tests, examples and quick runs.
+    pub fn fast(seed: u64) -> Self {
+        Self {
+            outer: GaConfig {
+                population: 6,
+                generations: 3,
+                ..GaConfig::first_level(seed)
+            },
+            inner: SearchConfig::fast(seed),
+            seed,
+        }
+    }
+
+    /// Sets the worker-thread count for outer fitness evaluation (`0` = ask
+    /// the OS, `1` = serial).  The co-schedule outcome is bit-identical for
+    /// every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.outer.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread knob.
+    pub fn threads(&self) -> usize {
+        self.outer.threads
+    }
+}
+
+impl Default for CoScheduleConfig {
+    fn default() -> Self {
+        Self::standard(0)
+    }
+}
+
+/// One workload's placement in a co-schedule.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Index of the workload in the input slice.
+    pub workload: usize,
+    /// Network name (for reports).
+    pub name: String,
+    /// SLA weight of the workload.
+    pub weight: f64,
+    /// Batch size of the workload.
+    pub batch: usize,
+    /// The accelerators of this partition, as ids of the *original* topology.
+    pub accels: Vec<AccelId>,
+    /// The inner search outcome; its mapping's accelerator ids are translated
+    /// back to the original topology.
+    pub result: SearchResult,
+}
+
+impl Placement {
+    /// Time this workload occupies its partition: batch × per-inference
+    /// latency, in seconds.
+    pub fn round_seconds(&self) -> f64 {
+        self.batch as f64 * self.result.mapping.latency_seconds
+    }
+
+    /// The workload's contribution to the weighted makespan.
+    pub fn weighted_seconds(&self) -> f64 {
+        self.weight * self.round_seconds()
+    }
+}
+
+/// Outcome of a co-schedule search.
+#[derive(Debug, Clone)]
+pub struct CoScheduleResult {
+    /// Per-workload placements, in input order.  Their accelerator subsets
+    /// are pairwise disjoint and together cover the platform.
+    pub placements: Vec<Placement>,
+    /// Completion time of the whole round: all workloads start at once, so
+    /// this is the maximum [`Placement::round_seconds`].
+    pub makespan_seconds: f64,
+    /// The optimised objective: maximum weighted completion time.
+    pub weighted_makespan_seconds: f64,
+    /// Sequential-exclusive baseline makespan: every workload runs on the
+    /// *whole* platform, back to back (descending SLA weight order).
+    pub sequential_makespan_seconds: f64,
+    /// Weighted makespan of the sequential-exclusive baseline under the same
+    /// descending-weight order.
+    pub sequential_weighted_makespan_seconds: f64,
+    /// Best weighted makespan after every outer generation.
+    pub outer_history: Vec<f64>,
+    /// Number of outer fitness evaluations.
+    pub outer_evaluations: usize,
+    /// Number of distinct inner `(workload, subset)` searches actually run
+    /// (cache hits excluded).
+    pub inner_searches: usize,
+    /// Wall-clock time of the whole co-schedule.
+    pub elapsed: Duration,
+}
+
+impl CoScheduleResult {
+    /// Makespan in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_seconds * 1e3
+    }
+
+    /// Sequential-exclusive makespan in milliseconds.
+    pub fn sequential_makespan_ms(&self) -> f64 {
+        self.sequential_makespan_seconds * 1e3
+    }
+
+    /// How much faster the co-schedule finishes the round than running the
+    /// workloads back-to-back on the whole platform (>1 = co-scheduling wins).
+    pub fn speedup_over_sequential(&self) -> f64 {
+        if self.makespan_seconds > 0.0 {
+            self.sequential_makespan_seconds / self.makespan_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// Total inferences completed per round.
+    pub fn total_inferences(&self) -> usize {
+        self.placements.iter().map(|p| p.batch).sum()
+    }
+
+    /// Aggregate system throughput in inferences per second.
+    pub fn throughput_per_second(&self) -> f64 {
+        if self.makespan_seconds > 0.0 {
+            self.total_inferences() as f64 / self.makespan_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// `true` when every placement found a valid mapping.
+    pub fn is_valid(&self) -> bool {
+        self.makespan_seconds.is_finite()
+            && self.placements.iter().all(|p| p.result.mapping.is_valid())
+    }
+}
+
+/// Genome layout of the outer search: `k-1` partition-cut genes followed by
+/// `k` workload-rank genes.
+struct OuterGenome {
+    workloads: usize,
+    accelerators: usize,
+}
+
+impl OuterGenome {
+    fn len(&self) -> usize {
+        2 * self.workloads - 1
+    }
+
+    /// Decodes the cut genes into `k` contiguous, non-empty id segments.
+    ///
+    /// Raw cut positions are sorted and then repaired to be strictly
+    /// increasing inside `[1, n-1]`, so every genome decodes to a valid
+    /// partition (genetic operators can never produce an empty subset).
+    fn decode_subsets(&self, genes: &[f64], ids: &[AccelId]) -> Vec<Vec<AccelId>> {
+        let (k, n) = (self.workloads, self.accelerators);
+        let mut raw: Vec<usize> = genes[..k - 1]
+            .iter()
+            .map(|g| (g * n as f64).round() as usize)
+            .collect();
+        raw.sort_unstable();
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0usize);
+        let mut prev = 0usize;
+        for (j, r) in raw.into_iter().enumerate() {
+            let hi = n - (k - 1 - j);
+            let cut = r.clamp(prev + 1, hi);
+            bounds.push(cut);
+            prev = cut;
+        }
+        bounds.push(n);
+        bounds
+            .windows(2)
+            .map(|w| ids[w[0]..w[1]].to_vec())
+            .collect()
+    }
+
+    /// Decodes the rank genes into the workload order: position `j` of the
+    /// returned permutation is the workload assigned to subset `j`.
+    fn decode_order(&self, genes: &[f64]) -> Vec<usize> {
+        let k = self.workloads;
+        let ranks = &genes[k - 1..];
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|a, b| {
+            ranks[*a]
+                .partial_cmp(&ranks[*b])
+                .expect("genes are finite")
+                .then(a.cmp(b))
+        });
+        order
+    }
+
+    /// The greedy seed: subset sizes proportional to workload demand, with
+    /// the identity assignment (workload `i` → subset `i`).
+    fn greedy_seed(&self, demands: &[u64]) -> Vec<f64> {
+        let k = self.workloads;
+        let total: u64 = demands.iter().sum::<u64>().max(1);
+        let mut genes = Vec::with_capacity(self.len());
+        let mut cum = 0u64;
+        for d in &demands[..k - 1] {
+            cum += d;
+            genes.push(cum as f64 / total as f64);
+        }
+        for i in 0..k {
+            genes.push((i as f64 + 0.5) / k as f64);
+        }
+        genes
+    }
+
+    /// The group-aligned seed: the greedy cuts snapped to the nearest group
+    /// boundary of the topology, so partitions respect the platform's natural
+    /// communication domains when possible.
+    fn group_seed(&self, demands: &[u64], topo: &Topology, ids: &[AccelId]) -> Vec<f64> {
+        let n = self.accelerators;
+        let mut boundaries = Vec::new();
+        for i in 1..n {
+            if topo.group(ids[i]) != topo.group(ids[i - 1]) {
+                boundaries.push(i);
+            }
+        }
+        let mut genes = self.greedy_seed(demands);
+        for gene in genes[..self.workloads - 1].iter_mut() {
+            let target = *gene * n as f64;
+            if let Some(best) = boundaries.iter().min_by(|a, b| {
+                let da = (**a as f64 - target).abs();
+                let db = (**b as f64 - target).abs();
+                da.partial_cmp(&db).expect("finite")
+            }) {
+                *gene = *best as f64 / n as f64;
+            }
+        }
+        genes
+    }
+}
+
+type InnerKey = (usize, Vec<AccelId>);
+type InnerCache = OnceCache<InnerKey, Arc<SearchResult>>;
+
+/// Co-schedules `workloads` onto disjoint partitions of `topo`.
+///
+/// Every workload receives a non-empty accelerator subset; the subsets are
+/// pairwise disjoint and together cover the platform.  The returned result
+/// carries one [`Placement`] per workload (input order) plus the
+/// system-level makespan/throughput figures and the sequential-exclusive
+/// baseline.  The outcome is bit-identical for every
+/// [`CoScheduleConfig::with_threads`] value.
+///
+/// # Errors
+///
+/// Rejects empty workload lists, more workloads than accelerators, and
+/// non-positive weights or batches — see [`CoScheduleError`].
+///
+/// ```no_run
+/// use mars_accel::Catalog;
+/// use mars_core::scheduler::{co_schedule, CoScheduleConfig, Workload};
+/// use mars_model::zoo;
+/// use mars_topology::presets;
+///
+/// let workloads = vec![
+///     Workload::new(zoo::alexnet(1000)).with_batch(16).with_weight(1.5),
+///     Workload::new(zoo::vgg16(1000)),
+/// ];
+/// let topo = presets::f1_16xlarge();
+/// let catalog = Catalog::standard_three();
+/// let result = co_schedule(
+///     &workloads,
+///     &topo,
+///     &catalog,
+///     &CoScheduleConfig::fast(42),
+/// )
+/// .unwrap();
+/// assert!(result.speedup_over_sequential() > 1.0);
+/// ```
+pub fn co_schedule(
+    workloads: &[Workload],
+    topo: &Topology,
+    catalog: &Catalog,
+    config: &CoScheduleConfig,
+) -> Result<CoScheduleResult, CoScheduleError> {
+    let start = Instant::now();
+    let k = workloads.len();
+    let n = topo.len();
+    if k == 0 {
+        return Err(CoScheduleError::NoWorkloads);
+    }
+    if k > n {
+        return Err(CoScheduleError::TooManyWorkloads {
+            workloads: k,
+            accelerators: n,
+        });
+    }
+    for (i, w) in workloads.iter().enumerate() {
+        if !(w.weight.is_finite() && w.weight > 0.0) {
+            return Err(CoScheduleError::InvalidWeight {
+                workload: i,
+                weight: w.weight,
+            });
+        }
+        if w.batch == 0 {
+            return Err(CoScheduleError::InvalidBatch { workload: i });
+        }
+    }
+
+    let ids: Vec<AccelId> = topo.accelerators().collect();
+    let demands: Vec<u64> = workloads.iter().map(Workload::demand_macs).collect();
+    let layout = OuterGenome {
+        workloads: k,
+        accelerators: n,
+    };
+
+    // Exactly-once memo of the inner searches: the expensive part of an outer
+    // fitness evaluation.  Keys are pure coordinates, values already carry
+    // globally-translated mappings.
+    let cache: InnerCache = OnceCache::new();
+    let searches_run = AtomicUsize::new(0);
+
+    let inner_with = |w: usize, subset: &[AccelId], threads: usize| -> Arc<SearchResult> {
+        cache.get_or_compute((w, subset.to_vec()), || {
+            searches_run.fetch_add(1, Ordering::Relaxed);
+            Arc::new(run_inner_search(
+                &workloads[w].network,
+                topo,
+                subset,
+                catalog,
+                config,
+                w,
+                threads,
+            ))
+        })
+    };
+    // Inside the outer GA the inner searches stay serial: they already run on
+    // the GA's worker threads, and their own pools would oversubscribe.
+    let inner = |w: usize, subset: &[AccelId]| inner_with(w, subset, 1);
+
+    let weighted_makespan_of = |genes: &[f64]| -> f64 {
+        let subsets = layout.decode_subsets(genes, &ids);
+        let order = layout.decode_order(genes);
+        let mut worst = 0.0f64;
+        for (subset, &w) in subsets.iter().zip(&order) {
+            let result = inner(w, subset);
+            let t =
+                workloads[w].weight * workloads[w].batch as f64 * result.mapping.latency_seconds;
+            worst = worst.max(t);
+        }
+        worst
+    };
+
+    let outcome = GeneticAlgorithm::new(GaConfig {
+        seed: config.seed,
+        ..config.outer
+    })
+    .run(
+        layout.len(),
+        |rng, i| match i {
+            0 => layout.greedy_seed(&demands),
+            1 => layout.group_seed(&demands, topo, &ids),
+            _ => (0..layout.len()).map(|_| rand::Rng::gen(rng)).collect(),
+        },
+        |genes| weighted_makespan_of(genes),
+    );
+
+    // Re-derive the winning partition (all inner searches are cache hits); if
+    // every genome was invalid, fall back to the greedy seed.
+    let best_genes = if outcome.best_fitness.is_finite() {
+        outcome.best_genes.clone()
+    } else {
+        layout.greedy_seed(&demands)
+    };
+    let subsets = layout.decode_subsets(&best_genes, &ids);
+    let order = layout.decode_order(&best_genes);
+
+    let mut placements: Vec<Placement> = subsets
+        .iter()
+        .zip(&order)
+        .map(|(subset, &w)| {
+            let result = inner(w, subset);
+            Placement {
+                workload: w,
+                name: workloads[w].network.name().to_string(),
+                weight: workloads[w].weight,
+                batch: workloads[w].batch,
+                accels: subset.clone(),
+                result: (*result).clone(),
+            }
+        })
+        .collect();
+    placements.sort_by_key(|p| p.workload);
+
+    let makespan_seconds = placements
+        .iter()
+        .map(Placement::round_seconds)
+        .fold(0.0, f64::max);
+    let weighted_makespan_seconds = placements
+        .iter()
+        .map(Placement::weighted_seconds)
+        .fold(0.0, f64::max);
+
+    // Sequential-exclusive baseline: every workload alone on the full
+    // platform, scheduled back to back in descending SLA-weight order (the
+    // natural priority order; ties resolve to input order).
+    let mut seq_order: Vec<usize> = (0..k).collect();
+    seq_order.sort_by(|a, b| {
+        workloads[*b]
+            .weight
+            .partial_cmp(&workloads[*a].weight)
+            .expect("weights are finite")
+            .then(a.cmp(b))
+    });
+    let mut clock = 0.0f64;
+    let mut seq_weighted = 0.0f64;
+    for &w in &seq_order {
+        // These full-platform searches run on the caller's thread after the
+        // outer GA has finished, so unlike the fitness-path searches they may
+        // use the configured worker pool — the result is bit-identical at
+        // every thread count, only faster.
+        let result = inner_with(w, &ids, config.outer.threads);
+        clock += workloads[w].batch as f64 * result.mapping.latency_seconds;
+        seq_weighted = seq_weighted.max(workloads[w].weight * clock);
+    }
+
+    Ok(CoScheduleResult {
+        placements,
+        makespan_seconds,
+        weighted_makespan_seconds,
+        sequential_makespan_seconds: clock,
+        sequential_weighted_makespan_seconds: seq_weighted,
+        outer_history: outcome.history,
+        outer_evaluations: outcome.evaluations,
+        inner_searches: searches_run.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Runs one inner [`Mars`] search for `net` on the sub-platform of `subset`
+/// and translates the resulting mapping back to the original topology's ids.
+fn run_inner_search(
+    net: &Network,
+    topo: &Topology,
+    subset: &[AccelId],
+    catalog: &Catalog,
+    config: &CoScheduleConfig,
+    workload: usize,
+    threads: usize,
+) -> SearchResult {
+    let (sub, map) = topo
+        .subtopology(subset)
+        .expect("decoded subsets are valid accelerator sets");
+    // Deterministic per-workload seeds; the subset does not enter the seed so
+    // the same workload explores consistently across candidate partitions.
+    let seed = genome_stream_seed(config.seed, 0x5eed, workload as u64);
+    let mut inner = config.inner;
+    inner.seed = seed;
+    inner.first_level.seed = seed;
+    inner.second_level.seed = seed.wrapping_add(1);
+    // The search outcome is bit-identical for every thread count, so the
+    // caller picks: serial inside the outer GA's workers, the configured pool
+    // for the post-GA sequential baseline.
+    inner = inner.with_threads(threads);
+
+    let result = Mars::new(net, &sub, catalog).with_config(inner).search();
+    SearchResult {
+        mapping: remap_mapping(&result.mapping, &map),
+        ..result
+    }
+}
+
+/// Translates a mapping searched on a sub-topology back to the original
+/// topology's accelerator ids (`map[local.0] == global`).
+fn remap_mapping(mapping: &Mapping, map: &[AccelId]) -> Mapping {
+    let assignments = mapping
+        .assignments
+        .iter()
+        .map(|a| {
+            Assignment::new(
+                a.accels.iter().map(|local| map[local.0]).collect(),
+                a.design,
+                a.layers.clone(),
+            )
+        })
+        .collect();
+    Mapping::new(
+        assignments,
+        mapping.strategies.clone(),
+        mapping.latency_seconds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_model::zoo;
+    use mars_topology::presets;
+    use std::collections::BTreeSet;
+
+    fn tiny_config(seed: u64) -> CoScheduleConfig {
+        CoScheduleConfig {
+            outer: GaConfig {
+                population: 4,
+                generations: 2,
+                ..GaConfig::tiny(seed)
+            },
+            ..CoScheduleConfig::fast(seed)
+        }
+    }
+
+    fn two_small_workloads() -> Vec<Workload> {
+        vec![
+            Workload::new(zoo::alexnet(100))
+                .with_batch(4)
+                .with_weight(1.5),
+            Workload::new(zoo::alexnet(10)).with_batch(2),
+        ]
+    }
+
+    #[test]
+    fn outer_genome_decodes_valid_partitions_for_any_genes() {
+        let layout = OuterGenome {
+            workloads: 3,
+            accelerators: 8,
+        };
+        let ids: Vec<AccelId> = (0..8).map(AccelId).collect();
+        for genes in [
+            vec![0.0; 5],
+            vec![1.0; 5],
+            vec![0.5, 0.5, 0.1, 0.9, 0.5],
+            vec![0.2, 0.9, 0.7, 0.1, 0.4],
+        ] {
+            let subsets = layout.decode_subsets(&genes, &ids);
+            assert_eq!(subsets.len(), 3);
+            assert!(subsets.iter().all(|s| !s.is_empty()));
+            let all: Vec<AccelId> = subsets.iter().flatten().copied().collect();
+            assert_eq!(all, ids, "subsets must tile the id order");
+            let order = layout.decode_order(&genes);
+            let set: BTreeSet<usize> = order.iter().copied().collect();
+            assert_eq!(set.len(), 3, "order must be a permutation");
+        }
+    }
+
+    #[test]
+    fn greedy_seed_gives_bigger_subsets_to_heavier_workloads() {
+        let layout = OuterGenome {
+            workloads: 2,
+            accelerators: 8,
+        };
+        let ids: Vec<AccelId> = (0..8).map(AccelId).collect();
+        let genes = layout.greedy_seed(&[3, 1]);
+        let subsets = layout.decode_subsets(&genes, &ids);
+        assert_eq!(subsets[0].len(), 6);
+        assert_eq!(subsets[1].len(), 2);
+        // Identity assignment: workload 0 (heavier) takes the big subset.
+        assert_eq!(layout.decode_order(&genes), vec![0, 1]);
+    }
+
+    #[test]
+    fn group_seed_snaps_cuts_to_group_boundaries() {
+        let topo = presets::f1_16xlarge();
+        let layout = OuterGenome {
+            workloads: 2,
+            accelerators: 8,
+        };
+        let ids: Vec<AccelId> = topo.accelerators().collect();
+        // Even with a 7:1 demand ratio the cut snaps to the 4|4 boundary.
+        let genes = layout.group_seed(&[7, 1], &topo, &ids);
+        let subsets = layout.decode_subsets(&genes, &ids);
+        assert_eq!(subsets[0].len(), 4);
+        assert_eq!(subsets[1].len(), 4);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let cfg = tiny_config(1);
+        assert_eq!(
+            co_schedule(&[], &topo, &catalog, &cfg).unwrap_err(),
+            CoScheduleError::NoWorkloads
+        );
+
+        let nine: Vec<Workload> = (0..9).map(|_| Workload::new(zoo::alexnet(10))).collect();
+        assert!(matches!(
+            co_schedule(&nine, &topo, &catalog, &cfg).unwrap_err(),
+            CoScheduleError::TooManyWorkloads {
+                workloads: 9,
+                accelerators: 8
+            }
+        ));
+
+        let bad_weight = vec![Workload::new(zoo::alexnet(10)).with_weight(0.0)];
+        assert!(matches!(
+            co_schedule(&bad_weight, &topo, &catalog, &cfg).unwrap_err(),
+            CoScheduleError::InvalidWeight { workload: 0, .. }
+        ));
+
+        let bad_batch = vec![Workload::new(zoo::alexnet(10)).with_batch(0)];
+        assert_eq!(
+            co_schedule(&bad_batch, &topo, &catalog, &cfg).unwrap_err(),
+            CoScheduleError::InvalidBatch { workload: 0 }
+        );
+    }
+
+    #[test]
+    fn places_workloads_on_disjoint_covering_subsets() {
+        let workloads = two_small_workloads();
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let result = co_schedule(&workloads, &topo, &catalog, &tiny_config(5)).unwrap();
+
+        assert!(result.is_valid());
+        assert_eq!(result.placements.len(), 2);
+        let mut all: Vec<AccelId> = result
+            .placements
+            .iter()
+            .flat_map(|p| p.accels.clone())
+            .collect();
+        let total = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), total, "subsets overlap");
+        assert_eq!(all, topo.accelerators().collect::<Vec<_>>());
+
+        // Each placement's mapping only uses its own subset.
+        for p in &result.placements {
+            let subset: BTreeSet<AccelId> = p.accels.iter().copied().collect();
+            for a in &p.result.mapping.assignments {
+                assert!(
+                    a.accels.iter().all(|id| subset.contains(id)),
+                    "mapping escapes its partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_workload_gets_the_whole_platform() {
+        let workloads = vec![Workload::new(zoo::alexnet(10))];
+        let topo = presets::single_group(4, 8.0, 2.0);
+        let catalog = Catalog::standard_three();
+        let result = co_schedule(&workloads, &topo, &catalog, &tiny_config(2)).unwrap();
+        assert_eq!(result.placements.len(), 1);
+        assert_eq!(
+            result.placements[0].accels,
+            topo.accelerators().collect::<Vec<_>>()
+        );
+        // With one workload, concurrent == sequential.
+        assert_eq!(
+            result.makespan_seconds.to_bits(),
+            result.sequential_makespan_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn co_schedule_is_reproducible_and_thread_count_invariant() {
+        let workloads = two_small_workloads();
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let run = |threads: usize| {
+            co_schedule(
+                &workloads,
+                &topo,
+                &catalog,
+                &tiny_config(7).with_threads(threads),
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(4);
+        for other in [&b, &c] {
+            assert_eq!(
+                a.makespan_seconds.to_bits(),
+                other.makespan_seconds.to_bits()
+            );
+            assert_eq!(
+                a.weighted_makespan_seconds.to_bits(),
+                other.weighted_makespan_seconds.to_bits()
+            );
+            assert_eq!(a.outer_history, other.outer_history);
+            for (pa, po) in a.placements.iter().zip(&other.placements) {
+                assert_eq!(pa.accels, po.accels);
+                assert_eq!(pa.result.mapping.assignments, po.result.mapping.assignments);
+                assert_eq!(pa.result.mapping.strategies, po.result.mapping.strategies);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_searches_are_memoised_across_outer_generations() {
+        let workloads = two_small_workloads();
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let result = co_schedule(&workloads, &topo, &catalog, &tiny_config(3)).unwrap();
+        // Distinct (workload, subset) pairs are bounded by workloads x cut
+        // positions (+ the sequential full-platform runs); far fewer than
+        // outer evaluations x workloads without memoisation.
+        let bound = 2 * 7 + 2;
+        assert!(
+            result.inner_searches <= bound,
+            "{} inner searches exceed the {bound} distinct keys",
+            result.inner_searches
+        );
+        assert!(result.outer_evaluations >= 8);
+    }
+
+    #[test]
+    fn mix_zoo_entries_are_ready_made_workloads() {
+        let workloads: Vec<Workload> = zoo::MixZoo::ClassicPair.entries();
+        assert_eq!(workloads.len(), 2);
+        assert_eq!(workloads[0].batch, 16);
+        assert!(workloads.iter().all(|w| w.weight > 0.0));
+        assert!(workloads.iter().all(|w| w.demand_macs() > 0));
+    }
+}

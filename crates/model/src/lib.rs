@@ -31,9 +31,11 @@ pub mod graph;
 pub mod layer;
 pub mod loopnest;
 pub mod tensor;
+pub mod workload;
 pub mod zoo;
 
 pub use graph::{kind_histogram, ChainBuilder, LayerId, Network, NetworkError};
 pub use layer::{ConvParams, DenseParams, Layer, LayerKind, NormActParams, PoolKind, PoolParams};
 pub use loopnest::{Dim, DimSet, LoopNest};
 pub use tensor::{FeatureMap, TensorShape, BYTES_PER_ELEMENT};
+pub use workload::Workload;

@@ -1,0 +1,65 @@
+//! A schedulable workload: a network plus its service parameters.
+
+use crate::graph::Network;
+
+/// One workload of a multi-DNN scenario: a [`Network`] together with the
+/// service parameters the co-scheduler optimises for.  The bundled mixes in
+/// [`zoo::MixZoo`](crate::zoo::MixZoo) produce these, and
+/// `mars_core::scheduler` consumes them.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The computation graph to place.
+    pub network: Network,
+    /// SLA weight: relative latency criticality (higher = stricter).  Scales
+    /// the workload's completion time in the weighted-makespan objective.
+    pub weight: f64,
+    /// Inferences per scheduling round; the workload occupies its partition
+    /// for `batch` back-to-back inferences.
+    pub batch: usize,
+}
+
+impl Workload {
+    /// Creates a workload with an SLA weight of 1 and a batch of 1.
+    pub fn new(network: Network) -> Self {
+        Self {
+            network,
+            weight: 1.0,
+            batch: 1,
+        }
+    }
+
+    /// Sets the SLA weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Total compute demand: MACs per inference times batch.  Drives the
+    /// co-scheduler's greedy partition seed (bigger demand → bigger subset).
+    pub fn demand_macs(&self) -> u64 {
+        self.network.total_macs() * self.batch as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let w = Workload::new(zoo::alexnet(10));
+        assert_eq!(w.weight, 1.0);
+        assert_eq!(w.batch, 1);
+        let w = w.with_weight(2.5).with_batch(4);
+        assert_eq!(w.weight, 2.5);
+        assert_eq!(w.batch, 4);
+        assert_eq!(w.demand_macs(), w.network.total_macs() * 4);
+    }
+}

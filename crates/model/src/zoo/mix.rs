@@ -1,0 +1,321 @@
+//! The mix zoo: bundled multi-workload scenarios for co-scheduling.
+//!
+//! MARS maps one network at a time; the co-scheduler in `mars-core` places
+//! *several* networks on disjoint partitions of one platform (in the spirit of
+//! MAGMA and the multi-DNN accelerator literature).  The mixes below are the
+//! bundled scenarios it is benchmarked on: each [`Workload`] pairs a network
+//! with an SLA weight (higher = more latency-critical) and a batch size
+//! (inferences per scheduling round), chosen so the per-workload compute
+//! demands are comparable — the regime where co-scheduling disjoint partitions
+//! beats running the workloads back-to-back on the whole platform.
+//!
+//! The [`bert_ish`] builder adds a transformer-encoder-shaped workload to the
+//! zoo.  The mapper only consumes layer shapes, so the encoder's matrix
+//! multiplies are expressed as 1×1 convolutions over a `(hidden, seq, 1)`
+//! feature map: channels carry the hidden dimension and the spatial height
+//! carries the sequence, which keeps both dimensions shardable by the ES/SS
+//! strategies.
+
+use crate::graph::Network;
+use crate::layer::{
+    ConvParams, DenseParams, Layer, LayerKind, NormActParams, PoolKind, PoolParams,
+};
+use crate::tensor::FeatureMap;
+use crate::workload::Workload;
+
+/// Shorthand for building a mix entry.
+fn entry(network: Network, weight: f64, batch: usize) -> Workload {
+    Workload::new(network).with_weight(weight).with_batch(batch)
+}
+
+/// A BERT-style transformer encoder: `layers` blocks of multi-head attention
+/// (QKV projection, score and context matmuls, output projection) and a
+/// 4×-expansion feed-forward network over a `hidden`-wide representation of a
+/// `seq`-token sequence, followed by average pooling and a classifier.
+///
+/// Every matrix multiply is encoded as a 1×1 convolution on a
+/// `(channels = hidden, height = seq, width = 1)` feature map so that the
+/// ES/SS strategy space can shard both the hidden and the sequence dimension.
+///
+/// ```
+/// let net = mars_model::zoo::bert_ish(384, 6, 196);
+/// assert_eq!(net.name(), "BERT-ish");
+/// assert!(net.total_macs() > 1_000_000_000);
+/// ```
+pub fn bert_ish(hidden: usize, layers: usize, seq: usize) -> Network {
+    let mut net = Network::new("BERT-ish");
+    let shape = FeatureMap::new(hidden, seq, 1);
+    let norm = NormActParams { shape };
+
+    // Token embedding projection: the encoder's input stem.
+    let mut tail = net.add_layer(Layer::new(
+        "embed",
+        LayerKind::Conv(ConvParams::new(hidden, hidden, seq, 1, 1, 1)),
+    ));
+
+    for block in 0..layers {
+        // Fused QKV projection: hidden -> 3*hidden.
+        let qkv = net
+            .push_after(
+                tail,
+                Layer::new(
+                    format!("b{block}_qkv"),
+                    LayerKind::Conv(ConvParams::new(3 * hidden, hidden, seq, 1, 1, 1)),
+                ),
+            )
+            .expect("forward edge");
+        // Attention scores Q.K^T: (seq x hidden) . (hidden x seq).
+        let scores = net
+            .push_after(
+                qkv,
+                Layer::new(
+                    format!("b{block}_scores"),
+                    LayerKind::Conv(ConvParams::new(seq, hidden, seq, 1, 1, 1)),
+                ),
+            )
+            .expect("forward edge");
+        // Context scores.V: (seq x seq) . (seq x hidden).
+        let context = net
+            .push_after(
+                scores,
+                Layer::new(
+                    format!("b{block}_context"),
+                    LayerKind::Conv(ConvParams::new(hidden, seq, seq, 1, 1, 1)),
+                ),
+            )
+            .expect("forward edge");
+        // Output projection + residual + layer norm.
+        let proj = net
+            .push_after(
+                context,
+                Layer::new(
+                    format!("b{block}_proj"),
+                    LayerKind::Conv(ConvParams::new(hidden, hidden, seq, 1, 1, 1)),
+                ),
+            )
+            .expect("forward edge");
+        let add1 = net
+            .push_after(
+                proj,
+                Layer::new(format!("b{block}_add1"), LayerKind::Add(norm)),
+            )
+            .expect("forward edge");
+        net.connect(tail, add1).expect("residual edge");
+        let ln1 = net
+            .push_after(
+                add1,
+                Layer::new(format!("b{block}_ln1"), LayerKind::BatchNorm(norm)),
+            )
+            .expect("forward edge");
+
+        // Feed-forward: hidden -> 4*hidden -> hidden with GELU-ish activation.
+        let up = net
+            .push_after(
+                ln1,
+                Layer::new(
+                    format!("b{block}_ffn_up"),
+                    LayerKind::Conv(ConvParams::new(4 * hidden, hidden, seq, 1, 1, 1)),
+                ),
+            )
+            .expect("forward edge");
+        let act = net
+            .push_after(
+                up,
+                Layer::new(
+                    format!("b{block}_gelu"),
+                    LayerKind::Activation(NormActParams {
+                        shape: FeatureMap::new(4 * hidden, seq, 1),
+                    }),
+                ),
+            )
+            .expect("forward edge");
+        let down = net
+            .push_after(
+                act,
+                Layer::new(
+                    format!("b{block}_ffn_down"),
+                    LayerKind::Conv(ConvParams::new(hidden, 4 * hidden, seq, 1, 1, 1)),
+                ),
+            )
+            .expect("forward edge");
+        let add2 = net
+            .push_after(
+                down,
+                Layer::new(format!("b{block}_add2"), LayerKind::Add(norm)),
+            )
+            .expect("forward edge");
+        net.connect(ln1, add2).expect("residual edge");
+        tail = net
+            .push_after(
+                add2,
+                Layer::new(format!("b{block}_ln2"), LayerKind::BatchNorm(norm)),
+            )
+            .expect("forward edge");
+    }
+
+    // Sequence pooling + classifier head.
+    let pool = net
+        .push_after(
+            tail,
+            Layer::new(
+                "seq_pool",
+                LayerKind::Pool(PoolParams {
+                    kind: PoolKind::Average,
+                    channels: hidden,
+                    h_out: 1,
+                    w_out: 1,
+                    window: seq,
+                    stride: seq.max(1),
+                }),
+            ),
+        )
+        .expect("forward edge");
+    net.push_after(
+        pool,
+        Layer::new("classifier", LayerKind::Dense(DenseParams::new(2, hidden))),
+    )
+    .expect("forward edge");
+    net
+}
+
+/// The bundled workload mixes for multi-DNN co-scheduling experiments.
+///
+/// ```
+/// use mars_model::zoo::MixZoo;
+///
+/// for mix in MixZoo::ALL {
+///     let entries = mix.entries();
+///     assert!(entries.len() >= 2, "{mix} is not a mix");
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixZoo {
+    /// AlexNet (batched) + VGG-16: two classic single-trunk CNNs with
+    /// comparable total demand — the lightest mix, used by the test suite.
+    ClassicPair,
+    /// ResNet-34 + CASIA-SURF-like: a deep trunk CNN next to a multi-branch
+    /// heterogeneous model, the headline two-workload scenario.
+    ResNetSurf,
+    /// ResNet-34 + CASIA-SURF-like + BERT-ish: the three-way heterogeneous
+    /// mix (CNN, multi-branch CNN, transformer encoder).
+    HeteroTriple,
+}
+
+impl MixZoo {
+    /// All bundled mixes.
+    pub const ALL: [MixZoo; 3] = [
+        MixZoo::ClassicPair,
+        MixZoo::ResNetSurf,
+        MixZoo::HeteroTriple,
+    ];
+
+    /// Display name of the mix.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixZoo::ClassicPair => "ClassicPair",
+            MixZoo::ResNetSurf => "ResNetSurf",
+            MixZoo::HeteroTriple => "HeteroTriple",
+        }
+    }
+
+    /// Builds the mix's workload entries.
+    ///
+    /// Weights and batches are chosen so that the entries' total demands are
+    /// within a small factor of each other (see [`Workload::demand_macs`]):
+    /// balanced demand is the regime where partitioned co-execution pays off.
+    pub fn entries(self) -> Vec<Workload> {
+        match self {
+            MixZoo::ClassicPair => vec![
+                entry(crate::zoo::alexnet(1000), 1.0, 16),
+                entry(crate::zoo::vgg16(1000), 1.0, 1),
+            ],
+            MixZoo::ResNetSurf => vec![
+                entry(crate::zoo::resnet34(1000), 1.0, 2),
+                entry(crate::zoo::casia_surf_like(), 1.5, 8),
+            ],
+            MixZoo::HeteroTriple => vec![
+                entry(crate::zoo::resnet34(1000), 1.0, 2),
+                entry(crate::zoo::casia_surf_like(), 1.0, 8),
+                entry(bert_ish(384, 6, 196), 1.1, 3),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for MixZoo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_ish_is_a_valid_transformer_shaped_graph() {
+        let net = bert_ish(384, 6, 196);
+        net.validate().unwrap();
+        assert_eq!(net.name(), "BERT-ish");
+        // Embedding + 6 blocks x 6 matmuls + classifier.
+        assert_eq!(net.compute_layers().count(), 1 + 6 * 6 + 1);
+        // Residual adds make it non-linear: some layer has two predecessors.
+        let has_residual = net.iter().any(|(id, _)| net.predecessors(id).len() == 2);
+        assert!(has_residual);
+    }
+
+    #[test]
+    fn bert_ish_macs_scale_with_depth_and_width() {
+        let small = bert_ish(256, 2, 128);
+        let deep = bert_ish(256, 4, 128);
+        let wide = bert_ish(512, 2, 128);
+        assert!(deep.total_macs() > small.total_macs());
+        assert!(wide.total_macs() > small.total_macs());
+        // The default mix instance sits between AlexNet and VGG-16.
+        let default = bert_ish(384, 6, 196);
+        assert!(default.total_macs() > crate::zoo::alexnet(1000).total_macs());
+        assert!(default.total_macs() < crate::zoo::vgg16(1000).total_macs());
+    }
+
+    #[test]
+    fn all_mixes_hold_valid_distinct_networks() {
+        for mix in MixZoo::ALL {
+            let entries = mix.entries();
+            assert!(entries.len() >= 2, "{mix} must hold at least two workloads");
+            let mut names: Vec<&str> = entries.iter().map(|e| e.network.name()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), entries.len(), "{mix} repeats a network");
+            for e in &entries {
+                e.network.validate().unwrap();
+                assert!(e.weight > 0.0 && e.weight.is_finite());
+                assert!(e.batch >= 1);
+                assert!(e.demand_macs() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_demands_are_balanced_within_a_small_factor() {
+        for mix in MixZoo::ALL {
+            let demands: Vec<u64> = mix.entries().iter().map(Workload::demand_macs).collect();
+            let min = *demands.iter().min().unwrap() as f64;
+            let max = *demands.iter().max().unwrap() as f64;
+            assert!(
+                max / min < 3.0,
+                "{mix} demands unbalanced: {demands:?} (ratio {:.2})",
+                max / min
+            );
+        }
+    }
+
+    #[test]
+    fn mix_names_are_unique_and_display() {
+        let mut names: Vec<&str> = MixZoo::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 3);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 3);
+        assert_eq!(MixZoo::ClassicPair.to_string(), "ClassicPair");
+    }
+}

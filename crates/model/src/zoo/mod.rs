@@ -5,6 +5,8 @@
 //!   [`wide_resnet50_2`] (plus [`resnet18`] and [`resnet50`] for convenience).
 //! * Heterogeneous multi-branch models (Table IV): [`casia_surf_like`] and
 //!   [`facebagnet_like`].
+//! * Multi-workload mixes for the co-scheduler ([`MixZoo`]), including the
+//!   transformer-shaped [`bert_ish`] workload.
 //!
 //! All builders produce [`Network`]s whose parameter and MAC totals match the
 //! figures reported in the paper's Table III (see `EXPERIMENTS.md` for the
@@ -15,10 +17,12 @@
 
 mod classic;
 mod hetero;
+mod mix;
 mod resnet;
 
 pub use classic::{alexnet, vgg16};
 pub use hetero::{casia_surf_like, facebagnet_like};
+pub use mix::{bert_ish, MixZoo};
 pub use resnet::{
     resnet101, resnet18, resnet34, resnet50, wide_resnet50_2, BasicBlockConfig, BottleneckConfig,
     ResNetBuilder,

@@ -9,6 +9,14 @@
 //! With `shards == 1` the cache is exactly the old single-mutex cache, which
 //! the tests use to check behavioural equivalence.
 //!
+//! Two flavours share the sharding machinery:
+//!
+//! * [`ShardedCache`] — optimistic: racing threads may compute a missing key
+//!   twice (first insert wins).  Right for cheap pure computations.
+//! * [`OnceCache`] — pessimistic: each key's computation runs **exactly
+//!   once**; racing threads block on the winner's slot.  Right for expensive
+//!   computations such as memoised second-level GA runs.
+//!
 //! ```
 //! use mars_parallel::cache::ShardedCache;
 //!
@@ -25,7 +33,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default shard count: enough ways that a typical worker-pool's threads
 /// rarely collide, small enough that `len()` stays cheap.
@@ -47,7 +55,18 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// Creates a cache with an explicit shard count (clamped to at least 1).
+    /// Creates a cache with an explicit shard count.
+    ///
+    /// A shard count of `0` would make every key lookup divide by zero, so it
+    /// is clamped to `1` (the single-mutex cache) rather than rejected — a
+    /// degenerate-but-working configuration beats a panic deep inside a
+    /// search.  `shard_count` reports the effective value.
+    ///
+    /// ```
+    /// use mars_parallel::cache::ShardedCache;
+    /// let cache: ShardedCache<u32, u32> = ShardedCache::with_shards(0);
+    /// assert_eq!(cache.shard_count(), 1);
+    /// ```
     pub fn with_shards(shards: usize) -> Self {
         Self {
             shards: (0..shards.max(1))
@@ -136,6 +155,102 @@ impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
     }
 }
 
+/// A sharded memo cache that computes each key's value **exactly once**, even
+/// under contention.
+///
+/// [`ShardedCache::get_or_insert_with`] deliberately releases the shard lock
+/// while the compute closure runs, so two threads racing on the same missing
+/// key may both compute it (the loser's value is discarded).  That is fine for
+/// cheap pure functions, but the mapping search also memoises *entire
+/// second-level GA runs* — there a duplicated computation wastes seconds, not
+/// nanoseconds.  `OnceCache` closes that hole: each key maps to an
+/// `Arc<OnceLock>` slot, and `OnceLock::get_or_init` lets exactly one thread
+/// run the computation while every other thread parks on the slot and then
+/// shares the winner's result.
+///
+/// ```
+/// use mars_parallel::cache::OnceCache;
+///
+/// let cache: OnceCache<u32, String> = OnceCache::new();
+/// let v = cache.get_or_compute(1, || "one".to_string());
+/// assert_eq!(v, "one");
+/// // Second lookup can never recompute.
+/// let v = cache.get_or_compute(1, || unreachable!("computed once"));
+/// assert_eq!(v, "one");
+/// assert_eq!(cache.len(), 1);
+/// ```
+pub struct OnceCache<K, V> {
+    slots: ShardedCache<K, Arc<OnceLock<V>>>,
+}
+
+impl<K: Hash + Eq, V: Clone> OnceCache<K, V> {
+    /// Creates a cache with [`DEFAULT_SHARDS`] ways.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to at least 1,
+    /// like [`ShardedCache::with_shards`]).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            slots: ShardedCache::with_shards(shards),
+        }
+    }
+
+    /// Number of shards the key space is split over.
+    pub fn shard_count(&self) -> usize {
+        self.slots.shard_count()
+    }
+
+    /// Returns the cached value for `key`, running `compute` on a miss.
+    ///
+    /// `compute` runs **at most once per key** across all threads: when
+    /// several threads miss simultaneously, one computes while the rest block
+    /// on the slot and receive a clone of the winner's value.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let slot = self
+            .slots
+            .get_or_insert_with(key, || Arc::new(OnceLock::new()));
+        slot.get_or_init(compute).clone()
+    }
+
+    /// Returns a clone of the completed value for `key`, if one exists.  A
+    /// key whose computation is still in flight reports `None`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.slots.get(key).and_then(|slot| slot.get().cloned())
+    }
+
+    /// Number of keys with a slot (completed or in flight).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no key has ever been requested.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Removes every entry.  Computations already in flight still complete on
+    /// their (now detached) slots; later lookups recompute.
+    pub fn clear(&self) {
+        self.slots.clear();
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> Default for OnceCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> std::fmt::Debug for OnceCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnceCache")
+            .field("shards", &self.slots.shards.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +313,70 @@ mod tests {
             .filter(|s| !s.lock().unwrap().is_empty())
             .count();
         assert!(occupied > 1, "all 1000 keys landed in one shard");
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one_and_works() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(0);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.get_or_insert_with(7, || 49), 49);
+        assert_eq!(cache.get(&7), Some(49));
+
+        let once: OnceCache<u64, u64> = OnceCache::with_shards(0);
+        assert_eq!(once.shard_count(), 1);
+        assert_eq!(once.get_or_compute(7, || 49), 49);
+        assert_eq!(once.get(&7), Some(49));
+    }
+
+    #[test]
+    fn once_cache_memoises_and_reports_len() {
+        let cache: OnceCache<u32, u32> = OnceCache::with_shards(4);
+        assert!(cache.is_empty());
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(9, || {
+                calls += 1;
+                81
+            });
+            assert_eq!(v, 81);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&9), None);
+    }
+
+    #[test]
+    fn once_cache_single_evaluation_under_contention() {
+        // N threads hammer the same key; the slow computation must run
+        // exactly once, with every thread observing the winner's value.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache: OnceCache<u64, u64> = OnceCache::with_shards(2);
+        let calls = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                let calls = &calls;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..64 {
+                        let v = cache.get_or_compute(42, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window: without once-semantics
+                            // several threads would land in here.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            4242
+                        });
+                        assert_eq!(v, 4242);
+                    }
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "computed more than once");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -39,6 +39,33 @@ fn pool_and_cache_compose_like_the_search_engine() {
 }
 
 #[test]
+fn pool_workers_racing_a_once_cache_compute_each_key_exactly_once() {
+    // Model of the second-level memoisation: many pool items resolve to few
+    // distinct keys, and each key's expensive computation must run once no
+    // matter how the workers interleave.
+    use mars_parallel::cache::OnceCache;
+    let cache: OnceCache<u64, u64> = OnceCache::with_shards(4);
+    let computations = AtomicUsize::new(0);
+    // 64 items, all hammering the same 4 keys.
+    let population: Vec<u64> = (0..64).map(|i| i % 4).collect();
+
+    let results = scoped_map(8, &population, |_, &key| {
+        cache.get_or_compute(key, || {
+            computations.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            keyed_value(key)
+        })
+    });
+    for (i, &key) in population.iter().enumerate() {
+        assert_eq!(results[i], keyed_value(key), "item {i}");
+    }
+    // Unlike ShardedCache's optimistic racing (see the bound in
+    // pool_and_cache_compose_like_the_search_engine), OnceCache is exact.
+    assert_eq!(computations.load(Ordering::SeqCst), 4);
+    assert_eq!(cache.len(), 4);
+}
+
+#[test]
 fn single_shard_cache_behaves_like_the_old_global_mutex_cache() {
     // shard-count = 1 is exactly the pre-sharding design: one lock, one map.
     // Run the same concurrent workload against 1 shard and 16 shards and

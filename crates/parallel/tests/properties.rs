@@ -73,6 +73,92 @@ proptest! {
     }
 
     #[test]
+    fn try_new_rejects_shared_dim_overlapping_the_exclusive_set(
+        strategy in strategy_strategy(),
+        pick in 0usize..2,
+    ) {
+        let es = strategy.es();
+        if es.is_empty() {
+            return;
+        }
+        // Re-using any exclusive dimension as the shared dimension must fail
+        // with exactly the overlap error.
+        let dims: Vec<Dim> = es.iter().collect();
+        let overlap = dims[pick % dims.len()];
+        let err = ParStrategy::try_new(es, Some(overlap)).unwrap_err();
+        prop_assert_eq!(
+            err,
+            mars_parallel::StrategyError::SharedDimInExclusiveSet(overlap)
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_more_than_two_exclusive_dims(
+        bits in 0u8..64,
+        ss in proptest::option::of(0usize..6),
+    ) {
+        let dims: Vec<Dim> = Dim::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, d)| d)
+            .collect();
+        let es = DimSet::from_dims(dims.clone());
+        let ss = ss.map(|i| Dim::ALL[i]).filter(|d| !es.contains(*d));
+        let result = ParStrategy::try_new(es, ss);
+        if dims.len() > 2 {
+            prop_assert_eq!(
+                result.unwrap_err(),
+                mars_parallel::StrategyError::TooManyExclusiveDims(dims.len())
+            );
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    #[test]
+    fn annotation_round_trips_through_parsing(
+        strategy in strategy_strategy(),
+    ) {
+        // The six-position annotation is a lossless encoding: parsing it back
+        // reconstructs the strategy, and re-rendering is stable.
+        let text = strategy.annotation();
+        let inner = text
+            .strip_prefix('<')
+            .and_then(|t| t.strip_suffix('>'))
+            .expect("annotation is angle-bracketed");
+        let mut es_dims = Vec::new();
+        let mut ss = None;
+        for (i, token) in inner.split(',').enumerate() {
+            match token {
+                "ES" => es_dims.push(Dim::ALL[i]),
+                "SS" => {
+                    prop_assert!(ss.is_none(), "at most one SS position");
+                    ss = Some(Dim::ALL[i]);
+                }
+                "N" => {}
+                other => prop_assert!(false, "unexpected token {:?}", other),
+            }
+        }
+        let parsed = ParStrategy::try_new(DimSet::from_dims(es_dims), ss)
+            .expect("annotation encodes a valid strategy");
+        prop_assert_eq!(parsed, strategy);
+        prop_assert_eq!(parsed.annotation(), text);
+    }
+
+    #[test]
+    fn needs_all_reduce_tracks_exclusive_reduction_dims_not_ss(
+        strategy in strategy_strategy(),
+    ) {
+        // needs_all_reduce is exactly "some exclusive dim is a reduction dim"
+        // and is unaffected by the presence or absence of a shared dim.
+        let expected = strategy.es().iter().any(|d| d.is_reduction());
+        prop_assert_eq!(strategy.needs_all_reduce(), expected);
+        let without_ss = ParStrategy::try_new(strategy.es(), None).unwrap();
+        prop_assert_eq!(without_ss.needs_all_reduce(), strategy.needs_all_reduce());
+    }
+
+    #[test]
     fn evaluation_is_finite_positive_and_design_consistent(
         conv in conv_strategy(),
         strategy in strategy_strategy(),

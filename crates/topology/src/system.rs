@@ -247,6 +247,66 @@ impl Topology {
         Ok(())
     }
 
+    /// Extracts the sub-platform induced by `set`: a topology over only those
+    /// accelerators, reindexed to `AccelId(0)..AccelId(set.len())`, preserving
+    /// pairwise link bandwidths, host links, DRAM capacities and group labels.
+    ///
+    /// Returns the sub-topology together with the id map from local ids back
+    /// to the ids of `self` (`map[local.0] == global`).  The input set is
+    /// sorted and deduplicated, so the map is ascending and the extraction is
+    /// deterministic regardless of the order of `set`.
+    ///
+    /// This is the bridge the multi-workload co-scheduler uses: each workload
+    /// of a co-schedule runs the single-network search on the sub-platform of
+    /// its partition, and the resulting mapping is translated back through the
+    /// id map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::Empty`] for an empty set and
+    /// [`TopologyError::UnknownAccelerator`] if any member is out of range.
+    ///
+    /// ```
+    /// use mars_topology::{presets, AccelId};
+    ///
+    /// let topo = presets::f1_16xlarge();
+    /// let group = topo.group_members(1);
+    /// let (sub, map) = topo.subtopology(&group).unwrap();
+    /// assert_eq!(sub.len(), 4);
+    /// assert_eq!(map, group);
+    /// // Local pair (0, 1) is global pair (4, 5): same direct bandwidth.
+    /// assert_eq!(
+    ///     sub.bandwidth(AccelId(0), AccelId(1)),
+    ///     topo.bandwidth(map[0], map[1]),
+    /// );
+    /// ```
+    pub fn subtopology(&self, set: &[AccelId]) -> Result<(Topology, Vec<AccelId>), TopologyError> {
+        let mut ids: Vec<AccelId> = set.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        if let Some(&bad) = ids.iter().find(|a| a.0 >= self.len()) {
+            return Err(TopologyError::UnknownAccelerator(bad));
+        }
+        let m = ids.len();
+        let mut bandwidth = vec![0.0; m * m];
+        for (i, &a) in ids.iter().enumerate() {
+            for (j, &b) in ids.iter().enumerate() {
+                bandwidth[i * m + j] = self.bandwidth(a, b);
+            }
+        }
+        let sub = Topology {
+            name: format!("{}[{}/{}]", self.name, m, self.len()),
+            bandwidth,
+            host_bandwidth: ids.iter().map(|a| self.host_bandwidth(*a)).collect(),
+            dram_bytes: ids.iter().map(|a| self.dram_bytes(*a)).collect(),
+            group: ids.iter().map(|a| self.group(*a)).collect(),
+        };
+        Ok((sub, ids))
+    }
+
     /// Returns a copy with every bandwidth (inter-accelerator and host) scaled
     /// by `factor`; used by bandwidth-sweep experiments such as Table IV.
     pub fn scaled_bandwidth(&self, factor: f64) -> Topology {
@@ -533,6 +593,59 @@ mod tests {
         assert_eq!(t.min_dram_within(&all), 100);
         assert_eq!(t.min_host_bandwidth_within(&all), 2.0);
         assert_eq!(t.min_dram_within(&[]), u64::MAX);
+    }
+
+    #[test]
+    fn subtopology_reindexes_and_preserves_parameters() {
+        let t = two_group_topology();
+        // Unsorted with a duplicate: extraction sorts and dedups.
+        let (sub, map) = t
+            .subtopology(&[AccelId(3), AccelId(2), AccelId(3)])
+            .unwrap();
+        assert_eq!(map, vec![AccelId(2), AccelId(3)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.bandwidth(AccelId(0), AccelId(1)), 8.0);
+        assert_eq!(sub.host_bandwidth(AccelId(0)), 2.0);
+        assert_eq!(sub.dram_bytes(AccelId(1)), 1 << 30);
+        // Group labels carried over verbatim.
+        assert_eq!(sub.group(AccelId(0)), 1);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn subtopology_drops_links_to_outside_members() {
+        let t = two_group_topology();
+        // One member from each group: they had no direct link, and the
+        // sub-platform must still stage through the host.
+        let (sub, _) = t.subtopology(&[AccelId(0), AccelId(2)]).unwrap();
+        assert_eq!(sub.bandwidth(AccelId(0), AccelId(1)), 0.0);
+        assert!(sub.requires_host_staging(AccelId(0), AccelId(1)));
+        assert_eq!(sub.path_bandwidth(AccelId(0), AccelId(1)), 2.0);
+    }
+
+    #[test]
+    fn subtopology_rejects_bad_sets() {
+        let t = two_group_topology();
+        assert!(matches!(t.subtopology(&[]), Err(TopologyError::Empty)));
+        assert!(matches!(
+            t.subtopology(&[AccelId(9)]),
+            Err(TopologyError::UnknownAccelerator(AccelId(9)))
+        ));
+    }
+
+    #[test]
+    fn subtopology_of_all_accelerators_is_the_topology_itself() {
+        let t = two_group_topology();
+        let all: Vec<AccelId> = t.accelerators().collect();
+        let (sub, map) = t.subtopology(&all).unwrap();
+        assert_eq!(map, all);
+        for a in t.accelerators() {
+            for b in t.accelerators() {
+                assert_eq!(sub.bandwidth(a, b), t.bandwidth(a, b));
+            }
+            assert_eq!(sub.host_bandwidth(a), t.host_bandwidth(a));
+            assert_eq!(sub.group(a), t.group(a));
+        }
     }
 
     #[test]

@@ -85,6 +85,114 @@ proptest! {
     }
 
     #[test]
+    fn disjoint_covers_partition_the_pool(
+        groups in 1usize..=3,
+        per_group in 1usize..=4,
+        intra in 1.0f64..32.0,
+        k in 1usize..=3,
+    ) {
+        let topo = random_platform(groups, per_group, intra, 2.0);
+        let candidates = partition::accset_candidates(&topo);
+        for cover in partition::disjoint_covers(&topo, &candidates, k) {
+            prop_assert_eq!(cover.len(), k);
+            // Subsets are pairwise disjoint ...
+            let mut members: Vec<AccelId> = cover.iter().flatten().copied().collect();
+            let total = members.len();
+            members.sort();
+            members.dedup();
+            prop_assert_eq!(members.len(), total, "cover subsets overlap");
+            // ... and together cover the whole pool.
+            prop_assert_eq!(members, topo.accelerators().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn path_bandwidth_is_symmetric(
+        groups in 1usize..=4,
+        per_group in 1usize..=4,
+        intra in 1.0f64..64.0,
+        host in 0.5f64..8.0,
+    ) {
+        let topo = random_platform(groups, per_group, intra, host);
+        for a in topo.accelerators() {
+            for b in topo.accelerators() {
+                prop_assert_eq!(
+                    topo.path_bandwidth(a, b).to_bits(),
+                    topo.path_bandwidth(b, a).to_bits(),
+                    "path_bandwidth({}, {}) asymmetric", a, b
+                );
+                prop_assert_eq!(
+                    topo.bandwidth(a, b).to_bits(),
+                    topo.bandwidth(b, a).to_bits(),
+                    "bandwidth({}, {}) asymmetric", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_bandwidth_within_is_a_pairwise_lower_bound(
+        groups in 1usize..=3,
+        per_group in 1usize..=4,
+        intra in 1.0f64..32.0,
+        host in 0.5f64..8.0,
+        selector in 0u64..u64::MAX,
+    ) {
+        let topo = random_platform(groups, per_group, intra, host);
+        // A pseudo-random non-empty subset of the pool drawn from `selector`.
+        let set: Vec<AccelId> = topo
+            .accelerators()
+            .filter(|a| selector & (1 << (a.0 % 64)) != 0)
+            .collect();
+        if set.len() < 2 {
+            return;
+        }
+        let min = topo.min_bandwidth_within(&set);
+        for (i, &a) in set.iter().enumerate() {
+            for &b in &set[i + 1..] {
+                prop_assert!(
+                    min <= topo.path_bandwidth(a, b),
+                    "min_bandwidth_within {} exceeds pair ({}, {}) = {}",
+                    min, a, b, topo.path_bandwidth(a, b)
+                );
+            }
+        }
+        // The bound is attained by some pair.
+        let attained = set.iter().enumerate().any(|(i, &a)| {
+            set[i + 1..].iter().any(|&b| topo.path_bandwidth(a, b) == min)
+        });
+        prop_assert!(attained, "min_bandwidth_within is not attained by any pair");
+    }
+
+    #[test]
+    fn builder_output_always_validates_and_subtopologies(
+        groups in 1usize..=4,
+        per_group in 1usize..=4,
+        intra in 1.0f64..64.0,
+        host in 0.5f64..8.0,
+    ) {
+        let topo = random_platform(groups, per_group, intra, host);
+        // Everything the builder emits passes validate().
+        prop_assert!(topo.validate().is_ok());
+        // Every group extracts to a valid sub-platform that preserves the
+        // pairwise bandwidths through the id map.
+        for g in topo.groups() {
+            let members = topo.group_members(g);
+            let (sub, map) = topo.subtopology(&members).unwrap();
+            prop_assert!(sub.validate().is_ok());
+            prop_assert_eq!(&map, &members);
+            for i in 0..sub.len() {
+                for j in 0..sub.len() {
+                    prop_assert_eq!(
+                        sub.bandwidth(AccelId(i), AccelId(j)).to_bits(),
+                        topo.bandwidth(map[i], map[j]).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn builder_round_trips_links(n in 2usize..=6, bw in 0.5f64..64.0) {
         let mut b = TopologyBuilder::new("ring").accelerators(n, 1.0, 1 << 20);
         for i in 0..n {

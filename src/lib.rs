@@ -44,10 +44,17 @@
 //! use [`core::Mars`] directly with [`core::SearchConfig`] and
 //! [`core::SearchConfig::with_threads`].
 //!
-//! The `examples/` directory contains runnable versions of this flow
+//! ## Multi-workload co-scheduling
+//!
+//! [`co_schedule`] places *several* networks on disjoint accelerator
+//! partitions of one platform at once: an outer search over partitions wraps
+//! the per-network search inside each partition and minimises the weighted
+//! makespan.  Bundled workload mixes live in [`model::zoo::MixZoo`].
+//!
+//! The `examples/` directory contains runnable versions of these flows
 //! (`quickstart`, `resnet_on_f1`, `hetero_bandwidth_sweep`,
-//! `custom_accelerator`), and the `mars-bench` crate regenerates every table
-//! and figure of the paper's evaluation.
+//! `custom_accelerator`, `co_schedule`), and the `mars-bench` crate
+//! regenerates every table and figure of the paper's evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -93,12 +100,53 @@ pub fn quickstart(
         .search()
 }
 
+/// Co-schedules several DNN workloads onto disjoint accelerator partitions of
+/// one platform: an outer search over partitions wrapping the per-network
+/// MARS search inside each partition, minimising the weighted makespan.
+///
+/// Each workload gets a non-empty accelerator subset; the subsets are
+/// pairwise disjoint and cover the platform.  The result reports per-workload
+/// placements plus system-level makespan/throughput figures and the
+/// sequential-exclusive baseline (every workload alone on the whole platform,
+/// back to back).  Like [`quickstart`], the outcome is bit-identical for
+/// every [`core::CoScheduleConfig::with_threads`] value.
+///
+/// # Errors
+///
+/// Rejects empty workload lists, more workloads than accelerators, and
+/// non-positive weights or batches — see [`core::CoScheduleError`].
+///
+/// ```no_run
+/// use mars::prelude::*;
+///
+/// let workloads: Vec<Workload> = mars::model::zoo::MixZoo::ResNetSurf.entries();
+/// let topo = mars::topology::presets::f1_16xlarge();
+/// let catalog = Catalog::standard_three();
+///
+/// let result =
+///     mars::co_schedule(&workloads, &topo, &catalog, &CoScheduleConfig::fast(42)).unwrap();
+/// println!(
+///     "{}",
+///     mars::core::report::render_co_schedule(&workloads, &result)
+/// );
+/// assert!(result.speedup_over_sequential() > 1.0);
+/// ```
+pub fn co_schedule(
+    workloads: &[core::Workload],
+    topo: &topology::Topology,
+    catalog: &accel::Catalog,
+    config: &core::CoScheduleConfig,
+) -> Result<core::CoScheduleResult, core::CoScheduleError> {
+    core::scheduler::co_schedule(workloads, topo, catalog, config)
+}
+
 /// Commonly used types, importable with `use mars::prelude::*`.
 pub mod prelude {
     pub use mars_accel::{AccelDesign, Catalog, DesignId, PerformanceModel, ProfileTable};
     pub use mars_comm::{CommConfig, CommSim};
     pub use mars_core::{
-        Assignment, DesignPolicy, Evaluator, GaConfig, Mapping, Mars, SearchConfig, SearchResult,
+        Assignment, CoScheduleConfig, CoScheduleResult, DesignPolicy, Evaluator, GaConfig, Mapping,
+        Mars, Placement, SearchConfig, SearchResult, Workload,
     };
     pub use mars_model::{
         ConvParams, Dim, DimSet, FeatureMap, Layer, LayerId, LayerKind, LoopNest, Network,
