@@ -20,7 +20,8 @@ use mars_core::{
     SearchResult, Workload,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
-use mars_model::Network;
+use mars_model::{Network, TrafficProfile};
+use mars_serve::{compare_policies, DispatchPolicy, ServeConfig, ServeReport, Trace};
 use mars_topology::{presets, Topology};
 
 /// Search budget used by the harness.
@@ -204,6 +205,92 @@ pub fn table_multi_row(mix: MixZoo, budget: Budget, seed: u64) -> MultiRow {
     }
 }
 
+/// One row of the online-serving policy comparison (`table_serve`): the same
+/// seeded request trace replayed against the mix's co-schedule placements
+/// under every [`DispatchPolicy`].
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// The workload mix.
+    pub mix: MixZoo,
+    /// The traffic profiles the trace was drawn from.
+    pub profiles: Vec<TrafficProfile>,
+    /// The co-schedule the requests were served on.
+    pub co: CoScheduleResult,
+    /// The replayed trace (shared by every policy).
+    pub trace: Trace,
+    /// One report per policy, in [`DispatchPolicy::ALL`] order.
+    pub reports: Vec<ServeReport>,
+}
+
+impl ServeRow {
+    /// The report of `policy`.
+    ///
+    /// # Panics
+    /// Panics if `policy` is somehow missing from the row (it never is: rows
+    /// always carry all of [`DispatchPolicy::ALL`]).
+    pub fn report(&self, policy: DispatchPolicy) -> &ServeReport {
+        self.reports
+            .iter()
+            .find(|r| r.policy == policy)
+            .expect("rows carry every policy")
+    }
+
+    /// Goodput of the best SLA-aware policy (EDF or SLA-weighted) divided by
+    /// FIFO's goodput — the headline "does deadline awareness pay" figure
+    /// (`0.0` when FIFO's goodput is zero and the aware policies' is too;
+    /// `f64::INFINITY` when only FIFO's is zero).
+    pub fn sla_aware_goodput_gain(&self) -> f64 {
+        let fifo = self.report(DispatchPolicy::Fifo).goodput;
+        let best = self
+            .report(DispatchPolicy::EarliestDeadline)
+            .goodput
+            .max(self.report(DispatchPolicy::SlaWeighted).goodput);
+        if fifo > 0 {
+            best as f64 / fifo as f64
+        } else if best > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one `table_serve` row: co-schedules the mix (same platform, catalog
+/// and seed conventions as [`table_multi_row`]), draws a one-second seeded
+/// Poisson trace from the mix's bundled [`MixZoo::traffic`] profile, and
+/// replays it under every dispatch policy.
+pub fn table_serve_row(mix: MixZoo, budget: Budget, seed: u64) -> ServeRow {
+    let workloads = mix.entries();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let co = co_schedule(
+        &workloads,
+        &topo,
+        &catalog,
+        &budget.co_schedule_config(seed),
+    )
+    .expect("bundled mixes fit the F1 platform");
+    table_serve_row_on(mix, seed, co)
+}
+
+/// The serving half of [`table_serve_row`], on a co-schedule already
+/// computed for `(mix, seed)`.  Callers that also run [`table_multi_row`]
+/// (like the `perf_smoke` gate) reuse its result here instead of repeating
+/// the deterministic — and expensive — co-schedule search.
+pub fn table_serve_row_on(mix: MixZoo, seed: u64, co: CoScheduleResult) -> ServeRow {
+    let profiles = mix.traffic();
+    let trace = Trace::poisson(&profiles, 1.0, seed);
+    let reports = compare_policies(&co, &profiles, &trace, &ServeConfig::default())
+        .expect("bundled profiles and placements are valid");
+    ServeRow {
+        mix,
+        profiles,
+        co,
+        trace,
+        reports,
+    }
+}
+
 /// Runs a single MARS search on the F1 platform with an explicit worker
 /// count (used by the GA benches, the parallel-speedup bench and the
 /// ablation harness).
@@ -224,6 +311,126 @@ pub fn run_mars(
 /// `14.9(-27.7%)`.
 pub fn format_with_reduction(latency_ms: f64, reduction_percent: f64) -> String {
     format!("{latency_ms:.3}({:+.1}%)", -reduction_percent)
+}
+
+/// The perf-smoke gate: a machine-readable summary of the fast-budget
+/// headline numbers plus the floor check CI fails on.
+///
+/// The summary and the committed `bench-baseline.json` floors are *flat*
+/// JSON — string keys mapping to numbers (nested one level for grouping).
+/// The workspace's serde shim has no JSON layer, so this module renders and
+/// parses that restricted shape directly; it is not a general JSON parser
+/// and does not try to be one.
+pub mod smoke {
+    /// One named scalar of the summary (a wall-clock second count or a
+    /// headline speedup).
+    pub type Entry = (&'static str, f64);
+
+    /// Renders the `BENCH_4.json` summary: schema tag, run parameters, one
+    /// object of per-binary wall-clock seconds and one of headline speedups.
+    pub fn render_summary(
+        budget: &str,
+        threads: usize,
+        wall_clock: &[Entry],
+        headlines: &[Entry],
+    ) -> String {
+        let obj = |entries: &[Entry], indent: &str| {
+            entries
+                .iter()
+                .map(|(k, v)| format!("{indent}\"{k}\": {v:.6}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        format!(
+            "{{\n  \"schema\": \"mars-perf-smoke-v1\",\n  \"budget\": \"{budget}\",\n  \"threads\": {threads},\n  \"wall_clock_seconds\": {{\n{}\n  }},\n  \"headline_speedups\": {{\n{}\n  }}\n}}\n",
+            obj(wall_clock, "    "),
+            obj(headlines, "    "),
+        )
+    }
+
+    /// Extracts every `"key": number` pair from flat JSON text, in order of
+    /// appearance.  Nested objects are flattened (their braces are skipped);
+    /// string values (like the schema tag) are ignored.
+    pub fn parse_flat_numbers(text: &str) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let mut rest = text;
+        while let Some(open) = rest.find('"') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('"') else { break };
+            let key = &after[..close];
+            let tail = &after[close + 1..];
+            // A key's closing quote is followed (modulo whitespace) by a
+            // colon; anything else was a string *value*, not a key.
+            let after_colon = match tail.trim_start().strip_prefix(':') {
+                Some(t) => t,
+                None => {
+                    rest = tail;
+                    continue;
+                }
+            };
+            let value_text = after_colon.trim_start();
+            let end = value_text
+                .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+                .unwrap_or(value_text.len());
+            if let Ok(v) = value_text[..end].parse::<f64>() {
+                out.push((key.to_string(), v));
+            }
+            rest = after_colon;
+        }
+        out
+    }
+
+    /// Compares measured headlines against the committed floors: every floor
+    /// key must be present and its measured value at least the floor.
+    /// Returns the human-readable violations (empty = gate passes).
+    pub fn check_floors(measured: &[Entry], floors: &[(String, f64)]) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (key, floor) in floors {
+            match measured.iter().find(|(k, _)| k == key) {
+                None => violations.push(format!("floor key {key:?} was not measured")),
+                Some((_, got)) if got < floor => violations.push(format!(
+                    "{key}: measured {got:.4} is below the committed floor {floor:.4}"
+                )),
+                Some(_) => {}
+            }
+        }
+        violations
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn summary_round_trips_through_the_flat_parser() {
+            let text = render_summary(
+                "fast",
+                1,
+                &[("table3", 12.5)],
+                &[("table3_min_search_speedup", 1.356)],
+            );
+            let parsed = parse_flat_numbers(&text);
+            assert!(parsed.contains(&("threads".to_string(), 1.0)));
+            assert!(parsed.contains(&("table3".to_string(), 12.5)));
+            assert!(parsed.contains(&("table3_min_search_speedup".to_string(), 1.356)));
+            // The schema string is not a number and must not parse as one.
+            assert!(parsed.iter().all(|(k, _)| k != "schema"));
+        }
+
+        #[test]
+        fn floor_check_flags_regressions_and_missing_keys() {
+            let measured = [("a", 1.5), ("b", 1.0)];
+            let floors = vec![
+                ("a".to_string(), 1.4),
+                ("b".to_string(), 1.1),
+                ("c".to_string(), 1.0),
+            ];
+            let violations = check_floors(&measured, &floors);
+            assert_eq!(violations.len(), 2);
+            assert!(violations[0].contains("b"));
+            assert!(violations[1].contains("c"));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +501,22 @@ mod tests {
             row.result.speedup_over_sequential()
         );
         assert!(row.reduction_percent() > 0.0);
+    }
+
+    #[test]
+    fn table_serve_row_replays_one_trace_under_every_policy() {
+        let row = table_serve_row(MixZoo::ClassicPair, Budget::Fast, 42);
+        assert_eq!(row.reports.len(), DispatchPolicy::ALL.len());
+        let requests = row.trace.total_requests();
+        assert!(requests > 0);
+        for report in &row.reports {
+            assert_eq!(report.total_requests, requests);
+            assert!(report.goodput <= report.completed);
+            assert!(report.completed <= report.total_requests);
+        }
+        // The headline figure is a finite positive ratio on bundled mixes.
+        let gain = row.sla_aware_goodput_gain();
+        assert!(gain.is_finite() && gain > 0.0, "gain {gain}");
     }
 
     #[test]

@@ -5,17 +5,19 @@
 //! these figures must not move unless an evaluator/mapper/search change is
 //! *intentional* — a drift here means paper-reproduction results silently
 //! changed.  When a change is deliberate, re-run
-//! `cargo run --release -p mars-bench --bin table3` (and `table_multi`) and
-//! update the pinned constants together with EXPERIMENTS/README notes.
+//! `cargo run --release -p mars-bench --bin table3` (and `table_multi`,
+//! `table_serve`) and update the pinned constants together with
+//! EXPERIMENTS/README notes.
 //!
 //! The search-running tests are `#[ignore]`d so `cargo test -q` stays fast;
-//! CI's test-matrix job runs them via `--include-ignored` at both
-//! `MARS_THREADS=1` and `MARS_THREADS=4`, which also enforces that the
-//! pinned numbers are identical at every thread count.
+//! the scheduled nightly workflow runs them via `--include-ignored` at
+//! `MARS_THREADS=1`, `4` and `8`, which also enforces that the pinned
+//! numbers are identical at every thread count.
 
 use mars_accel::{Catalog, ProfileTable};
-use mars_bench::{table3_row, table_multi_row, Budget};
+use mars_bench::{table3_row, table_multi_row, table_serve_row, Budget};
 use mars_model::zoo::{Benchmark, MixZoo};
+use mars_serve::DispatchPolicy;
 
 /// Tolerance in milliseconds: the pins are recorded at 1e-9 ms precision and
 /// the searches are bit-deterministic, so the only slack needed is decimal
@@ -55,31 +57,31 @@ fn golden_table3_row(index: usize) {
 }
 
 #[test]
-#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
 fn golden_table3_alexnet() {
     golden_table3_row(0);
 }
 
 #[test]
-#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
 fn golden_table3_vgg16() {
     golden_table3_row(1);
 }
 
 #[test]
-#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
 fn golden_table3_resnet34() {
     golden_table3_row(2);
 }
 
 #[test]
-#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
 fn golden_table3_resnet101() {
     golden_table3_row(3);
 }
 
 #[test]
-#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
 fn golden_table3_wide_resnet50_2() {
     golden_table3_row(4);
 }
@@ -121,8 +123,47 @@ const MULTI_GOLDEN: [(MixZoo, f64, f64); 3] = [
     (MixZoo::HeteroTriple, 38.156704000, 40.679349000),
 ];
 
+/// The online-serving headline numbers of `table_serve` at its seeds
+/// (`42 + row`): `(mix, total requests, [fifo, edf, sla-w] goodput)`.
+/// Goodputs are request *counts*, so the pins are exact integers — any
+/// drift at all means the trace generator, the batcher or the placements
+/// changed.
+const SERVE_GOLDEN: [(MixZoo, usize, [usize; 3]); 3] = [
+    (MixZoo::ClassicPair, 172, [41, 69, 69]),
+    (MixZoo::ResNetSurf, 294, [35, 134, 147]),
+    (MixZoo::HeteroTriple, 222, [63, 79, 79]),
+];
+
 #[test]
-#[ignore = "golden search; run via --include-ignored (CI test-matrix)"]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
+fn golden_table_serve_goodput() {
+    for (index, (mix, requests, goodputs)) in SERVE_GOLDEN.into_iter().enumerate() {
+        let row = table_serve_row(mix, Budget::Fast, 42 + index as u64);
+        assert_eq!(
+            row.trace.total_requests(),
+            requests,
+            "{mix} request count drifted (intentional change? re-pin)"
+        );
+        for (policy, pinned) in DispatchPolicy::ALL.into_iter().zip(goodputs) {
+            assert_eq!(
+                row.report(policy).goodput,
+                pinned,
+                "{mix}/{policy} goodput drifted (intentional change? re-pin)"
+            );
+        }
+        // The acceptance relationship, not just the numbers: SLA-aware
+        // dispatch (EDF or SLA-weighted) beats FIFO on goodput for every
+        // bundled mix at the default seeds.
+        assert!(
+            row.sla_aware_goodput_gain() > 1.0,
+            "{mix}: SLA-aware gain {:.2} must exceed 1",
+            row.sla_aware_goodput_gain()
+        );
+    }
+}
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
 fn golden_table_multi_makespans() {
     for (index, (mix, co_ms, seq_ms)) in MULTI_GOLDEN.into_iter().enumerate() {
         let row = table_multi_row(mix, Budget::Fast, 42 + index as u64);

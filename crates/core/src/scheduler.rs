@@ -238,11 +238,16 @@ impl CoScheduleResult {
 
     /// How much faster the co-schedule finishes the round than running the
     /// workloads back-to-back on the whole platform (>1 = co-scheduling wins).
+    ///
+    /// Returns `0.0` for degenerate results whose makespan is zero (an empty
+    /// or zero-latency mix): no meaningful ratio exists there, and `0.0` is
+    /// an explicit "no speedup measured" marker rather than a division by
+    /// zero propagating `inf`/`NaN` into reports.
     pub fn speedup_over_sequential(&self) -> f64 {
         if self.makespan_seconds > 0.0 {
             self.sequential_makespan_seconds / self.makespan_seconds
         } else {
-            1.0
+            0.0
         }
     }
 
@@ -252,6 +257,9 @@ impl CoScheduleResult {
     }
 
     /// Aggregate system throughput in inferences per second.
+    ///
+    /// Like [`speedup_over_sequential`](Self::speedup_over_sequential),
+    /// returns `0.0` when the makespan is zero instead of dividing by it.
     pub fn throughput_per_second(&self) -> f64 {
         if self.makespan_seconds > 0.0 {
             self.total_inferences() as f64 / self.makespan_seconds
@@ -831,6 +839,38 @@ mod tests {
             result.inner_searches
         );
         assert!(result.outer_evaluations >= 8);
+    }
+
+    #[test]
+    fn degenerate_zero_makespan_reports_zero_rates_not_inf() {
+        // An empty mix cannot come out of co_schedule (it errors first), but
+        // a zero-makespan result can be constructed downstream; the derived
+        // rates must stay finite zeros, never inf/NaN.
+        let empty = CoScheduleResult {
+            placements: Vec::new(),
+            makespan_seconds: 0.0,
+            weighted_makespan_seconds: 0.0,
+            sequential_makespan_seconds: 0.0,
+            sequential_weighted_makespan_seconds: 0.0,
+            outer_history: Vec::new(),
+            outer_evaluations: 0,
+            inner_searches: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.total_inferences(), 0);
+        assert_eq!(empty.speedup_over_sequential(), 0.0);
+        assert_eq!(empty.throughput_per_second(), 0.0);
+        assert!(empty.speedup_over_sequential().is_finite());
+        assert!(empty.throughput_per_second().is_finite());
+
+        // Zero co-schedule makespan with a non-zero sequential one is still
+        // degenerate: no ratio, not an infinite speedup.
+        let lopsided = CoScheduleResult {
+            sequential_makespan_seconds: 1.0,
+            ..empty
+        };
+        assert_eq!(lopsided.speedup_over_sequential(), 0.0);
+        assert_eq!(lopsided.throughput_per_second(), 0.0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! A schedulable workload: a network plus its service parameters.
+//! A schedulable workload: a network plus its service parameters, and the
+//! traffic profile describing how requests for it arrive online.
 
 use crate::graph::Network;
 
@@ -47,10 +48,41 @@ impl Workload {
     }
 }
 
+/// The online arrival pattern of one workload's request stream.
+///
+/// A co-schedule gives every workload a dedicated accelerator partition; the
+/// serving simulator (`mars-serve`) replays a seeded Poisson-like request
+/// stream with this profile against that partition.  The SLA is expressed
+/// *relative* to the partition's per-inference latency so that one profile is
+/// meaningful across platforms of different speed: a request arriving at `t`
+/// on a placement with per-inference latency `L` must complete by
+/// `t + sla_factor × L`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficProfile {
+    /// Mean arrival rate in requests per second (the Poisson intensity).
+    pub qps: f64,
+    /// Deadline budget in units of the placement's per-inference latency.
+    pub sla_factor: f64,
+}
+
+impl TrafficProfile {
+    /// Creates a profile with the given arrival rate and SLA budget.
+    pub fn new(qps: f64, sla_factor: f64) -> Self {
+        Self { qps, sla_factor }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::zoo;
+
+    #[test]
+    fn traffic_profile_holds_its_knobs() {
+        let p = TrafficProfile::new(120.0, 6.0);
+        assert_eq!(p.qps, 120.0);
+        assert_eq!(p.sla_factor, 6.0);
+    }
 
     #[test]
     fn builder_defaults_and_setters() {

@@ -21,7 +21,7 @@ use crate::layer::{
     ConvParams, DenseParams, Layer, LayerKind, NormActParams, PoolKind, PoolParams,
 };
 use crate::tensor::FeatureMap;
-use crate::workload::Workload;
+use crate::workload::{TrafficProfile, Workload};
 
 /// Shorthand for building a mix entry.
 fn entry(network: Network, weight: f64, batch: usize) -> Workload {
@@ -218,6 +218,41 @@ impl MixZoo {
         }
     }
 
+    /// The bundled online traffic profile of the mix: one
+    /// [`TrafficProfile`] per [`entries`](MixZoo::entries) workload, in the
+    /// same order.
+    ///
+    /// Rates are chosen so each workload's partition runs at moderate-to-high
+    /// load under the fast-budget co-schedule placements (the regime where
+    /// the dispatch policy of the serving simulator actually matters), and
+    /// SLA budgets are a small multiple of the per-inference latency — tight
+    /// enough that waiting a full fixed batching window can miss deadlines.
+    ///
+    /// ```
+    /// use mars_model::zoo::MixZoo;
+    ///
+    /// for mix in MixZoo::ALL {
+    ///     assert_eq!(mix.traffic().len(), mix.entries().len());
+    /// }
+    /// ```
+    pub fn traffic(self) -> Vec<TrafficProfile> {
+        match self {
+            MixZoo::ClassicPair => vec![
+                TrafficProfile::new(150.0, 5.0),
+                TrafficProfile::new(14.0, 5.0),
+            ],
+            MixZoo::ResNetSurf => vec![
+                TrafficProfile::new(60.0, 5.0),
+                TrafficProfile::new(240.0, 5.0),
+            ],
+            MixZoo::HeteroTriple => vec![
+                TrafficProfile::new(40.0, 5.0),
+                TrafficProfile::new(120.0, 5.0),
+                TrafficProfile::new(50.0, 5.0),
+            ],
+        }
+    }
+
     /// Builds the mix's workload entries.
     ///
     /// Weights and batches are chosen so that the entries' total demands are
@@ -306,6 +341,18 @@ mod tests {
                 "{mix} demands unbalanced: {demands:?} (ratio {:.2})",
                 max / min
             );
+        }
+    }
+
+    #[test]
+    fn traffic_profiles_align_with_entries_and_are_positive() {
+        for mix in MixZoo::ALL {
+            let profiles = mix.traffic();
+            assert_eq!(profiles.len(), mix.entries().len(), "{mix}");
+            for p in &profiles {
+                assert!(p.qps > 0.0 && p.qps.is_finite());
+                assert!(p.sla_factor > 1.0, "SLA must leave room for one inference");
+            }
         }
     }
 

@@ -1,0 +1,124 @@
+//! # mars-serve
+//!
+//! Deterministic online serving on top of a MARS co-schedule: replay a
+//! seeded request-arrival [`Trace`] against a
+//! [`CoScheduleResult`](mars_core::CoScheduleResult)'s placements with
+//! SLA-aware dynamic batching, and measure what the offline makespan never
+//! shows — tail latency, goodput and per-accelerator utilisation under a
+//! live request stream.
+//!
+//! The co-scheduler answers *where* each workload runs (a disjoint
+//! accelerator partition with a searched mapping); this crate answers *how
+//! it holds up* when requests actually arrive: each workload's requests
+//! queue in a batcher, a [`DispatchPolicy`] decides when an accumulated
+//! batch launches on the partition, and the partition executes it under the
+//! same per-placement latency model the co-scheduler optimised.
+//!
+//! Everything is a pure function of `(trace, placements, config)`: the
+//! trace is drawn once from the workspace's seeded RNG shim, the event loop
+//! consumes no wall clock and no global state, and the resulting
+//! [`ServeReport`] is bit-identical across `MARS_THREADS` values and repeat
+//! runs — the same determinism contract as every other MARS subsystem.
+//!
+//! ```no_run
+//! use mars_accel::Catalog;
+//! use mars_core::{co_schedule, CoScheduleConfig};
+//! use mars_model::zoo::MixZoo;
+//! use mars_serve::{render_serve, simulate, DispatchPolicy, ServeConfig, Trace};
+//! use mars_topology::presets;
+//!
+//! let mix = MixZoo::ClassicPair;
+//! let workloads = mix.entries();
+//! let topo = presets::f1_16xlarge();
+//! let catalog = Catalog::standard_three();
+//! let co = co_schedule(&workloads, &topo, &catalog, &CoScheduleConfig::fast(42)).unwrap();
+//!
+//! let profiles = mix.traffic();
+//! let trace = Trace::poisson(&profiles, 1.0, 42);
+//! let config = ServeConfig::new(DispatchPolicy::EarliestDeadline);
+//! let report = simulate(&co, &profiles, &trace, &config).unwrap();
+//! println!("{}", render_serve(&report));
+//! assert!(report.goodput <= report.total_requests);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod sim;
+mod trace;
+
+pub use report::render_serve;
+pub use sim::{simulate, DispatchPolicy, ServeConfig, ServeError, ServeReport, WorkloadServeStats};
+pub use trace::Trace;
+
+/// Re-export of the traffic-profile vocabulary the trace generator consumes
+/// (defined next to [`Workload`](mars_model::Workload) in `mars-model`).
+pub use mars_model::TrafficProfile;
+
+#[doc(hidden)]
+pub mod testing {
+    //! Test-support constructors shared by this crate's unit and
+    //! integration tests.  Not part of the public API.
+
+    use mars_core::{CoScheduleResult, Mapping, Placement, SearchResult};
+    use mars_topology::AccelId;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    /// A synthetic co-schedule with no real search behind it: one placement
+    /// per latency (seconds), two accelerators each, the given SLA weights.
+    pub fn synthetic_co(latencies: &[f64], weights: &[f64]) -> CoScheduleResult {
+        let placements: Vec<Placement> = latencies
+            .iter()
+            .enumerate()
+            .map(|(w, &lat)| Placement {
+                workload: w,
+                name: format!("net{w}"),
+                weight: weights[w],
+                batch: 1,
+                accels: vec![AccelId(2 * w), AccelId(2 * w + 1)],
+                result: SearchResult {
+                    mapping: Mapping::new(Vec::new(), BTreeMap::new(), lat),
+                    history: Vec::new(),
+                    evaluations: 0,
+                    elapsed: Duration::ZERO,
+                },
+            })
+            .collect();
+        CoScheduleResult {
+            placements,
+            makespan_seconds: 0.0,
+            weighted_makespan_seconds: 0.0,
+            sequential_makespan_seconds: 0.0,
+            sequential_weighted_makespan_seconds: 0.0,
+            outer_history: Vec::new(),
+            outer_evaluations: 0,
+            inner_searches: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+/// Runs the same trace under every [`DispatchPolicy`], in
+/// [`DispatchPolicy::ALL`] order — the comparison the `table_serve`
+/// benchmark prints.
+///
+/// # Errors
+///
+/// Propagates the first [`ServeError`]; the inputs are validated identically
+/// for every policy, so an error from one policy is an error for all.
+pub fn compare_policies(
+    co: &mars_core::CoScheduleResult,
+    profiles: &[TrafficProfile],
+    trace: &Trace,
+    base: &ServeConfig,
+) -> Result<Vec<ServeReport>, ServeError> {
+    DispatchPolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            let config = ServeConfig { policy, ..*base };
+            simulate(co, profiles, trace, &config)
+        })
+        .collect()
+}

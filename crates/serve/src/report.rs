@@ -1,0 +1,52 @@
+//! Human-readable rendering of a [`ServeReport`].
+
+use crate::sim::ServeReport;
+use mars_core::report::describe_accel_set;
+use mars_topology::AccelId;
+
+/// Renders a serving outcome: the system-level goodput/latency line, one
+/// line per workload, and the per-accelerator utilisation summary.
+pub fn render_serve(report: &ServeReport) -> String {
+    let mut out = format!(
+        "serve[{}]: {} req in {:.2}s | {} done, {} met SLA ({:.1}%) | p50/p95/p99 {:.2}/{:.2}/{:.2} ms | {:.1} req/s | util {:.1}%\n",
+        report.policy,
+        report.total_requests,
+        report.horizon_seconds,
+        report.completed,
+        report.goodput,
+        100.0 * report.goodput_rate(),
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.throughput_per_second(),
+        100.0 * report.mean_utilization(),
+    );
+    for s in &report.per_workload {
+        out.push_str(&format!(
+            "  {} (sla {:.2} ms): {}/{} met of {} arrived | p95 {:.2} ms | {} batches, mean {:.1}, busy {:.0}%\n",
+            s.name,
+            s.sla_seconds * 1e3,
+            s.met_sla,
+            s.completed,
+            s.requests,
+            s.p95_ms,
+            s.batches,
+            s.mean_batch,
+            100.0 * s.busy_seconds / report.horizon_seconds,
+        ));
+    }
+    let ids: Vec<AccelId> = report.utilization.iter().map(|(a, _)| *a).collect();
+    if !ids.is_empty() {
+        out.push_str(&format!(
+            "  platform {}: {}\n",
+            describe_accel_set(&ids),
+            report
+                .utilization
+                .iter()
+                .map(|(a, u)| format!("Acc{}={:.0}%", a.0, 100.0 * u))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ));
+    }
+    out
+}

@@ -1,0 +1,805 @@
+//! The discrete-event serving simulator.
+//!
+//! Every workload of a [`CoScheduleResult`] owns a disjoint accelerator
+//! partition, so online serving decomposes into one single-server queue per
+//! placement: requests arrive along the [`Trace`], wait in the workload's
+//! batcher, and execute as batches on the partition.  A batch of `b`
+//! inferences costs
+//!
+//! ```text
+//! cost(b) = overhead + b × L        where L = placement per-inference latency
+//! ```
+//!
+//! with `overhead = dispatch_overhead_factor × L` modelling the per-dispatch
+//! reconfiguration/weight-staging cost of the partition — the term that makes
+//! dynamic batching worthwhile (bigger batches amortise it) and late
+//! batching risky (requests age while the batch fills).
+//!
+//! The [`DispatchPolicy`] decides *when* a waiting batch launches:
+//!
+//! * [`Fifo`](DispatchPolicy::Fifo) — launch when the batch is full or the
+//!   oldest request has waited `batch_timeout_seconds`, deadline-blind.
+//! * [`EarliestDeadline`](DispatchPolicy::EarliestDeadline) — keep
+//!   accumulating until the last instant the oldest deadline can still be
+//!   met (`deadline − cost(b)`), then launch.
+//! * [`SlaWeighted`](DispatchPolicy::SlaWeighted) — earliest-deadline with
+//!   the safety margin scaled by the workload's SLA weight (clamped below
+//!   at 1): heavier workloads launch earlier, trading batch size for
+//!   headroom; sub-one weights behave like plain EDF.
+//!
+//! The whole simulation is a pure function of `(placements, profiles,
+//! trace, config)` — no wall clock, no global RNG — so its [`ServeReport`]
+//! is bit-identical across `MARS_THREADS` settings and repeat runs.
+
+use crate::trace::Trace;
+use mars_core::CoScheduleResult;
+use mars_model::TrafficProfile;
+use mars_topology::AccelId;
+use std::collections::VecDeque;
+
+/// When the batcher hands an accumulated batch to its partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchPolicy {
+    /// Full batch or fixed timeout, whichever first; ignores deadlines.
+    Fifo,
+    /// Launch at the last instant the oldest request's deadline is met.
+    EarliestDeadline,
+    /// [`EarliestDeadline`](DispatchPolicy::EarliestDeadline) with the
+    /// safety margin scaled by the placement's SLA weight, clamped below at
+    /// `1.0`: weights above one launch earlier (more headroom for their
+    /// stricter SLA), while sub-one weights fall back to plain EDF rather
+    /// than launching *past* the last deadline-safe instant.
+    SlaWeighted,
+}
+
+impl DispatchPolicy {
+    /// All policies, in the order the benchmark tables print them.
+    pub const ALL: [DispatchPolicy; 3] = [
+        DispatchPolicy::Fifo,
+        DispatchPolicy::EarliestDeadline,
+        DispatchPolicy::SlaWeighted,
+    ];
+
+    /// Short display name (`fifo`, `edf`, `sla-w`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::Fifo => "fifo",
+            DispatchPolicy::EarliestDeadline => "edf",
+            DispatchPolicy::SlaWeighted => "sla-w",
+        }
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of the serving simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Dispatch policy of every workload's batcher.
+    pub policy: DispatchPolicy,
+    /// Largest batch a single dispatch may carry.
+    pub max_batch: usize,
+    /// FIFO's accumulation window: the oldest request never waits longer
+    /// than this before its batch launches (subject to the server being
+    /// free).
+    pub batch_timeout_seconds: f64,
+    /// Per-dispatch overhead in units of the placement's per-inference
+    /// latency.
+    pub dispatch_overhead_factor: f64,
+}
+
+impl ServeConfig {
+    /// The default serving knobs with the given policy: batches of up to 8,
+    /// a 10 ms FIFO window, one inference-equivalent of dispatch overhead.
+    pub fn new(policy: DispatchPolicy) -> Self {
+        Self {
+            policy,
+            max_batch: 8,
+            batch_timeout_seconds: 0.010,
+            dispatch_overhead_factor: 1.0,
+        }
+    }
+
+    /// Sets the maximum batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets FIFO's accumulation window in seconds.
+    pub fn with_batch_timeout(mut self, seconds: f64) -> Self {
+        self.batch_timeout_seconds = seconds;
+        self
+    }
+
+    /// Sets the per-dispatch overhead factor.
+    pub fn with_dispatch_overhead(mut self, factor: f64) -> Self {
+        self.dispatch_overhead_factor = factor;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new(DispatchPolicy::EarliestDeadline)
+    }
+}
+
+/// Errors rejected before a simulation starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The trace or profile slice does not line up with the placements.
+    ShapeMismatch {
+        /// Number of placements in the co-schedule.
+        placements: usize,
+        /// Number of traffic profiles supplied.
+        profiles: usize,
+        /// Number of arrival streams in the trace.
+        streams: usize,
+    },
+    /// The trace's horizon is not a positive finite number.
+    InvalidHorizon(f64),
+    /// `max_batch` is zero.
+    ZeroMaxBatch,
+    /// A knob that must be non-negative and finite is not.
+    InvalidKnob {
+        /// Name of the offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A workload's SLA factor is not a positive finite number.
+    InvalidSla {
+        /// Index of the offending workload.
+        workload: usize,
+        /// The rejected factor.
+        sla_factor: f64,
+    },
+    /// A placement's per-inference latency is not a positive finite number,
+    /// so batches would take zero or undefined time.
+    InvalidPlacementLatency {
+        /// Index of the offending workload.
+        workload: usize,
+        /// The rejected latency in seconds.
+        latency_seconds: f64,
+    },
+    /// A workload's arrival stream violates the [`Trace`] invariant: times
+    /// must be sorted, finite and inside `[0, horizon)`.
+    InvalidTrace {
+        /// Index of the offending workload.
+        workload: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShapeMismatch {
+                placements,
+                profiles,
+                streams,
+            } => write!(
+                f,
+                "shape mismatch: {placements} placements, {profiles} profiles, {streams} trace streams"
+            ),
+            ServeError::InvalidHorizon(h) => write!(f, "invalid horizon {h}"),
+            ServeError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ServeError::InvalidKnob { knob, value } => {
+                write!(f, "invalid {knob}: {value}")
+            }
+            ServeError::InvalidSla {
+                workload,
+                sla_factor,
+            } => write!(f, "workload {workload} has invalid SLA factor {sla_factor}"),
+            ServeError::InvalidPlacementLatency {
+                workload,
+                latency_seconds,
+            } => write!(
+                f,
+                "workload {workload}'s placement has invalid latency {latency_seconds}s"
+            ),
+            ServeError::InvalidTrace { workload } => write!(
+                f,
+                "workload {workload}'s arrival stream is not sorted inside [0, horizon)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-workload serving outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadServeStats {
+    /// Index of the workload in the co-schedule's input order.
+    pub workload: usize,
+    /// Network name (from the placement).
+    pub name: String,
+    /// Requests that arrived inside the horizon.
+    pub requests: usize,
+    /// Requests whose batch finished by the horizon.
+    pub completed: usize,
+    /// Completed requests that also met their deadline.
+    pub met_sla: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Mean dispatched batch size (`0` when no batch launched).
+    pub mean_batch: f64,
+    /// Median completed-request latency in milliseconds (`0` when none).
+    pub p50_ms: f64,
+    /// 95th-percentile completed-request latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile completed-request latency in milliseconds.
+    pub p99_ms: f64,
+    /// The absolute SLA budget in seconds (`sla_factor ×` placement latency).
+    pub sla_seconds: f64,
+    /// Time the partition spent executing batches, clamped to the horizon.
+    pub busy_seconds: f64,
+}
+
+/// Outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The dispatch policy that produced this report.
+    pub policy: DispatchPolicy,
+    /// The simulated horizon in seconds.
+    pub horizon_seconds: f64,
+    /// Per-workload statistics, in co-schedule input order.
+    pub per_workload: Vec<WorkloadServeStats>,
+    /// Per-accelerator utilisation (`busy / horizon`), one entry per
+    /// accelerator of the platform, sorted by id.
+    pub utilization: Vec<(AccelId, f64)>,
+    /// Requests that arrived inside the horizon, across all workloads.
+    pub total_requests: usize,
+    /// Requests whose batch finished by the horizon.
+    pub completed: usize,
+    /// Completed requests that also met their deadline — the goodput count.
+    pub goodput: usize,
+    /// Aggregate median latency over all completed requests, milliseconds.
+    pub p50_ms: f64,
+    /// Aggregate 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// Aggregate 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl ServeReport {
+    /// Completed requests per second of simulated time.
+    pub fn throughput_per_second(&self) -> f64 {
+        if self.horizon_seconds > 0.0 {
+            self.completed as f64 / self.horizon_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of arrived requests that met their SLA (`0` when none
+    /// arrived).
+    pub fn goodput_rate(&self) -> f64 {
+        if self.total_requests > 0 {
+            self.goodput as f64 / self.total_requests as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean per-accelerator utilisation (`0` on an empty platform).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization.is_empty() {
+            0.0
+        } else {
+            self.utilization.iter().map(|(_, u)| u).sum::<f64>() / self.utilization.len() as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency sample, in milliseconds.
+/// Returns `0.0` for an empty sample.
+fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1] * 1e3
+}
+
+struct Request {
+    arrival: f64,
+    deadline: f64,
+}
+
+struct WorkloadOutcome {
+    stats: WorkloadServeStats,
+    latencies: Vec<f64>,
+}
+
+/// One workload's serving lane: the placement-derived scalars the
+/// single-server simulation needs.
+struct Lane<'a> {
+    workload: usize,
+    name: &'a str,
+    /// SLA weight of the placement (drives [`DispatchPolicy::SlaWeighted`]).
+    weight: f64,
+    /// Per-inference latency on the partition, seconds.
+    latency: f64,
+    /// Absolute deadline budget, seconds after arrival.
+    sla_seconds: f64,
+}
+
+/// Simulates one workload's single-server batching queue.
+fn simulate_workload(
+    lane: &Lane<'_>,
+    arrivals: &[f64],
+    horizon: f64,
+    config: &ServeConfig,
+) -> WorkloadOutcome {
+    let overhead = config.dispatch_overhead_factor * lane.latency;
+    let cost = |b: usize| overhead + b as f64 * lane.latency;
+
+    let requests: Vec<Request> = arrivals
+        .iter()
+        .map(|&arrival| Request {
+            arrival,
+            deadline: arrival + lane.sla_seconds,
+        })
+        .collect();
+
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut next = 0usize; // first request not yet enqueued
+    let mut free = 0.0f64; // when the partition finishes its current batch
+    let mut busy = 0.0f64;
+    let mut batches = 0usize;
+    let mut dispatched = 0usize;
+    let mut completed = 0usize;
+    let mut met_sla = 0usize;
+    let mut latencies: Vec<f64> = Vec::new();
+
+    'serve: loop {
+        if queue.is_empty() {
+            if next >= requests.len() {
+                break;
+            }
+            queue.push_back(next);
+            next += 1;
+        }
+        loop {
+            let head = &requests[queue[0]];
+            let b_now = queue.len().min(config.max_batch);
+            // Instant the batch fills from arrivals already known to come.
+            let fill = if queue.len() >= config.max_batch {
+                // Full already: ready the moment its newest member arrived.
+                requests[queue[config.max_batch - 1]].arrival
+            } else {
+                // need >= 1 here, and huge max_batch values (an effectively
+                // unbounded batch) must saturate, not overflow the index.
+                let need = config.max_batch - queue.len();
+                match requests.get(next.saturating_add(need - 1)) {
+                    Some(r) => r.arrival,
+                    None => f64::INFINITY,
+                }
+            };
+            let policy_t = match config.policy {
+                DispatchPolicy::Fifo => head.arrival + config.batch_timeout_seconds,
+                DispatchPolicy::EarliestDeadline => head.deadline - cost(b_now),
+                // Heavier SLA weight → larger margin before the deadline.
+                DispatchPolicy::SlaWeighted => head.deadline - cost(b_now) * lane.weight.max(1.0),
+            };
+            let start = fill.min(policy_t).max(free).max(head.arrival);
+            // Requests arriving by the launch instant join the queue first
+            // (and may move the launch decision — recompute).
+            if let Some(r) = requests.get(next) {
+                if r.arrival <= start {
+                    queue.push_back(next);
+                    next += 1;
+                    continue;
+                }
+            }
+            if start >= horizon {
+                break 'serve;
+            }
+            let mut batch: Vec<usize> = Vec::new();
+            while batch.len() < config.max_batch
+                && queue.front().is_some_and(|&i| requests[i].arrival <= start)
+            {
+                batch.push(queue.pop_front().expect("front checked"));
+            }
+            let finish = start + cost(batch.len());
+            if finish <= horizon {
+                // In-flight-at-horizon batches never complete inside the
+                // simulation, so only finished batches contribute samples.
+                for &i in &batch {
+                    completed += 1;
+                    latencies.push(finish - requests[i].arrival);
+                    if finish <= requests[i].deadline {
+                        met_sla += 1;
+                    }
+                }
+            }
+            busy += finish.min(horizon) - start;
+            free = finish;
+            batches += 1;
+            dispatched += batch.len();
+            break;
+        }
+    }
+
+    let mut sample = latencies.clone();
+    let stats = WorkloadServeStats {
+        workload: lane.workload,
+        name: lane.name.to_string(),
+        requests: requests.len(),
+        completed,
+        met_sla,
+        batches,
+        mean_batch: if batches > 0 {
+            dispatched as f64 / batches as f64
+        } else {
+            0.0
+        },
+        p50_ms: percentile_ms(&mut sample, 0.50),
+        p95_ms: percentile_ms(&mut sample, 0.95),
+        p99_ms: percentile_ms(&mut sample, 0.99),
+        sla_seconds: lane.sla_seconds,
+        busy_seconds: busy,
+    };
+    WorkloadOutcome { stats, latencies }
+}
+
+/// Replays `trace` against the co-schedule's placements under `config` and
+/// returns the aggregate [`ServeReport`].
+///
+/// `profiles[w]` and `trace.arrivals[w]` describe workload `w` of
+/// `co.placements` (co-schedule input order).  The simulation is
+/// deterministic: the same inputs always produce a bit-identical report,
+/// regardless of `MARS_THREADS` or repetition.
+///
+/// # Errors
+///
+/// Rejects mismatched input shapes and degenerate knobs — see [`ServeError`].
+pub fn simulate(
+    co: &CoScheduleResult,
+    profiles: &[TrafficProfile],
+    trace: &Trace,
+    config: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    let k = co.placements.len();
+    if profiles.len() != k || trace.arrivals.len() != k {
+        return Err(ServeError::ShapeMismatch {
+            placements: k,
+            profiles: profiles.len(),
+            streams: trace.arrivals.len(),
+        });
+    }
+    let horizon = trace.horizon_seconds;
+    if !(horizon > 0.0 && horizon.is_finite()) {
+        return Err(ServeError::InvalidHorizon(horizon));
+    }
+    if config.max_batch == 0 {
+        return Err(ServeError::ZeroMaxBatch);
+    }
+    for (knob, value) in [
+        ("batch_timeout_seconds", config.batch_timeout_seconds),
+        ("dispatch_overhead_factor", config.dispatch_overhead_factor),
+    ] {
+        if !(value >= 0.0 && value.is_finite()) {
+            return Err(ServeError::InvalidKnob { knob, value });
+        }
+    }
+    for (w, p) in profiles.iter().enumerate() {
+        if !(p.sla_factor > 0.0 && p.sla_factor.is_finite()) {
+            return Err(ServeError::InvalidSla {
+                workload: w,
+                sla_factor: p.sla_factor,
+            });
+        }
+        let lat = co.placements[w].result.mapping.latency_seconds;
+        if !(lat > 0.0 && lat.is_finite()) {
+            return Err(ServeError::InvalidPlacementLatency {
+                workload: w,
+                latency_seconds: lat,
+            });
+        }
+    }
+    // The event loop's lookahead (batch-fill prediction, FIFO timeout
+    // anchored on the queue head) silently assumes each stream is sorted
+    // and inside the horizon — enforce the Trace invariant instead of
+    // producing quietly wrong numbers for a hand-built trace.
+    for (w, stream) in trace.arrivals.iter().enumerate() {
+        let in_window = stream.iter().all(|t| (0.0..horizon).contains(t));
+        let sorted = stream.windows(2).all(|p| p[0] <= p[1]);
+        if !(in_window && sorted) {
+            return Err(ServeError::InvalidTrace { workload: w });
+        }
+    }
+
+    let mut per_workload = Vec::with_capacity(k);
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut utilization: Vec<(AccelId, f64)> = Vec::new();
+    for (w, placement) in co.placements.iter().enumerate() {
+        let latency = placement.result.mapping.latency_seconds;
+        let outcome = simulate_workload(
+            &Lane {
+                workload: w,
+                name: &placement.name,
+                weight: placement.weight,
+                latency,
+                sla_seconds: profiles[w].sla_factor * latency,
+            },
+            &trace.arrivals[w],
+            horizon,
+            config,
+        );
+        // Every accelerator of the partition is busy while a batch runs.
+        let util = outcome.stats.busy_seconds / horizon;
+        for &a in &placement.accels {
+            utilization.push((a, util));
+        }
+        all_latencies.extend_from_slice(&outcome.latencies);
+        per_workload.push(outcome.stats);
+    }
+    utilization.sort_by_key(|(a, _)| *a);
+    let mut all = all_latencies;
+
+    let report = ServeReport {
+        policy: config.policy,
+        horizon_seconds: horizon,
+        total_requests: per_workload.iter().map(|s| s.requests).sum(),
+        completed: per_workload.iter().map(|s| s.completed).sum(),
+        goodput: per_workload.iter().map(|s| s.met_sla).sum(),
+        p50_ms: percentile_ms(&mut all, 0.50),
+        p95_ms: percentile_ms(&mut all, 0.95),
+        p99_ms: percentile_ms(&mut all, 0.99),
+        per_workload,
+        utilization,
+    };
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::synthetic_co;
+
+    fn trace_of(arrivals: Vec<Vec<f64>>, horizon: f64) -> Trace {
+        Trace {
+            horizon_seconds: horizon,
+            arrivals,
+        }
+    }
+
+    const MS: f64 = 1e-3;
+
+    /// One workload, 1 ms per-inference latency, 5 ms SLA, three requests in
+    /// the first 2 ms: FIFO sits out its 10 ms window and misses every
+    /// deadline; EDF launches at the last safe instant and meets all three.
+    #[test]
+    fn edf_meets_deadlines_fifo_sleeps_through() {
+        let co = synthetic_co(&[1.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(100.0, 5.0)];
+        let trace = trace_of(vec![vec![0.0, 1.0 * MS, 2.0 * MS]], 0.1);
+
+        let fifo = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::Fifo).with_max_batch(4),
+        )
+        .unwrap();
+        // Launches at t=10ms with all 3 requests: cost (1+3)ms, finish 14ms.
+        assert_eq!(fifo.completed, 3);
+        assert_eq!(fifo.goodput, 0);
+        assert!((fifo.p50_ms - 13.0).abs() < 1e-9);
+
+        let edf = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::EarliestDeadline).with_max_batch(4),
+        )
+        .unwrap();
+        // First batch launches at t=1ms (deadline 5ms − cost(3)=4ms) with the
+        // two arrived requests, finishing at 4ms; the third runs alone,
+        // starting at its latest safe instant 5ms, finishing at 7ms — all met.
+        assert_eq!(edf.completed, 3);
+        assert_eq!(edf.goodput, 3);
+        assert_eq!(edf.per_workload[0].batches, 2);
+        assert!(edf.p95_ms < fifo.p50_ms);
+    }
+
+    #[test]
+    fn sla_weighted_launches_no_later_than_edf() {
+        let co_heavy = synthetic_co(&[1.0 * MS], &[2.0]);
+        let profiles = [TrafficProfile::new(100.0, 5.0)];
+        let trace = trace_of(vec![vec![0.0, 1.0 * MS, 2.0 * MS]], 0.1);
+        let edf = simulate(
+            &co_heavy,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::EarliestDeadline).with_max_batch(4),
+        )
+        .unwrap();
+        let slaw = simulate(
+            &co_heavy,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::SlaWeighted).with_max_batch(4),
+        )
+        .unwrap();
+        // Double margin → earlier launches → latency no worse, goodput no
+        // worse, batches no larger.
+        assert!(slaw.p95_ms <= edf.p95_ms);
+        assert!(slaw.goodput >= edf.goodput);
+        assert!(slaw.per_workload[0].mean_batch <= edf.per_workload[0].mean_batch);
+    }
+
+    #[test]
+    fn full_batches_launch_without_waiting_for_the_timeout() {
+        let co = synthetic_co(&[1.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(100.0, 50.0)];
+        // Four simultaneous-ish arrivals fill max_batch=2 twice.
+        let trace = trace_of(vec![vec![0.0, 0.1 * MS, 0.2 * MS, 0.3 * MS]], 0.1);
+        let report = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::Fifo).with_max_batch(2),
+        )
+        .unwrap();
+        assert_eq!(report.per_workload[0].batches, 2);
+        assert_eq!(report.completed, 4);
+        // First batch starts when request 1 arrives (0.1ms), costs 3ms.
+        assert!((report.per_workload[0].busy_seconds - 6.0 * MS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizon_cuts_off_late_work_and_clamps_busy_time() {
+        let co = synthetic_co(&[10.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(100.0, 3.0)];
+        // Horizon 25 ms: the second batch (starting ~20ms, cost 20ms) is cut.
+        let trace = trace_of(vec![vec![0.0, 1.0 * MS, 15.0 * MS]], 25.0 * MS);
+        let report = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::Fifo).with_max_batch(8),
+        )
+        .unwrap();
+        assert_eq!(report.total_requests, 3);
+        assert!(report.completed < 3);
+        for s in &report.per_workload {
+            assert!(s.busy_seconds <= report.horizon_seconds + 1e-12);
+        }
+        for (_, u) in &report.utilization {
+            assert!((0.0..=1.0 + 1e-12).contains(u));
+        }
+    }
+
+    #[test]
+    fn utilization_covers_every_partition_accelerator() {
+        let co = synthetic_co(&[1.0 * MS, 2.0 * MS], &[1.0, 1.0]);
+        let profiles = [
+            TrafficProfile::new(50.0, 5.0),
+            TrafficProfile::new(50.0, 5.0),
+        ];
+        let trace = Trace::poisson(&profiles, 0.5, 7);
+        let report = simulate(&co, &profiles, &trace, &ServeConfig::default()).unwrap();
+        let ids: Vec<AccelId> = report.utilization.iter().map(|(a, _)| *a).collect();
+        assert_eq!(ids, (0..4).map(AccelId).collect::<Vec<_>>());
+        assert!(report.goodput <= report.completed);
+        assert!(report.completed <= report.total_requests);
+        assert_eq!(report.total_requests, trace.total_requests());
+    }
+
+    #[test]
+    fn effectively_unbounded_max_batch_neither_overflows_nor_stalls() {
+        let co = synthetic_co(&[1.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(100.0, 50.0)];
+        let trace = trace_of(vec![vec![0.0, 0.5 * MS, 1.0 * MS]], 0.1);
+        let report = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::Fifo).with_max_batch(usize::MAX),
+        )
+        .unwrap();
+        // The batch never fills, so FIFO's timeout launches all requests.
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.per_workload[0].batches, 1);
+    }
+
+    #[test]
+    fn simulation_is_bit_identical_across_runs() {
+        let co = synthetic_co(&[1.0 * MS, 3.0 * MS], &[1.5, 1.0]);
+        let profiles = [
+            TrafficProfile::new(200.0, 4.0),
+            TrafficProfile::new(80.0, 6.0),
+        ];
+        let trace = Trace::poisson(&profiles, 1.0, 42);
+        let a = simulate(&co, &profiles, &trace, &ServeConfig::default()).unwrap();
+        let b = simulate(&co, &profiles, &trace, &ServeConfig::default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p99_ms.to_bits(), b.p99_ms.to_bits());
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let co = synthetic_co(&[1.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(100.0, 5.0)];
+        let trace = trace_of(vec![vec![0.0]], 1.0);
+
+        let two = [profiles[0], profiles[0]];
+        assert!(matches!(
+            simulate(&co, &two, &trace, &ServeConfig::default()),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            simulate(
+                &co,
+                &profiles,
+                &trace_of(vec![vec![]], 0.0),
+                &ServeConfig::default()
+            ),
+            Err(ServeError::InvalidHorizon(_))
+        ));
+        assert_eq!(
+            simulate(
+                &co,
+                &profiles,
+                &trace,
+                &ServeConfig::default().with_max_batch(0)
+            ),
+            Err(ServeError::ZeroMaxBatch)
+        );
+        assert!(matches!(
+            simulate(
+                &co,
+                &profiles,
+                &trace,
+                &ServeConfig::default().with_batch_timeout(f64::NAN)
+            ),
+            Err(ServeError::InvalidKnob { .. })
+        ));
+        let bad_sla = [TrafficProfile::new(100.0, 0.0)];
+        assert!(matches!(
+            simulate(&co, &bad_sla, &trace, &ServeConfig::default()),
+            Err(ServeError::InvalidSla { workload: 0, .. })
+        ));
+        let invalid = synthetic_co(&[f64::INFINITY], &[1.0]);
+        assert!(matches!(
+            simulate(&invalid, &profiles, &trace, &ServeConfig::default()),
+            Err(ServeError::InvalidPlacementLatency { workload: 0, .. })
+        ));
+        // Hand-built traces must respect the Trace invariant: sorted, finite
+        // arrivals inside [0, horizon).
+        for bad in [
+            vec![0.9, 0.1],           // unsorted
+            vec![0.5, 1.5],           // beyond the horizon
+            vec![-0.1, 0.5],          // before time zero
+            vec![0.1, f64::NAN, 0.2], // not a time
+        ] {
+            assert_eq!(
+                simulate(
+                    &co,
+                    &profiles,
+                    &trace_of(vec![bad], 1.0),
+                    &ServeConfig::default()
+                ),
+                Err(ServeError::InvalidTrace { workload: 0 })
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut sample = vec![0.004, 0.001, 0.002, 0.003];
+        assert_eq!(percentile_ms(&mut sample, 0.50), 2.0);
+        assert_eq!(percentile_ms(&mut sample, 0.95), 4.0);
+        let mut empty: [f64; 0] = [];
+        assert_eq!(percentile_ms(&mut empty, 0.99), 0.0);
+    }
+}

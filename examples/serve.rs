@@ -1,0 +1,37 @@
+//! Online serving quickstart: co-schedule a workload mix, then replay a
+//! seeded one-second request trace against the placements under each
+//! dispatch policy and compare goodput and tail latency.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! ```
+
+use mars::core::{co_schedule, CoScheduleConfig};
+use mars::prelude::*;
+use mars::serve::{compare_policies, render_serve, ServeConfig, Trace};
+
+fn main() {
+    let mix = mars::model::zoo::MixZoo::ClassicPair;
+    let workloads: Vec<Workload> = mix.entries();
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+
+    let co = co_schedule(&workloads, &topo, &catalog, &CoScheduleConfig::fast(42))
+        .expect("bundled mix fits the platform");
+
+    let profiles: Vec<TrafficProfile> = mix.traffic();
+    let trace = Trace::poisson(&profiles, 1.0, 42);
+    println!(
+        "{mix}: replaying {} requests over {:.1}s against {} placements\n",
+        trace.total_requests(),
+        trace.horizon_seconds,
+        co.placements.len()
+    );
+
+    let reports = compare_policies(&co, &profiles, &trace, &ServeConfig::default())
+        .expect("bundled profiles are valid");
+    for report in &reports {
+        print!("{}", render_serve(report));
+        println!();
+    }
+}

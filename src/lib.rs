@@ -13,6 +13,7 @@
 //! | [`comm`]     | `mars-comm`     | Collective-communication simulator (ASTRA-Sim substitute) |
 //! | [`parallel`] | `mars-parallel` | ES/SS parallelism strategies, shard algebra and per-layer evaluation |
 //! | [`core`]     | `mars-core`     | Two-level genetic mapping search, baselines, reports, ablations |
+//! | [`serve`]    | `mars-serve`    | Online serving simulator: SLA-aware dynamic batching over co-schedule placements |
 //!
 //! ## Quickstart
 //!
@@ -51,9 +52,17 @@
 //! the per-network search inside each partition and minimises the weighted
 //! makespan.  Bundled workload mixes live in [`model::zoo::MixZoo`].
 //!
+//! ## Online serving
+//!
+//! [`serve`] replays a seeded request-arrival trace against a co-schedule's
+//! placements with SLA-aware dynamic batching ([`serve::simulate`]),
+//! producing tail-latency, goodput and utilisation figures — see
+//! [`serve::Trace`] and [`serve::DispatchPolicy`].  Bundled traffic
+//! profiles live on [`model::zoo::MixZoo::traffic`].
+//!
 //! The `examples/` directory contains runnable versions of these flows
 //! (`quickstart`, `resnet_on_f1`, `hetero_bandwidth_sweep`,
-//! `custom_accelerator`, `co_schedule`), and the `mars-bench` crate
+//! `custom_accelerator`, `co_schedule`, `serve`), and the `mars-bench` crate
 //! regenerates every table and figure of the paper's evaluation.
 
 #![forbid(unsafe_code)]
@@ -64,6 +73,7 @@ pub use mars_comm as comm;
 pub use mars_core as core;
 pub use mars_model as model;
 pub use mars_parallel as parallel;
+pub use mars_serve as serve;
 pub use mars_topology as topology;
 
 /// Runs a fast-budget MARS search for `net` on `topo` over the designs in
@@ -150,8 +160,10 @@ pub mod prelude {
     };
     pub use mars_model::{
         ConvParams, Dim, DimSet, FeatureMap, Layer, LayerId, LayerKind, LoopNest, Network,
+        TrafficProfile,
     };
     pub use mars_parallel::{evaluate_layer, EvalContext, LayerEval, ShardPlan, Strategy};
+    pub use mars_serve::{DispatchPolicy, ServeConfig, ServeReport, Trace};
     pub use mars_topology::{AccelId, Gbps, Topology, TopologyBuilder};
 }
 
