@@ -16,7 +16,9 @@
 //! ```
 
 use mars_accel::{Catalog, ProfileTable};
-use mars_bench::{smoke, table3_row, table_multi_row, table_serve_row_on, Budget};
+use mars_bench::{
+    smoke, table3_row, table_elastic_row, table_multi_row, table_serve_row_on, Budget,
+};
 use mars_model::zoo::{Benchmark, MixZoo};
 use std::time::Instant;
 
@@ -80,16 +82,32 @@ fn main() {
     }
     let table_serve_s = t.elapsed().as_secs_f64();
 
+    // table_elastic: drift-aware re-scheduling vs a static placement under
+    // the bundled phased traffic (seed 42 on every mix).  The gate holds the
+    // *worst* mix's Reactive/Static goodput ratio: the elastic runtime must
+    // never lose to never-rescheduling (on mixes where migration is
+    // uneconomic it declines every move and the ratio is exactly 1).
+    let t = Instant::now();
+    let mut elastic_min_gain = f64::INFINITY;
+    for mix in MixZoo::ALL {
+        let row = table_elastic_row(mix, budget, 42);
+        let gain = row.reactive_vs_static_goodput_gain().min(1e6);
+        elastic_min_gain = elastic_min_gain.min(gain);
+    }
+    let table_elastic_s = t.elapsed().as_secs_f64();
+
     let wall_clock = [
         ("table2", table2_s),
         ("table3", table3_s),
         ("table_multi", table_multi_s),
         ("table_serve", table_serve_s),
+        ("table_elastic", table_elastic_s),
     ];
     let headlines = [
         ("table3_min_search_speedup", table3_min_speedup),
         ("table_multi_min_speedup", multi_min_speedup),
         ("table_serve_min_goodput_gain", serve_min_gain),
+        ("reactive_vs_static", elastic_min_gain),
     ];
 
     let summary = smoke::render_summary("fast", threads, &wall_clock, &headlines);

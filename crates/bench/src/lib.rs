@@ -16,11 +16,12 @@
 
 use mars_accel::Catalog;
 use mars_core::{
-    baseline, co_schedule, CoScheduleConfig, CoScheduleResult, Mapping, Mars, SearchConfig,
-    SearchResult, Workload,
+    baseline, co_schedule, CoScheduleConfig, CoScheduleResult, InnerSearchCache, Mapping, Mars,
+    SearchConfig, SearchResult, Workload,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
-use mars_model::{Network, TrafficProfile};
+use mars_model::{Network, PhasedTraffic, TrafficProfile};
+use mars_runtime::{run_elastic_with_cache, ElasticReport, RuntimeConfig, RuntimePolicy};
 use mars_serve::{compare_policies, DispatchPolicy, ServeConfig, ServeReport, Trace};
 use mars_topology::{presets, Topology};
 
@@ -286,6 +287,93 @@ pub fn table_serve_row_on(mix: MixZoo, seed: u64, co: CoScheduleResult) -> Serve
         mix,
         profiles,
         co,
+        trace,
+        reports,
+    }
+}
+
+/// One row of the elastic-runtime comparison (`table_elastic`): the same
+/// phased (non-stationary) trace served under every [`RuntimePolicy`] —
+/// `Static` (one offline placement forever), `Reactive` (drift-triggered
+/// warm-started re-scheduling) and `Oracle` (phase-boundary clairvoyant).
+#[derive(Debug, Clone)]
+pub struct ElasticRow {
+    /// The workload mix.
+    pub mix: MixZoo,
+    /// The non-stationary scenario the trace was drawn from.
+    pub scenario: PhasedTraffic,
+    /// The replayed trace (shared by every policy).
+    pub trace: Trace,
+    /// One report per policy, in [`RuntimePolicy::ALL`] order.
+    pub reports: Vec<ElasticReport>,
+}
+
+impl ElasticRow {
+    /// The report of `policy`.
+    ///
+    /// # Panics
+    /// Panics if `policy` is somehow missing from the row (it never is: rows
+    /// always carry all of [`RuntimePolicy::ALL`]).
+    pub fn report(&self, policy: RuntimePolicy) -> &ElasticReport {
+        self.reports
+            .iter()
+            .find(|r| r.policy == policy)
+            .expect("rows carry every policy")
+    }
+
+    /// `policy`'s goodput divided by Static's (`0.0` when both are zero;
+    /// [`f64::INFINITY`] when only Static's is zero).
+    pub fn goodput_gain_over_static(&self, policy: RuntimePolicy) -> f64 {
+        let s = self.report(RuntimePolicy::Static).serve.goodput;
+        let p = self.report(policy).serve.goodput;
+        if s > 0 {
+            p as f64 / s as f64
+        } else if p > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    /// Reactive goodput over Static goodput — the headline "does closing the
+    /// loop pay" figure.
+    pub fn reactive_vs_static_goodput_gain(&self) -> f64 {
+        self.goodput_gain_over_static(RuntimePolicy::Reactive)
+    }
+
+    /// Oracle goodput over Static goodput — the ceiling a detector-based
+    /// runtime is chasing.
+    pub fn oracle_vs_static_goodput_gain(&self) -> f64 {
+        self.goodput_gain_over_static(RuntimePolicy::Oracle)
+    }
+}
+
+/// Runs one `table_elastic` row: draws the mix's bundled
+/// [`MixZoo::phased_traffic`] trace at `seed` and runs the elastic runtime
+/// under every policy on the F1-style platform (same platform/catalog
+/// conventions as [`table_multi_row`]).  All three policies share one
+/// [`InnerSearchCache`], so the initial co-schedule is searched once and
+/// every re-schedule pays only for genuinely new partitions.
+pub fn table_elastic_row(mix: MixZoo, budget: Budget, seed: u64) -> ElasticRow {
+    let workloads = mix.entries();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let scenario = mix.phased_traffic();
+    let trace = Trace::phased(&scenario, seed).expect("bundled scenarios are valid");
+    let config = RuntimeConfig::new(budget.co_schedule_config(seed));
+    let cache = InnerSearchCache::new();
+    let reports = RuntimePolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            run_elastic_with_cache(
+                &workloads, &topo, &catalog, &scenario, &trace, policy, &config, &cache,
+            )
+            .expect("bundled scenarios fit the F1 platform")
+        })
+        .collect();
+    ElasticRow {
+        mix,
+        scenario,
         trace,
         reports,
     }

@@ -15,8 +15,9 @@
 //! numbers are identical at every thread count.
 
 use mars_accel::{Catalog, ProfileTable};
-use mars_bench::{table3_row, table_multi_row, table_serve_row, Budget};
+use mars_bench::{table3_row, table_elastic_row, table_multi_row, table_serve_row, Budget};
 use mars_model::zoo::{Benchmark, MixZoo};
+use mars_runtime::RuntimePolicy;
 use mars_serve::DispatchPolicy;
 
 /// Tolerance in milliseconds: the pins are recorded at 1e-9 ms precision and
@@ -160,6 +161,63 @@ fn golden_table_serve_goodput() {
             row.sla_aware_goodput_gain()
         );
     }
+}
+
+/// The elastic-runtime headline numbers of `table_elastic` at seed 42:
+/// `(mix, total requests, [static, reactive, oracle] goodput)`.  Goodputs
+/// are request *counts*, so the pins are exact integers — any drift at all
+/// means the traffic scenarios, the drift monitor, the warm-started
+/// re-scheduler or the migration model changed.
+const ELASTIC_GOLDEN: [(MixZoo, usize, [usize; 3]); 3] = [
+    (MixZoo::ClassicPair, 454, [432, 432, 432]),
+    (MixZoo::ResNetSurf, 1127, [930, 945, 968]),
+    (MixZoo::HeteroTriple, 819, [532, 627, 642]),
+];
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
+fn golden_table_elastic_goodput() {
+    let mut strict_wins = 0usize;
+    for (mix, requests, goodputs) in ELASTIC_GOLDEN {
+        let row = table_elastic_row(mix, Budget::Fast, 42);
+        assert_eq!(
+            row.trace.total_requests(),
+            requests,
+            "{mix} request count drifted (intentional change? re-pin)"
+        );
+        for (policy, pinned) in RuntimePolicy::ALL.into_iter().zip(goodputs) {
+            assert_eq!(
+                row.report(policy).serve.goodput,
+                pinned,
+                "{mix}/{policy} goodput drifted (intentional change? re-pin)"
+            );
+        }
+        // The acceptance relationships, not just the numbers: closing the
+        // loop never loses to the static placement (on mixes where every
+        // migration is uneconomic the runtime declines them all and ties),
+        // and the clairvoyant oracle bounds the reactive detector.
+        let s = row.report(RuntimePolicy::Static).serve.goodput;
+        let r = row.report(RuntimePolicy::Reactive).serve.goodput;
+        let o = row.report(RuntimePolicy::Oracle).serve.goodput;
+        assert!(r >= s, "{mix}: Reactive {r} must not lose to Static {s}");
+        assert!(o >= r, "{mix}: Oracle {o} must not lose to Reactive {r}");
+        if r > s {
+            strict_wins += 1;
+        }
+        // Static never reconfigures; the oracle only moves at boundaries.
+        assert!(row
+            .report(RuntimePolicy::Static)
+            .reconfigurations
+            .is_empty());
+        assert!(
+            row.report(RuntimePolicy::Oracle).reconfigurations.len()
+                <= row.scenario.boundaries().len()
+        );
+    }
+    assert!(
+        strict_wins >= 2,
+        "Reactive must strictly beat Static on at least 2 of 3 mixes, got {strict_wins}"
+    );
 }
 
 #[test]

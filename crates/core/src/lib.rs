@@ -60,5 +60,6 @@ pub use genome::{FirstLevelGenome, SecondLevelGenome};
 pub use mapper::{Mars, SearchConfig, SearchResult};
 pub use mapping::{Assignment, Mapping};
 pub use scheduler::{
-    co_schedule, CoScheduleConfig, CoScheduleError, CoScheduleResult, Placement, Workload,
+    co_schedule, co_schedule_cached, CoScheduleConfig, CoScheduleError, CoScheduleResult,
+    InnerSearchCache, Placement, WarmStart, Workload,
 };

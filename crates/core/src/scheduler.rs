@@ -98,8 +98,119 @@ impl std::fmt::Display for CoScheduleError {
 
 impl std::error::Error for CoScheduleError {}
 
+/// An incumbent placement encoded for warm-starting the outer GA.
+///
+/// Built by [`CoScheduleConfig::warm_start`] from a previous
+/// [`CoScheduleResult`]: the partition's cut positions (in accelerator-id
+/// order) plus the subset → workload assignment.  During a warm-started
+/// search the encoding is decoded back into one extra seeded genome, so the
+/// incumbent competes (and, with elitism, survives) from generation zero —
+/// the MAGMA-style amortisation the elastic runtime leans on when it
+/// re-schedules online.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Cut positions in `[1, accelerators-1]`, strictly increasing: subset
+    /// `j` spans ids `[cuts[j-1], cuts[j])` (with implicit 0 and n bounds).
+    cuts: Vec<usize>,
+    /// `order[j]` = workload placed on subset `j`.
+    order: Vec<usize>,
+    /// Number of accelerators the encoding was taken on (sanity check: a
+    /// warm start from a different platform is silently ignored).
+    accelerators: usize,
+}
+
+impl WarmStart {
+    /// Encodes `incumbent`'s partition.  Placements decoded by
+    /// [`co_schedule`] are always contiguous runs of the id order, so the
+    /// encoding is exact.
+    fn from_result(incumbent: &CoScheduleResult) -> Self {
+        let mut by_position: Vec<(usize, usize)> = incumbent
+            .placements
+            .iter()
+            .map(|p| {
+                let min = p.accels.iter().map(|a| a.0).min().unwrap_or(0);
+                (min, p.workload)
+            })
+            .collect();
+        by_position.sort_unstable();
+        let order: Vec<usize> = by_position.iter().map(|&(_, w)| w).collect();
+        // Interior boundaries: the start of every subset but the first.
+        let cuts: Vec<usize> = by_position.iter().skip(1).map(|&(min, _)| min).collect();
+        let accelerators = incumbent.placements.iter().map(|p| p.accels.len()).sum();
+        Self {
+            cuts,
+            order,
+            accelerators,
+        }
+    }
+
+    /// Decodes into a genome for a `k`-workload, `n`-accelerator layout;
+    /// `None` when the encoding does not fit (different workload count or
+    /// platform size).
+    fn genes(&self, k: usize, n: usize) -> Option<Vec<f64>> {
+        self.genes_with_cuts(k, n, &self.cuts)
+    }
+
+    fn genes_with_cuts(&self, k: usize, n: usize, cuts: &[usize]) -> Option<Vec<f64>> {
+        if self.order.len() != k || self.accelerators != n || cuts.len() != k - 1 {
+            return None;
+        }
+        let mut genes = Vec::with_capacity(2 * k - 1);
+        for &cut in cuts {
+            genes.push(cut as f64 / n as f64);
+        }
+        // rank[w] = (j + 0.5) / k sorts workload w into subset position j.
+        let mut ranks = vec![0.0; k];
+        for (j, &w) in self.order.iter().enumerate() {
+            ranks[w] = (j as f64 + 0.5) / k as f64;
+        }
+        genes.extend(ranks);
+        Some(genes)
+    }
+
+    /// The warm genome plus its one-accelerator-shifted neighbours: for each
+    /// cut, the partitions with that boundary moved one id left and one id
+    /// right (where the move keeps every subset non-empty).  Re-schedules
+    /// triggered by load drift usually want a placement *adjacent* to the
+    /// incumbent, and a small outer-GA population cannot be relied on to
+    /// sample those cuts — seeding them makes the one-step moves a certainty
+    /// rather than a lottery.
+    fn seed_genomes(&self, k: usize, n: usize) -> Vec<Vec<f64>> {
+        let mut seeds = Vec::new();
+        if let Some(warm) = self.genes(k, n) {
+            seeds.push(warm);
+        } else {
+            return seeds;
+        }
+        for i in 0..self.cuts.len() {
+            for delta in [-1isize, 1] {
+                let moved = self.cuts[i] as isize + delta;
+                let lo = if i == 0 {
+                    1
+                } else {
+                    self.cuts[i - 1] as isize + 1
+                };
+                let hi = if i + 1 == self.cuts.len() {
+                    n as isize - 1
+                } else {
+                    self.cuts[i + 1] as isize - 1
+                };
+                if moved < lo || moved > hi {
+                    continue;
+                }
+                let mut cuts = self.cuts.clone();
+                cuts[i] = moved as usize;
+                if let Some(genes) = self.genes_with_cuts(k, n, &cuts) {
+                    seeds.push(genes);
+                }
+            }
+        }
+        seeds
+    }
+}
+
 /// Configuration of the co-schedule search.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoScheduleConfig {
     /// Hyper-parameters of the outer GA over partition assignments.
     ///
@@ -117,6 +228,9 @@ pub struct CoScheduleConfig {
     /// [`GaConfig::seed`] in [`CoScheduleConfig::outer`]) and derives every
     /// per-workload inner-search seed.
     pub seed: u64,
+    /// Optional incumbent placement to warm-start from — see
+    /// [`CoScheduleConfig::warm_start`].
+    pub warm: Option<WarmStart>,
 }
 
 impl CoScheduleConfig {
@@ -130,6 +244,7 @@ impl CoScheduleConfig {
             },
             inner: SearchConfig::fast(seed),
             seed,
+            warm: None,
         }
     }
 
@@ -143,7 +258,27 @@ impl CoScheduleConfig {
             },
             inner: SearchConfig::fast(seed),
             seed,
+            warm: None,
         }
+    }
+
+    /// Warm-starts the search from `incumbent`: its partition is encoded
+    /// ([`WarmStart`]) and injected as extra seeded genomes (population
+    /// slots from 2, after the greedy and group-aligned seeds) — the
+    /// incumbent itself plus its one-accelerator-shifted neighbours — so
+    /// with elitism the search can never finish with a worse weighted
+    /// makespan than the incumbent's partition achieves under the *current*
+    /// workloads, and the adjacent re-balancing moves an online re-schedule
+    /// usually wants are always evaluated.
+    ///
+    /// A warm start taken on a different platform size or workload count is
+    /// ignored at decode time.  Warm-started searches remain bit-identical
+    /// across thread counts; callers re-scheduling online (the elastic
+    /// runtime) combine this with [`co_schedule_cached`] so the incumbent's
+    /// inner searches are cache hits rather than recomputations.
+    pub fn warm_start(mut self, incumbent: &CoScheduleResult) -> Self {
+        self.warm = Some(WarmStart::from_result(incumbent));
+        self
     }
 
     /// Sets the worker-thread count for outer fitness evaluation (`0` = ask
@@ -376,6 +511,38 @@ impl OuterGenome {
 type InnerKey = (usize, Vec<AccelId>);
 type InnerCache = OnceCache<InnerKey, Arc<SearchResult>>;
 
+/// A shareable exactly-once memo of inner `(workload, subset)` searches,
+/// for callers that run [`co_schedule_cached`] repeatedly over the *same*
+/// workloads, platform, catalog, inner budget and master seed — the elastic
+/// runtime's online re-scheduling loop.  Subsets already searched by any
+/// previous call (the incumbent's partition, the full-platform sequential
+/// baseline, every candidate the outer GA visited) are cache hits, so a
+/// warm-started re-schedule only pays for genuinely new partitions.
+///
+/// **Soundness**: a cached value is a pure function of
+/// `(workload index, subset, network, inner config, master seed)`.  The
+/// cache only keys on the first two, so reusing it with a different network
+/// list, inner budget or seed would silently serve stale results — create a
+/// fresh cache whenever any of those change.
+#[derive(Debug, Default)]
+pub struct InnerSearchCache {
+    cache: InnerCache,
+    total_searches: AtomicUsize,
+}
+
+impl InnerSearchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of distinct inner searches computed through this cache
+    /// over its whole lifetime (across every `co_schedule_cached` call).
+    pub fn searches_run(&self) -> usize {
+        self.total_searches.load(Ordering::Relaxed)
+    }
+}
+
 /// Co-schedules `workloads` onto disjoint partitions of `topo`.
 ///
 /// Every workload receives a non-empty accelerator subset; the subsets are
@@ -417,6 +584,29 @@ pub fn co_schedule(
     catalog: &Catalog,
     config: &CoScheduleConfig,
 ) -> Result<CoScheduleResult, CoScheduleError> {
+    co_schedule_cached(workloads, topo, catalog, config, &InnerSearchCache::new())
+}
+
+/// [`co_schedule`] with an externally-owned [`InnerSearchCache`], so a
+/// sequence of searches over the same inputs (an online re-scheduling loop)
+/// reuses every inner search any earlier call already ran.  The result is
+/// identical to [`co_schedule`]'s except that
+/// [`CoScheduleResult::inner_searches`] counts only the searches *this*
+/// call actually computed — cache hits from earlier calls are free and
+/// uncounted.
+///
+/// See [`InnerSearchCache`] for the reuse-soundness contract.
+///
+/// # Errors
+///
+/// As for [`co_schedule`].
+pub fn co_schedule_cached(
+    workloads: &[Workload],
+    topo: &Topology,
+    catalog: &Catalog,
+    config: &CoScheduleConfig,
+    shared: &InnerSearchCache,
+) -> Result<CoScheduleResult, CoScheduleError> {
     let start = Instant::now();
     let k = workloads.len();
     let n = topo.len();
@@ -450,13 +640,15 @@ pub fn co_schedule(
 
     // Exactly-once memo of the inner searches: the expensive part of an outer
     // fitness evaluation.  Keys are pure coordinates, values already carry
-    // globally-translated mappings.
-    let cache: InnerCache = OnceCache::new();
+    // globally-translated mappings.  `searches_run` counts only this call's
+    // computations; the shared cache's own counter spans its lifetime.
+    let cache: &InnerCache = &shared.cache;
     let searches_run = AtomicUsize::new(0);
 
     let inner_with = |w: usize, subset: &[AccelId], threads: usize| -> Arc<SearchResult> {
         cache.get_or_compute((w, subset.to_vec()), || {
             searches_run.fetch_add(1, Ordering::Relaxed);
+            shared.total_searches.fetch_add(1, Ordering::Relaxed);
             Arc::new(run_inner_search(
                 &workloads[w].network,
                 topo,
@@ -485,6 +677,15 @@ pub fn co_schedule(
         worst
     };
 
+    // The warm-start genomes, when an incumbent was supplied and fits this
+    // layout: the incumbent itself (decoding is exact — cuts round-trip
+    // through the gene encoding) plus its one-accelerator-shifted
+    // neighbours, all competing from generation zero.
+    let warm_genes: Vec<Vec<f64>> = config
+        .warm
+        .as_ref()
+        .map_or_else(Vec::new, |w| w.seed_genomes(k, n));
+
     let outcome = GeneticAlgorithm::new(GaConfig {
         seed: config.seed,
         ..config.outer
@@ -494,6 +695,7 @@ pub fn co_schedule(
         |rng, i| match i {
             0 => layout.greedy_seed(&demands),
             1 => layout.group_seed(&demands, topo, &ids),
+            i if i >= 2 && i - 2 < warm_genes.len() => warm_genes[i - 2].clone(),
             _ => (0..layout.len()).map(|_| rand::Rng::gen(rng)).collect(),
         },
         |genes| weighted_makespan_of(genes),
@@ -871,6 +1073,86 @@ mod tests {
         };
         assert_eq!(lopsided.speedup_over_sequential(), 0.0);
         assert_eq!(lopsided.throughput_per_second(), 0.0);
+    }
+
+    #[test]
+    fn warm_start_encoding_round_trips_through_the_genome() {
+        let workloads = two_small_workloads();
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let incumbent = co_schedule(&workloads, &topo, &catalog, &tiny_config(5)).unwrap();
+
+        let warm = WarmStart::from_result(&incumbent);
+        let genes = warm.genes(2, 8).expect("encoding fits its own layout");
+        let layout = OuterGenome {
+            workloads: 2,
+            accelerators: 8,
+        };
+        let ids: Vec<AccelId> = topo.accelerators().collect();
+        let subsets = layout.decode_subsets(&genes, &ids);
+        let order = layout.decode_order(&genes);
+        for (subset, &w) in subsets.iter().zip(&order) {
+            assert_eq!(
+                subset, &incumbent.placements[w].accels,
+                "decoded subset must reproduce workload {w}'s incumbent partition"
+            );
+        }
+        // Mismatched layouts are rejected rather than mis-decoded.
+        assert_eq!(warm.genes(3, 8), None);
+        assert_eq!(warm.genes(2, 4), None);
+    }
+
+    /// The warm-start satellite contract: at a small outer budget, seeding
+    /// from a better-budget incumbent matches or beats the cold search on
+    /// ClassicPair (elitism keeps the incumbent alive, so warm can never do
+    /// worse than the incumbent's partition under the same workloads).
+    #[test]
+    fn warm_started_search_matches_or_beats_cold_on_classic_pair() {
+        let workloads: Vec<Workload> = zoo::MixZoo::ClassicPair.entries();
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let small = CoScheduleConfig {
+            outer: GaConfig {
+                population: 4,
+                generations: 1,
+                ..GaConfig::tiny(9)
+            },
+            ..CoScheduleConfig::fast(9)
+        };
+
+        let cache = InnerSearchCache::new();
+        let cold = co_schedule_cached(&workloads, &topo, &catalog, &small, &cache).unwrap();
+        let incumbent = co_schedule_cached(
+            &workloads,
+            &topo,
+            &catalog,
+            &CoScheduleConfig::fast(9),
+            &cache,
+        )
+        .unwrap();
+        let warm_cfg = small.clone().warm_start(&incumbent);
+        let warm = co_schedule_cached(&workloads, &topo, &catalog, &warm_cfg, &cache).unwrap();
+
+        assert!(
+            warm.weighted_makespan_seconds <= cold.weighted_makespan_seconds + 1e-12,
+            "warm {} must not lose to cold {}",
+            warm.weighted_makespan_seconds,
+            cold.weighted_makespan_seconds
+        );
+        assert!(
+            warm.weighted_makespan_seconds <= incumbent.weighted_makespan_seconds + 1e-12,
+            "warm must not lose to its own incumbent"
+        );
+        // The shared cache pays: re-running the warm search computes no new
+        // inner searches at all.
+        let before = cache.searches_run();
+        let again = co_schedule_cached(&workloads, &topo, &catalog, &warm_cfg, &cache).unwrap();
+        assert_eq!(cache.searches_run(), before, "everything was a cache hit");
+        assert_eq!(again.inner_searches, 0);
+        assert_eq!(
+            again.weighted_makespan_seconds.to_bits(),
+            warm.weighted_makespan_seconds.to_bits()
+        );
     }
 
     #[test]

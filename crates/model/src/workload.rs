@@ -70,6 +70,281 @@ impl TrafficProfile {
     pub fn new(qps: f64, sla_factor: f64) -> Self {
         Self { qps, sla_factor }
     }
+
+    /// A profile whose stream is silent: zero arrivals per second.  Used by
+    /// [`TrafficPhase`]s to model a workload that has *departed* (or not yet
+    /// arrived) during part of a [`PhasedTraffic`] scenario.
+    pub fn silent(sla_factor: f64) -> Self {
+        Self {
+            qps: 0.0,
+            sla_factor,
+        }
+    }
+
+    /// `true` when the profile produces no requests (non-positive or
+    /// non-finite rate).
+    pub fn is_silent(&self) -> bool {
+        !(self.qps > 0.0 && self.qps.is_finite())
+    }
+}
+
+/// Errors rejected when validating a [`PhasedTraffic`] scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// The scenario has no phases.
+    NoPhases,
+    /// The scenario's horizon is not a positive finite number.
+    InvalidHorizon(f64),
+    /// A phase starts outside `[0, horizon)`, or phase 0 does not start at 0.
+    InvalidPhaseStart {
+        /// Index of the offending phase.
+        phase: usize,
+        /// Its rejected start time in seconds.
+        start_seconds: f64,
+    },
+    /// Phase starts are not strictly increasing.
+    UnsortedPhases {
+        /// Index of the phase that starts at or before its predecessor.
+        phase: usize,
+    },
+    /// A phase's profile count differs from the scenario's workload count.
+    WorkloadMismatch {
+        /// Index of the offending phase.
+        phase: usize,
+        /// Number of profiles every phase must carry.
+        expected: usize,
+        /// Number of profiles the phase actually carries.
+        got: usize,
+    },
+    /// A profile's SLA factor is not a positive finite number (a silent
+    /// *rate* is legal — it models departure — but the deadline budget of a
+    /// phase must always be meaningful).
+    InvalidSla {
+        /// Index of the offending phase.
+        phase: usize,
+        /// Index of the offending workload within the phase.
+        workload: usize,
+        /// The rejected factor.
+        sla_factor: f64,
+    },
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficError::NoPhases => write!(f, "phased traffic has no phases"),
+            TrafficError::InvalidHorizon(h) => write!(f, "invalid traffic horizon {h}"),
+            TrafficError::InvalidPhaseStart {
+                phase,
+                start_seconds,
+            } => write!(f, "phase {phase} has invalid start {start_seconds}s"),
+            TrafficError::UnsortedPhases { phase } => {
+                write!(f, "phase {phase} does not start after its predecessor")
+            }
+            TrafficError::WorkloadMismatch {
+                phase,
+                expected,
+                got,
+            } => write!(
+                f,
+                "phase {phase} carries {got} profiles, expected {expected}"
+            ),
+            TrafficError::InvalidSla {
+                phase,
+                workload,
+                sla_factor,
+            } => write!(
+                f,
+                "phase {phase}, workload {workload}: invalid SLA factor {sla_factor}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+/// One piece of a piecewise-stationary traffic scenario: from
+/// [`start_seconds`](TrafficPhase::start_seconds) until the next phase begins
+/// (or the scenario's horizon ends), workload `w`'s requests arrive
+/// Poisson-like at `profiles[w].qps` with deadline budget
+/// `profiles[w].sla_factor`.
+///
+/// The schema deliberately stays piecewise-*constant*: ramps are expressed as
+/// a staircase of phases, a burst is a short high-qps phase, and workload
+/// arrival/departure is a phase whose profile for that workload is
+/// [`TrafficProfile::silent`].  Piecewise-constant phases keep trace
+/// generation exactly reproducible (one RNG stream per `(workload, phase)`)
+/// and give the oracle runtime policy an unambiguous set of boundaries to be
+/// clairvoyant about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficPhase {
+    /// When this phase begins, in seconds from the start of the scenario.
+    /// Phase 0 must start at `0.0`; later phases must start strictly after
+    /// their predecessor and strictly before the scenario horizon.
+    pub start_seconds: f64,
+    /// One profile per workload, in workload order.  A
+    /// [silent](TrafficProfile::is_silent) profile models the workload being
+    /// absent for the duration of the phase.
+    pub profiles: Vec<TrafficProfile>,
+}
+
+impl TrafficPhase {
+    /// Creates a phase starting at `start_seconds` with the given profiles.
+    pub fn new(start_seconds: f64, profiles: Vec<TrafficProfile>) -> Self {
+        Self {
+            start_seconds,
+            profiles,
+        }
+    }
+}
+
+/// A non-stationary traffic scenario: a sequence of piecewise-constant
+/// [`TrafficPhase`]s over a fixed horizon.
+///
+/// This is the input vocabulary of the elastic runtime (`mars-runtime`): the
+/// serving trace is drawn phase by phase, the drift monitor watches the live
+/// stream for the resulting shifts, and the oracle policy reads
+/// [`boundaries`](PhasedTraffic::boundaries) directly.  A scenario with a
+/// single phase is ordinary stationary traffic
+/// ([`stationary`](PhasedTraffic::stationary)).
+///
+/// ```
+/// use mars_model::{PhasedTraffic, TrafficPhase, TrafficProfile};
+///
+/// let scenario = PhasedTraffic::new(
+///     2.0,
+///     vec![
+///         TrafficPhase::new(0.0, vec![TrafficProfile::new(100.0, 5.0)]),
+///         TrafficPhase::new(1.0, vec![TrafficProfile::new(400.0, 5.0)]),
+///     ],
+/// );
+/// scenario.validate().unwrap();
+/// assert_eq!(scenario.phase_index_at(0.5), 0);
+/// assert_eq!(scenario.phase_index_at(1.5), 1);
+/// assert_eq!(scenario.boundaries(), vec![1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedTraffic {
+    /// Length of the scenario in seconds; no request arrives at or after
+    /// this instant.
+    pub horizon_seconds: f64,
+    /// The phases, ordered by strictly increasing
+    /// [`TrafficPhase::start_seconds`], the first at `0.0`.
+    pub phases: Vec<TrafficPhase>,
+}
+
+impl PhasedTraffic {
+    /// Creates a scenario from explicit phases (validate with
+    /// [`validate`](Self::validate)).
+    pub fn new(horizon_seconds: f64, phases: Vec<TrafficPhase>) -> Self {
+        Self {
+            horizon_seconds,
+            phases,
+        }
+    }
+
+    /// A single-phase (stationary) scenario: the given profiles hold for the
+    /// whole horizon.
+    pub fn stationary(profiles: Vec<TrafficProfile>, horizon_seconds: f64) -> Self {
+        Self {
+            horizon_seconds,
+            phases: vec![TrafficPhase::new(0.0, profiles)],
+        }
+    }
+
+    /// Number of workloads every phase describes (0 for an empty scenario).
+    pub fn workloads(&self) -> usize {
+        self.phases.first().map_or(0, |p| p.profiles.len())
+    }
+
+    /// Checks the schema invariants: at least one phase, a positive finite
+    /// horizon, phase 0 at `0.0`, strictly increasing starts inside
+    /// `[0, horizon)`, a consistent workload count, and positive finite SLA
+    /// factors everywhere (silent *rates* are legal, silent deadlines are
+    /// not).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant — see [`TrafficError`].
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        if self.phases.is_empty() {
+            return Err(TrafficError::NoPhases);
+        }
+        if !(self.horizon_seconds > 0.0 && self.horizon_seconds.is_finite()) {
+            return Err(TrafficError::InvalidHorizon(self.horizon_seconds));
+        }
+        let expected = self.workloads();
+        let mut prev = f64::NEG_INFINITY;
+        for (i, phase) in self.phases.iter().enumerate() {
+            let start = phase.start_seconds;
+            let valid_start = if i == 0 {
+                start == 0.0
+            } else {
+                start.is_finite() && (0.0..self.horizon_seconds).contains(&start)
+            };
+            if !valid_start {
+                return Err(TrafficError::InvalidPhaseStart {
+                    phase: i,
+                    start_seconds: start,
+                });
+            }
+            if start <= prev {
+                return Err(TrafficError::UnsortedPhases { phase: i });
+            }
+            prev = start;
+            if phase.profiles.len() != expected {
+                return Err(TrafficError::WorkloadMismatch {
+                    phase: i,
+                    expected,
+                    got: phase.profiles.len(),
+                });
+            }
+            for (w, p) in phase.profiles.iter().enumerate() {
+                if !(p.sla_factor > 0.0 && p.sla_factor.is_finite()) {
+                    return Err(TrafficError::InvalidSla {
+                        phase: i,
+                        workload: w,
+                        sla_factor: p.sla_factor,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of the phase active at time `t` (clamped: times before 0 map to
+    /// phase 0, times at or past the horizon to the last phase).
+    pub fn phase_index_at(&self, t: f64) -> usize {
+        self.phases
+            .iter()
+            .rposition(|p| p.start_seconds <= t)
+            .unwrap_or(0)
+    }
+
+    /// The profiles active at time `t` (see
+    /// [`phase_index_at`](Self::phase_index_at)).
+    pub fn profiles_at(&self, t: f64) -> &[TrafficProfile] {
+        &self.phases[self.phase_index_at(t)].profiles
+    }
+
+    /// The end of phase `i`: the next phase's start, or the horizon for the
+    /// last phase.
+    pub fn phase_end(&self, i: usize) -> f64 {
+        self.phases
+            .get(i + 1)
+            .map_or(self.horizon_seconds, |p| p.start_seconds)
+    }
+
+    /// The interior phase-change instants, in increasing order (phase 0's
+    /// start at `0.0` is not a boundary).  These are exactly the instants the
+    /// clairvoyant oracle runtime re-schedules at.
+    pub fn boundaries(&self) -> Vec<f64> {
+        self.phases
+            .iter()
+            .skip(1)
+            .map(|p| p.start_seconds)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +357,121 @@ mod tests {
         let p = TrafficProfile::new(120.0, 6.0);
         assert_eq!(p.qps, 120.0);
         assert_eq!(p.sla_factor, 6.0);
+    }
+
+    fn two_phase() -> PhasedTraffic {
+        PhasedTraffic::new(
+            2.0,
+            vec![
+                TrafficPhase::new(
+                    0.0,
+                    vec![
+                        TrafficProfile::new(100.0, 5.0),
+                        TrafficProfile::new(50.0, 4.0),
+                    ],
+                ),
+                TrafficPhase::new(
+                    1.25,
+                    vec![TrafficProfile::silent(5.0), TrafficProfile::new(300.0, 4.0)],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn phased_traffic_validates_and_indexes_phases() {
+        let scenario = two_phase();
+        scenario.validate().unwrap();
+        assert_eq!(scenario.workloads(), 2);
+        assert_eq!(scenario.phase_index_at(-1.0), 0);
+        assert_eq!(scenario.phase_index_at(0.0), 0);
+        assert_eq!(scenario.phase_index_at(1.25), 1);
+        assert_eq!(scenario.phase_index_at(99.0), 1);
+        assert_eq!(scenario.profiles_at(0.5)[0].qps, 100.0);
+        assert!(scenario.profiles_at(1.5)[0].is_silent());
+        assert_eq!(scenario.boundaries(), vec![1.25]);
+        assert_eq!(scenario.phase_end(0), 1.25);
+        assert_eq!(scenario.phase_end(1), 2.0);
+    }
+
+    #[test]
+    fn stationary_scenario_is_a_single_phase() {
+        let s = PhasedTraffic::stationary(vec![TrafficProfile::new(10.0, 5.0)], 1.0);
+        s.validate().unwrap();
+        assert_eq!(s.phases.len(), 1);
+        assert!(s.boundaries().is_empty());
+        assert_eq!(s.phase_end(0), 1.0);
+    }
+
+    #[test]
+    fn phased_traffic_rejects_schema_violations() {
+        let p = |qps| vec![TrafficProfile::new(qps, 5.0)];
+        assert_eq!(
+            PhasedTraffic::new(1.0, Vec::new()).validate(),
+            Err(TrafficError::NoPhases)
+        );
+        assert_eq!(
+            PhasedTraffic::stationary(p(1.0), 0.0).validate(),
+            Err(TrafficError::InvalidHorizon(0.0))
+        );
+        // Phase 0 must start at exactly 0.
+        let late_first = PhasedTraffic::new(1.0, vec![TrafficPhase::new(0.5, p(1.0))]);
+        assert!(matches!(
+            late_first.validate(),
+            Err(TrafficError::InvalidPhaseStart { phase: 0, .. })
+        ));
+        // Starts must be strictly increasing and inside [0, horizon).
+        let dup = PhasedTraffic::new(
+            1.0,
+            vec![
+                TrafficPhase::new(0.0, p(1.0)),
+                TrafficPhase::new(0.5, p(2.0)),
+                TrafficPhase::new(0.5, p(3.0)),
+            ],
+        );
+        assert_eq!(
+            dup.validate(),
+            Err(TrafficError::UnsortedPhases { phase: 2 })
+        );
+        let beyond = PhasedTraffic::new(
+            1.0,
+            vec![
+                TrafficPhase::new(0.0, p(1.0)),
+                TrafficPhase::new(1.0, p(2.0)),
+            ],
+        );
+        assert!(matches!(
+            beyond.validate(),
+            Err(TrafficError::InvalidPhaseStart { phase: 1, .. })
+        ));
+        // Every phase must describe the same workloads.
+        let mismatched = PhasedTraffic::new(
+            1.0,
+            vec![
+                TrafficPhase::new(0.0, p(1.0)),
+                TrafficPhase::new(0.5, Vec::new()),
+            ],
+        );
+        assert_eq!(
+            mismatched.validate(),
+            Err(TrafficError::WorkloadMismatch {
+                phase: 1,
+                expected: 1,
+                got: 0
+            })
+        );
+        // Silent rates are fine; silent SLAs are not.
+        let silent_rate = PhasedTraffic::stationary(vec![TrafficProfile::silent(5.0)], 1.0);
+        assert_eq!(silent_rate.validate(), Ok(()));
+        let bad_sla = PhasedTraffic::stationary(vec![TrafficProfile::new(1.0, 0.0)], 1.0);
+        assert!(matches!(
+            bad_sla.validate(),
+            Err(TrafficError::InvalidSla {
+                phase: 0,
+                workload: 0,
+                ..
+            })
+        ));
     }
 
     #[test]

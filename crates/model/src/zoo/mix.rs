@@ -21,7 +21,7 @@ use crate::layer::{
     ConvParams, DenseParams, Layer, LayerKind, NormActParams, PoolKind, PoolParams,
 };
 use crate::tensor::FeatureMap;
-use crate::workload::{TrafficProfile, Workload};
+use crate::workload::{PhasedTraffic, TrafficPhase, TrafficProfile, Workload};
 
 /// Shorthand for building a mix entry.
 fn entry(network: Network, weight: f64, batch: usize) -> Workload {
@@ -253,6 +253,123 @@ impl MixZoo {
         }
     }
 
+    /// The bundled *non-stationary* traffic scenario of the mix: three
+    /// piecewise-constant [`TrafficPhase`]s over a twelve-second horizon
+    /// that shift load between the workloads — a healthy warm-up, a surge
+    /// that overloads exactly the partition a stationary placement sized
+    /// small, and a third phase that moves the pressure elsewhere (including
+    /// a workload departing entirely in the heaviest scenarios).
+    ///
+    /// The rates are sized against the fast-budget seed-42 placements'
+    /// deadline-feasible throughput (≈ `0.8 / latency` at `sla_factor` 5 and
+    /// batches of up to 8): phase 0 keeps every partition at moderate load,
+    /// while each later phase pushes one workload 30–90% *past its static
+    /// partition's* feasible rate yet comfortably inside what a re-balanced
+    /// partition can absorb — the regime where the elastic runtime's drift
+    /// monitor and re-scheduler (`mars-runtime`) pay for their migrations.
+    ///
+    /// ```
+    /// use mars_model::zoo::MixZoo;
+    ///
+    /// for mix in MixZoo::ALL {
+    ///     let scenario = mix.phased_traffic();
+    ///     scenario.validate().unwrap();
+    ///     assert_eq!(scenario.workloads(), mix.entries().len());
+    ///     assert!(scenario.phases.len() >= 3);
+    /// }
+    /// ```
+    pub fn phased_traffic(self) -> PhasedTraffic {
+        let horizon = 12.0;
+        let phases = match self {
+            MixZoo::ClassicPair => vec![
+                // Warm-up: both partitions at ~0.6x of feasible.
+                TrafficPhase::new(
+                    0.0,
+                    vec![
+                        TrafficProfile::new(45.0, 5.0),
+                        TrafficProfile::new(4.5, 5.0),
+                    ],
+                ),
+                // VGG-16 surge ~1.3x its static partition; AlexNet quiet
+                // (VGG scales weakly, so the surge window is the longest).
+                TrafficPhase::new(
+                    4.0,
+                    vec![
+                        TrafficProfile::new(12.0, 5.0),
+                        TrafficProfile::new(9.0, 5.0),
+                    ],
+                ),
+                // Recovery: load drifts back to the warm-up shape.
+                TrafficPhase::new(
+                    9.0,
+                    vec![
+                        TrafficProfile::new(45.0, 5.0),
+                        TrafficProfile::new(4.5, 5.0),
+                    ],
+                ),
+            ],
+            MixZoo::ResNetSurf => vec![
+                // Warm-up: ResNet ~0.65x, CASIA ~0.6x of feasible.
+                TrafficPhase::new(
+                    0.0,
+                    vec![
+                        TrafficProfile::new(20.0, 5.0),
+                        TrafficProfile::new(80.0, 5.0),
+                    ],
+                ),
+                // ResNet-34 surge past its static partition; CASIA quiet.
+                TrafficPhase::new(
+                    4.0,
+                    vec![
+                        TrafficProfile::new(60.0, 5.0),
+                        TrafficProfile::new(25.0, 5.0),
+                    ],
+                ),
+                // ResNet fades, CASIA bursts (inside its static capacity —
+                // an elastic runtime must shift capacity *back* here).
+                TrafficPhase::new(
+                    9.0,
+                    vec![
+                        TrafficProfile::new(8.0, 5.0),
+                        TrafficProfile::new(95.0, 5.0),
+                    ],
+                ),
+            ],
+            MixZoo::HeteroTriple => vec![
+                // Warm-up: every partition at ~0.6x of feasible.
+                TrafficPhase::new(
+                    0.0,
+                    vec![
+                        TrafficProfile::new(13.0, 5.0),
+                        TrafficProfile::new(38.0, 5.0),
+                        TrafficProfile::new(16.0, 5.0),
+                    ],
+                ),
+                // BERT-ish surge ~1.9x its static partition; CNNs quiet
+                // (BERT more than doubles its feasible rate on a bigger
+                // partition — the strongest reallocation lever in the zoo).
+                TrafficPhase::new(
+                    4.0,
+                    vec![
+                        TrafficProfile::new(5.0, 5.0),
+                        TrafficProfile::new(15.0, 5.0),
+                        TrafficProfile::new(60.0, 5.0),
+                    ],
+                ),
+                // BERT departs; ResNet surges ~1.4x its static partition.
+                TrafficPhase::new(
+                    8.0,
+                    vec![
+                        TrafficProfile::new(30.0, 5.0),
+                        TrafficProfile::new(25.0, 5.0),
+                        TrafficProfile::silent(5.0),
+                    ],
+                ),
+            ],
+        };
+        PhasedTraffic::new(horizon, phases)
+    }
+
     /// Builds the mix's workload entries.
     ///
     /// Weights and batches are chosen so that the entries' total demands are
@@ -353,6 +470,30 @@ mod tests {
                 assert!(p.qps > 0.0 && p.qps.is_finite());
                 assert!(p.sla_factor > 1.0, "SLA must leave room for one inference");
             }
+        }
+    }
+
+    #[test]
+    fn phased_traffic_warms_up_and_then_drifts() {
+        for mix in MixZoo::ALL {
+            let scenario = mix.phased_traffic();
+            scenario.validate().unwrap();
+            assert_eq!(scenario.workloads(), mix.entries().len(), "{mix}");
+            // Phase 0 is a live (non-silent) warm-up for every workload...
+            assert!(
+                scenario.phases[0].profiles.iter().all(|p| !p.is_silent()),
+                "{mix} warm-up must exercise every workload"
+            );
+            // ...and at least one later phase shifts the rates.
+            assert!(
+                scenario
+                    .phases
+                    .iter()
+                    .skip(1)
+                    .any(|p| p.profiles != scenario.phases[0].profiles),
+                "{mix} never drifts"
+            );
+            assert!(!scenario.boundaries().is_empty(), "{mix}");
         }
     }
 

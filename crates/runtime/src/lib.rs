@@ -1,0 +1,73 @@
+//! # mars-runtime
+//!
+//! The elastic runtime: drift-aware *online re-scheduling* on top of the
+//! MARS stack.  Everything below this crate is adaptive only at design time
+//! — `co_schedule` produces one placement and the serving simulator replays
+//! traffic against it forever.  This crate closes the loop for the
+//! non-stationary case (workloads surging, fading and departing, the
+//! defining challenge of multi-DNN serving):
+//!
+//! * a [`DriftMonitor`] watches the live stream in fixed windows (SLA-miss
+//!   rate, queue growth, per-accelerator imbalance) and fires deterministic
+//!   [`ReconfigureTrigger`]s;
+//! * a re-schedule runs `co_schedule`
+//!   [warm-started](mars_core::CoScheduleConfig::warm_start) from the
+//!   incumbent placement through a shared
+//!   [`InnerSearchCache`](mars_core::InnerSearchCache), with the workloads'
+//!   SLA weights scaled by observed load;
+//! * a [migration cost model](migration_cost) prices the switch (weight
+//!   bytes over the [`Topology`](mars_topology::Topology)'s links via
+//!   `mars-comm`, after draining in-flight batches) before the new placement
+//!   activates.
+//!
+//! [`run_elastic`] compares three [`RuntimePolicy`]s — `Static` (never
+//! re-schedule), `Reactive` (drift-triggered) and `Oracle` (phase-boundary
+//! clairvoyant) — under the same trace; all three are bit-identical across
+//! `MARS_THREADS` values and repeat runs.
+//!
+//! ```no_run
+//! use mars_accel::Catalog;
+//! use mars_model::zoo::MixZoo;
+//! use mars_runtime::{run_elastic, RuntimeConfig, RuntimePolicy};
+//! use mars_serve::Trace;
+//! use mars_topology::presets;
+//!
+//! let mix = MixZoo::ClassicPair;
+//! let workloads = mix.entries();
+//! let scenario = mix.phased_traffic();
+//! let trace = Trace::phased(&scenario, 42).unwrap();
+//! let topo = presets::f1_16xlarge();
+//! let catalog = Catalog::standard_three();
+//! let config = RuntimeConfig::new(mars_core::CoScheduleConfig::fast(42));
+//!
+//! for policy in RuntimePolicy::ALL {
+//!     let report =
+//!         run_elastic(&workloads, &topo, &catalog, &scenario, &trace, policy, &config).unwrap();
+//!     println!(
+//!         "{policy}: goodput {} of {} ({} re-placements)",
+//!         report.serve.goodput,
+//!         report.serve.total_requests,
+//!         report.placements_changed()
+//!     );
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod migrate;
+mod monitor;
+mod runtime;
+
+pub use migrate::{migration_cost, MigrationConfig, MigrationCost};
+pub use monitor::{DriftMonitor, MonitorConfig, ReconfigureTrigger, TriggerReason};
+pub use runtime::{
+    run_elastic, run_elastic_with_cache, ElasticError, ElasticReport, ReconfigureEvent,
+    RuntimeConfig, RuntimePolicy,
+};
+
+/// Re-export of the non-stationary traffic vocabulary the runtime consumes
+/// (defined in `mars-model`) and the resumable simulator it drives (defined
+/// in `mars-serve`).
+pub use mars_model::{PhasedTraffic, TrafficPhase, TrafficProfile};
+pub use mars_serve::{SimSnapshot, SimState};

@@ -1,0 +1,364 @@
+//! Windowed drift detection over the live serving stream.
+//!
+//! The monitor never looks at the traffic scenario — only at what the
+//! serving simulation actually did.  At every window boundary the runtime
+//! hands it the current [`SimSnapshot`] plus the window's arrival counts;
+//! the monitor diffs against the previous snapshot and checks three
+//! deterministic signals:
+//!
+//! 1. **SLA misses** — the fraction of the window's completions that blew
+//!    their deadline.
+//! 2. **Queue growth** — a lane's waiting room growing by more than a fixed
+//!    number of requests across the window (the classic symptom of a
+//!    partition whose service rate fell behind its arrival rate).
+//! 3. **Imbalance** — the busiest accelerator working more than a fixed
+//!    multiple of the platform mean while the platform is meaningfully
+//!    loaded (capacity parked on the wrong partition).
+//!
+//! Every check is a pure function of the two snapshots, so trigger
+//! sequences are bit-identical across `MARS_THREADS` values and repeat runs
+//! — the property the runtime's determinism tests pin.
+
+use mars_serve::SimSnapshot;
+
+/// Thresholds of the drift monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Length of the observation window in seconds.
+    pub window_seconds: f64,
+    /// Fire when more than this fraction of the window's completions missed
+    /// their deadline (given at least
+    /// [`min_window_completions`](MonitorConfig::min_window_completions)).
+    pub miss_rate_threshold: f64,
+    /// Fire when some lane's queue grew by at least this many requests over
+    /// the window.
+    pub queue_growth_threshold: usize,
+    /// Fire when the busiest accelerator's window busy time exceeds this
+    /// multiple of the platform mean (and the mean itself is at least
+    /// [`imbalance_min_load`](MonitorConfig::imbalance_min_load) of the
+    /// window).
+    pub imbalance_threshold: f64,
+    /// Mean per-accelerator load (busy fraction of the window) below which
+    /// the imbalance check stays silent — an idle platform is allowed to be
+    /// lopsided.
+    pub imbalance_min_load: f64,
+    /// Minimum completions in a window for the miss-rate check to be
+    /// statistically meaningful.
+    pub min_window_completions: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            window_seconds: 0.5,
+            miss_rate_threshold: 0.20,
+            queue_growth_threshold: 8,
+            imbalance_threshold: 6.0,
+            imbalance_min_load: 0.30,
+            min_window_completions: 6,
+        }
+    }
+}
+
+/// Why a [`ReconfigureTrigger`] fired.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TriggerReason {
+    /// Too many of the window's completions missed their deadline.
+    SlaMisses {
+        /// Completions in the window that missed.
+        missed: usize,
+        /// Total completions in the window.
+        completed: usize,
+    },
+    /// A lane's waiting room grew past the threshold.
+    QueueGrowth {
+        /// The lane (workload index) whose queue grew.
+        workload: usize,
+        /// Queue length at the window's start.
+        from: usize,
+        /// Queue length at the window's end.
+        to: usize,
+    },
+    /// One accelerator is working far harder than the platform average.
+    Imbalance {
+        /// `max per-accel busy / mean per-accel busy` over the window.
+        ratio: f64,
+    },
+    /// A phase boundary (only ever attached by the *oracle* policy, which is
+    /// told the boundaries instead of detecting them).
+    PhaseBoundary {
+        /// Index of the phase that just began.
+        phase: usize,
+    },
+}
+
+impl std::fmt::Display for TriggerReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TriggerReason::SlaMisses { missed, completed } => {
+                write!(f, "sla-misses {missed}/{completed}")
+            }
+            TriggerReason::QueueGrowth { workload, from, to } => {
+                write!(f, "queue-growth w{workload} {from}->{to}")
+            }
+            TriggerReason::Imbalance { ratio } => write!(f, "imbalance {ratio:.1}x"),
+            TriggerReason::PhaseBoundary { phase } => write!(f, "phase-boundary {phase}"),
+        }
+    }
+}
+
+/// A deterministic "re-schedule now" signal from the drift monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigureTrigger {
+    /// The window boundary the trigger fired at, seconds.
+    pub at: f64,
+    /// What drifted.
+    pub reason: TriggerReason,
+    /// Requests that arrived during the window, per workload — the observed
+    /// rates a reactive re-scheduler feeds back into the search.
+    pub window_arrivals: Vec<usize>,
+}
+
+/// The windowed drift monitor: diffs consecutive [`SimSnapshot`]s.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: MonitorConfig,
+    prev: SimSnapshot,
+    triggers: usize,
+}
+
+impl DriftMonitor {
+    /// Starts monitoring from `initial` (normally the time-zero snapshot).
+    pub fn new(config: MonitorConfig, initial: SimSnapshot) -> Self {
+        Self {
+            config,
+            prev: initial,
+            triggers: 0,
+        }
+    }
+
+    /// The monitor's thresholds.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Triggers fired so far.
+    pub fn triggers_fired(&self) -> usize {
+        self.triggers
+    }
+
+    /// Observes the window ending at `snapshot.clock`: diffs against the
+    /// previous observation and returns a trigger if any drift signal fired
+    /// (checks run in the fixed order SLA-misses → queue growth → imbalance;
+    /// the first hit wins).  `window_arrivals[w]` is how many requests of
+    /// workload `w` arrived during the window (the runtime reads this off
+    /// the trace).
+    ///
+    /// The observation becomes the new baseline either way, and the result
+    /// is a pure function of `(previous snapshot, snapshot, arrivals)`.
+    pub fn observe(
+        &mut self,
+        snapshot: &SimSnapshot,
+        window_arrivals: &[usize],
+    ) -> Option<ReconfigureTrigger> {
+        let reason = self.drift_reason(snapshot);
+        self.prev = snapshot.clone();
+        reason.map(|reason| {
+            self.triggers += 1;
+            ReconfigureTrigger {
+                at: snapshot.clock,
+                reason,
+                window_arrivals: window_arrivals.to_vec(),
+            }
+        })
+    }
+
+    /// Resets the baseline without checking (used right after a
+    /// reconfiguration, so the turbulence of the migration window itself is
+    /// not read as fresh drift).
+    pub fn rebase(&mut self, snapshot: &SimSnapshot) {
+        self.prev = snapshot.clone();
+    }
+
+    fn drift_reason(&self, now: &SimSnapshot) -> Option<TriggerReason> {
+        let prev = &self.prev;
+        let window = (now.clock - prev.clock).max(f64::MIN_POSITIVE);
+
+        // 1. SLA misses among the window's completions.
+        let mut completed = 0usize;
+        let mut met = 0usize;
+        for (a, b) in prev.lanes.iter().zip(&now.lanes) {
+            completed += b.completed - a.completed;
+            met += b.met_sla - a.met_sla;
+        }
+        let missed = completed - met;
+        if completed >= self.config.min_window_completions
+            && missed as f64 > self.config.miss_rate_threshold * completed as f64
+        {
+            return Some(TriggerReason::SlaMisses { missed, completed });
+        }
+
+        // 2. Queue growth on any lane.
+        for (a, b) in prev.lanes.iter().zip(&now.lanes) {
+            if b.queued >= a.queued + self.config.queue_growth_threshold {
+                return Some(TriggerReason::QueueGrowth {
+                    workload: b.workload,
+                    from: a.queued,
+                    to: b.queued,
+                });
+            }
+        }
+
+        // 3. Per-accelerator imbalance over the window.  Accelerators may
+        // appear in `now` that `prev` never saw (after a re-placement);
+        // their whole busy time counts as this window's.
+        let prev_busy = |id| {
+            prev.accel_busy
+                .iter()
+                .find(|(a, _)| *a == id)
+                .map_or(0.0, |(_, b)| *b)
+        };
+        let deltas: Vec<f64> = now
+            .accel_busy
+            .iter()
+            .map(|&(id, busy)| busy - prev_busy(id))
+            .collect();
+        if !deltas.is_empty() {
+            let max = deltas.iter().copied().fold(0.0, f64::max);
+            let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+            if mean / window >= self.config.imbalance_min_load
+                && max > self.config.imbalance_threshold * mean
+            {
+                return Some(TriggerReason::Imbalance { ratio: max / mean });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_serve::LaneSnapshot;
+    use mars_topology::AccelId;
+
+    fn lane(workload: usize, completed: usize, met: usize, queued: usize) -> LaneSnapshot {
+        LaneSnapshot {
+            workload,
+            enqueued: completed + queued,
+            queued,
+            completed,
+            met_sla: met,
+            busy_seconds: 0.0,
+            free_at: 0.0,
+            accels: vec![AccelId(2 * workload), AccelId(2 * workload + 1)],
+        }
+    }
+
+    fn snap(clock: f64, lanes: Vec<LaneSnapshot>, busy: &[f64]) -> SimSnapshot {
+        SimSnapshot {
+            clock,
+            lanes,
+            accel_busy: busy
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (AccelId(i), b))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fires_on_miss_rate_and_reports_the_window() {
+        let start = snap(0.0, vec![lane(0, 0, 0, 0)], &[0.0, 0.0]);
+        let mut monitor = DriftMonitor::new(MonitorConfig::default(), start);
+        // 20 completions, 12 missed: 60% > 25%.
+        let t = monitor
+            .observe(&snap(0.25, vec![lane(0, 20, 8, 0)], &[0.1, 0.1]), &[20])
+            .expect("must fire");
+        assert_eq!(t.at, 0.25);
+        assert_eq!(
+            t.reason,
+            TriggerReason::SlaMisses {
+                missed: 12,
+                completed: 20
+            }
+        );
+        assert_eq!(t.window_arrivals, vec![20]);
+        assert_eq!(monitor.triggers_fired(), 1);
+    }
+
+    #[test]
+    fn too_few_completions_stay_silent_but_queue_growth_fires() {
+        let start = snap(0.0, vec![lane(0, 0, 0, 0)], &[0.0, 0.0]);
+        let mut monitor = DriftMonitor::new(MonitorConfig::default(), start);
+        // 4 completions all missed — below min_window_completions, silent.
+        assert!(monitor
+            .observe(&snap(0.25, vec![lane(0, 4, 0, 2)], &[0.0, 0.0]), &[6])
+            .is_none());
+        // Queue explodes by 9 in the next window: fires.
+        let t = monitor
+            .observe(&snap(0.5, vec![lane(0, 4, 0, 11)], &[0.0, 0.0]), &[9])
+            .expect("queue growth");
+        assert_eq!(
+            t.reason,
+            TriggerReason::QueueGrowth {
+                workload: 0,
+                from: 2,
+                to: 11
+            }
+        );
+    }
+
+    #[test]
+    fn imbalance_needs_load_and_a_lopsided_platform() {
+        let config = MonitorConfig {
+            imbalance_threshold: 3.0,
+            imbalance_min_load: 0.3,
+            ..MonitorConfig::default()
+        };
+        let start = snap(0.0, vec![lane(0, 0, 0, 0)], &[0.0, 0.0]);
+        let mut monitor = DriftMonitor::new(config.clone(), start.clone());
+        // Lopsided but nearly idle: mean load (0.04+0)/2/0.25 = 8% — silent.
+        assert!(monitor
+            .observe(&snap(0.25, vec![lane(0, 0, 0, 0)], &[0.04, 0.0]), &[0])
+            .is_none());
+        // Lopsided *and* loaded: one accel at 96% of the window, the other
+        // cold → ratio 2.0 with threshold 1.5 fires.
+        let mut eager = DriftMonitor::new(
+            MonitorConfig {
+                imbalance_threshold: 1.5,
+                ..config
+            },
+            start,
+        );
+        let t = eager
+            .observe(&snap(0.25, vec![lane(0, 0, 0, 0)], &[0.24, 0.0]), &[0])
+            .expect("imbalance");
+        assert!(matches!(t.reason, TriggerReason::Imbalance { ratio } if ratio > 1.9));
+    }
+
+    #[test]
+    fn stationary_windows_never_fire_and_rebase_resets_the_baseline() {
+        let mut monitor = DriftMonitor::new(
+            MonitorConfig::default(),
+            snap(0.0, vec![lane(0, 0, 0, 1)], &[0.0, 0.0]),
+        );
+        // A healthy steady state: high completions, low misses, flat queue,
+        // balanced platform.
+        for k in 1..=20usize {
+            let t = 0.25 * k as f64;
+            let s = snap(t, vec![lane(0, 40 * k, 38 * k, 1)], &[0.2 * t, 0.19 * t]);
+            assert!(monitor.observe(&s, &[40]).is_none(), "window {k} fired");
+        }
+        assert_eq!(monitor.triggers_fired(), 0);
+        // rebase swallows an otherwise-firing diff.
+        let jump = snap(5.25, vec![lane(0, 1000, 500, 1)], &[1.2, 1.0]);
+        monitor.rebase(&jump);
+        assert!(monitor
+            .observe(
+                &snap(5.5, vec![lane(0, 1040, 538, 1)], &[1.25, 1.05]),
+                &[40]
+            )
+            .is_none());
+    }
+}

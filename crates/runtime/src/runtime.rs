@@ -1,0 +1,583 @@
+//! The elastic control loop: serve → observe → re-schedule → migrate.
+//!
+//! [`run_elastic`] closes the loop between the serving simulator
+//! (`mars-serve`) and the co-scheduler (`mars-core`): a [`SimState`] replays
+//! a non-stationary [`PhasedTraffic`] trace while the chosen
+//! [`RuntimePolicy`] decides if and when the placement is re-searched:
+//!
+//! * [`Static`](RuntimePolicy::Static) — the offline baseline: one
+//!   co-schedule up front, kept for the whole horizon.
+//! * [`Reactive`](RuntimePolicy::Reactive) — a [`DriftMonitor`] watches the
+//!   live stream; when it fires, `co_schedule` re-runs **warm-started** from
+//!   the incumbent with the workloads' SLA weights scaled by the *observed*
+//!   per-workload load, and the new placement activates only after the
+//!   background-search delay, the in-flight drain and the
+//!   [migration](crate::migrate) transfer are charged.
+//! * [`Oracle`](RuntimePolicy::Oracle) — phase-boundary clairvoyant: it
+//!   re-schedules exactly at each [`TrafficPhase`](mars_model::TrafficPhase)
+//!   boundary using the phase's *true* rates, pays no detection lag and no
+//!   search delay, but still pays the migration itself.  The gap between
+//!   Reactive and Oracle is the price of having to *detect* drift.
+//!
+//! Everything is a pure function of `(workloads, topo, catalog, scenario,
+//! trace, policy, config)`: co-schedules are thread-count-invariant, the
+//! simulator and monitor are single-threaded pure state machines, and all
+//! seeds derive from [`CoScheduleConfig::seed`] — so the whole
+//! [`ElasticReport`] is bit-identical across `MARS_THREADS` values and
+//! repeat runs.
+
+use crate::migrate::{migration_cost, MigrationConfig, MigrationCost};
+use crate::monitor::{DriftMonitor, MonitorConfig, TriggerReason};
+use mars_accel::Catalog;
+use mars_core::{
+    co_schedule_cached, CoScheduleConfig, CoScheduleError, CoScheduleResult, InnerSearchCache,
+    Workload,
+};
+use mars_model::{PhasedTraffic, TrafficError};
+use mars_serve::{ServeConfig, ServeError, ServeReport, SimState, Trace};
+use mars_topology::Topology;
+
+/// Who decides when the placement changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimePolicy {
+    /// One offline co-schedule, never changed.
+    Static,
+    /// Drift-triggered warm-started re-scheduling from observed load.
+    Reactive,
+    /// Phase-boundary clairvoyant re-scheduling from true rates.
+    Oracle,
+}
+
+impl RuntimePolicy {
+    /// All policies, in the order the benchmark tables print them.
+    pub const ALL: [RuntimePolicy; 3] = [
+        RuntimePolicy::Static,
+        RuntimePolicy::Reactive,
+        RuntimePolicy::Oracle,
+    ];
+
+    /// Short display name (`static`, `reactive`, `oracle`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimePolicy::Static => "static",
+            RuntimePolicy::Reactive => "reactive",
+            RuntimePolicy::Oracle => "oracle",
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of the elastic runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Budget, master seed and (optional) warm start of every co-schedule
+    /// the runtime runs; re-schedules always warm-start from the incumbent
+    /// on top of this.
+    pub schedule: CoScheduleConfig,
+    /// Serving knobs (dispatch policy, batching) of the simulator.
+    pub serve: ServeConfig,
+    /// Drift-monitor thresholds (Reactive only).
+    pub monitor: MonitorConfig,
+    /// Migration cost model (weight bytes, comm knobs).
+    pub migration: MigrationConfig,
+    /// Simulated seconds a *reactive* background re-search takes before its
+    /// result can start migrating (the oracle pays zero — it is clairvoyant).
+    pub reschedule_delay_seconds: f64,
+    /// Minimum simulated seconds between two reactive reconfigurations.
+    pub cooldown_seconds: f64,
+    /// Hard cap on *placement-changing* reconfigurations per run (a
+    /// runaway-trigger backstop; re-schedules that confirm the incumbent
+    /// are free and uncounted).
+    pub max_reconfigurations: usize,
+    /// Migration budget: a re-schedule whose weight transfer would take
+    /// longer than this is declined (recorded but not applied).  Moving
+    /// hundreds of megabytes of weights can cost more serving time than a
+    /// better placement recovers — an elastic runtime must know when *not*
+    /// to move.
+    pub max_migration_seconds: f64,
+    /// How far observed load may scale a workload's SLA weight for the
+    /// re-search, as a factor in `[1/limit, limit]` around the base weight.
+    pub weight_shift_limit: f64,
+}
+
+impl RuntimeConfig {
+    /// Defaults around the given co-schedule budget: EDF serving, the
+    /// default monitor thresholds, fp16 migration, a 50 ms background-search
+    /// delay, a one-second cooldown, at most 6 reconfigurations, and load
+    /// allowed to shift weights by up to 8x.
+    pub fn new(schedule: CoScheduleConfig) -> Self {
+        Self {
+            schedule,
+            // A 20% launch margin: healthy lanes meet deadlines robustly
+            // instead of by floating-point luck, so the monitor's miss-rate
+            // signal means *drift*, not zero-slack metastability.
+            serve: ServeConfig::default().with_deadline_slack(0.2),
+            monitor: MonitorConfig::default(),
+            migration: MigrationConfig::default(),
+            reschedule_delay_seconds: 0.050,
+            cooldown_seconds: 1.0,
+            max_reconfigurations: 6,
+            max_migration_seconds: 0.3,
+            weight_shift_limit: 8.0,
+        }
+    }
+
+    /// Sets the serving knobs.
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Sets the drift-monitor thresholds.
+    pub fn with_monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.monitor = monitor;
+        self
+    }
+}
+
+/// Errors of the elastic runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElasticError {
+    /// The traffic scenario is malformed.
+    Traffic(TrafficError),
+    /// A co-schedule (initial or re-schedule) was rejected.
+    Schedule(CoScheduleError),
+    /// The serving simulator rejected its inputs.
+    Serve(ServeError),
+    /// The scenario, trace and workloads disagree on shape.
+    ShapeMismatch {
+        /// Number of workloads handed to the runtime.
+        workloads: usize,
+        /// Number of workloads the scenario describes.
+        scenario: usize,
+        /// Number of arrival streams in the trace.
+        streams: usize,
+    },
+    /// The trace's horizon differs from the scenario's.
+    HorizonMismatch {
+        /// The scenario horizon in seconds.
+        scenario: f64,
+        /// The trace horizon in seconds.
+        trace: f64,
+    },
+    /// A runtime knob is not a non-negative finite number.
+    InvalidKnob {
+        /// Name of the offending knob.
+        knob: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ElasticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElasticError::Traffic(e) => write!(f, "traffic scenario: {e}"),
+            ElasticError::Schedule(e) => write!(f, "co-schedule: {e}"),
+            ElasticError::Serve(e) => write!(f, "serving: {e}"),
+            ElasticError::ShapeMismatch {
+                workloads,
+                scenario,
+                streams,
+            } => write!(
+                f,
+                "shape mismatch: {workloads} workloads, scenario describes {scenario}, trace has {streams} streams"
+            ),
+            ElasticError::HorizonMismatch { scenario, trace } => {
+                write!(f, "horizon mismatch: scenario {scenario}s, trace {trace}s")
+            }
+            ElasticError::InvalidKnob { knob, value } => write!(f, "invalid {knob}: {value}"),
+        }
+    }
+}
+
+impl std::error::Error for ElasticError {}
+
+impl From<TrafficError> for ElasticError {
+    fn from(e: TrafficError) -> Self {
+        ElasticError::Traffic(e)
+    }
+}
+impl From<CoScheduleError> for ElasticError {
+    fn from(e: CoScheduleError) -> Self {
+        ElasticError::Schedule(e)
+    }
+}
+impl From<ServeError> for ElasticError {
+    fn from(e: ServeError) -> Self {
+        ElasticError::Serve(e)
+    }
+}
+
+/// One reconfiguration decision the runtime took: a placement change, a
+/// search that confirmed the incumbent, or a change declined because its
+/// migration would blow the [`RuntimeConfig::max_migration_seconds`] budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigureEvent {
+    /// When the decision was taken (trigger instant or phase boundary).
+    pub decided_at: f64,
+    /// When the new placement went live: decision + background-search delay
+    /// (reactive only) + in-flight drain + migration transfer.  Equal to
+    /// [`decided_at`](Self::decided_at) when nothing was applied.
+    pub activated_at: f64,
+    /// Why the runtime re-scheduled.
+    pub reason: TriggerReason,
+    /// What the migration cost (for a declined change: what it *would* have
+    /// cost); [`MigrationCost::is_free`] when the search confirmed the
+    /// incumbent.
+    pub migration: MigrationCost,
+    /// `true` when the placement actually changed.
+    pub applied: bool,
+}
+
+impl ReconfigureEvent {
+    /// `true` when the re-schedule actually changed the placement.
+    pub fn changed(&self) -> bool {
+        self.applied
+    }
+
+    /// `true` when the search found a better placement but the migration
+    /// budget declined it.
+    pub fn declined(&self) -> bool {
+        !self.applied && !self.migration.is_free()
+    }
+}
+
+/// Outcome of one elastic serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticReport {
+    /// The policy that produced this report.
+    pub policy: RuntimePolicy,
+    /// The end-to-end serving outcome over the whole horizon.
+    pub serve: ServeReport,
+    /// Every reconfiguration, in decision order (empty for
+    /// [`RuntimePolicy::Static`]).
+    pub reconfigurations: Vec<ReconfigureEvent>,
+    /// Drift triggers the monitor fired, including any suppressed by the
+    /// cooldown or the reconfiguration cap (always 0 for Static and Oracle,
+    /// which do not run the monitor).
+    pub triggers_fired: usize,
+}
+
+impl ElasticReport {
+    /// Reconfigurations that actually changed the placement.
+    pub fn placements_changed(&self) -> usize {
+        self.reconfigurations.iter().filter(|e| e.changed()).count()
+    }
+
+    /// Total simulated seconds spent migrating weights (applied changes
+    /// only — declined migrations cost nothing).
+    pub fn migration_seconds(&self) -> f64 {
+        self.reconfigurations
+            .iter()
+            .filter(|e| e.applied)
+            .map(|e| e.migration.seconds)
+            .sum()
+    }
+}
+
+/// Runs the elastic serving loop — see the crate docs for the policy
+/// semantics.  `trace` must be drawn from `scenario` (same horizon, same
+/// workload count); use [`Trace::phased`].
+///
+/// # Errors
+///
+/// Rejects malformed scenarios, shape mismatches and degenerate knobs, and
+/// propagates co-scheduler and simulator rejections — see [`ElasticError`].
+pub fn run_elastic(
+    workloads: &[Workload],
+    topo: &Topology,
+    catalog: &Catalog,
+    scenario: &PhasedTraffic,
+    trace: &Trace,
+    policy: RuntimePolicy,
+    config: &RuntimeConfig,
+) -> Result<ElasticReport, ElasticError> {
+    run_elastic_with_cache(
+        workloads,
+        topo,
+        catalog,
+        scenario,
+        trace,
+        policy,
+        config,
+        &InnerSearchCache::new(),
+    )
+}
+
+/// [`run_elastic`] with an externally-owned [`InnerSearchCache`], so several
+/// runs over the same `(workloads, topo, catalog, schedule)` — the
+/// Static/Reactive/Oracle comparison of `table_elastic` — share every inner
+/// search.  See [`InnerSearchCache`] for the reuse-soundness contract.
+///
+/// # Errors
+///
+/// As for [`run_elastic`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_elastic_with_cache(
+    workloads: &[Workload],
+    topo: &Topology,
+    catalog: &Catalog,
+    scenario: &PhasedTraffic,
+    trace: &Trace,
+    policy: RuntimePolicy,
+    config: &RuntimeConfig,
+    cache: &InnerSearchCache,
+) -> Result<ElasticReport, ElasticError> {
+    scenario.validate()?;
+    let k = workloads.len();
+    if scenario.workloads() != k || trace.arrivals.len() != k {
+        return Err(ElasticError::ShapeMismatch {
+            workloads: k,
+            scenario: scenario.workloads(),
+            streams: trace.arrivals.len(),
+        });
+    }
+    if trace.horizon_seconds.to_bits() != scenario.horizon_seconds.to_bits() {
+        return Err(ElasticError::HorizonMismatch {
+            scenario: scenario.horizon_seconds,
+            trace: trace.horizon_seconds,
+        });
+    }
+    for (knob, value) in [
+        ("reschedule_delay_seconds", config.reschedule_delay_seconds),
+        ("cooldown_seconds", config.cooldown_seconds),
+        ("max_migration_seconds", config.max_migration_seconds),
+    ] {
+        if !(value >= 0.0 && value.is_finite()) {
+            return Err(ElasticError::InvalidKnob { knob, value });
+        }
+    }
+    if !(config.weight_shift_limit >= 1.0 && config.weight_shift_limit.is_finite()) {
+        return Err(ElasticError::InvalidKnob {
+            knob: "weight_shift_limit",
+            value: config.weight_shift_limit,
+        });
+    }
+    // The window must be positive, and not so small that the control loop's
+    // boundary list explodes: a degenerate window (say 1e-12 s against a 12 s
+    // horizon) would mean trillions of observation marks — reject it up
+    // front instead of hanging inside the boundary builder.
+    let window = config.monitor.window_seconds;
+    const MAX_WINDOWS_PER_RUN: f64 = 1e6;
+    if !(window > 0.0 && window.is_finite())
+        || scenario.horizon_seconds / window > MAX_WINDOWS_PER_RUN
+    {
+        return Err(ElasticError::InvalidKnob {
+            knob: "monitor.window_seconds",
+            value: window,
+        });
+    }
+
+    // The shared starting point of every policy: the plain co-schedule of
+    // the base workloads (what an offline deployment would compute).
+    let mut incumbent = co_schedule_cached(workloads, topo, catalog, &config.schedule, cache)?;
+    let mut sim = SimState::new(
+        &incumbent,
+        &scenario.phases[0].profiles,
+        trace,
+        &config.serve,
+    )?;
+    let mut monitor = DriftMonitor::new(config.monitor.clone(), sim.snapshot());
+
+    // Control-loop boundaries: every monitor window mark plus every phase
+    // start, in order.  Phase starts that coincide with window marks are
+    // processed once (phase bookkeeping first, then observation).
+    let horizon = scenario.horizon_seconds;
+    let mut boundaries: Vec<f64> = Vec::new();
+    let mut mark = config.monitor.window_seconds;
+    while mark < horizon {
+        boundaries.push(mark);
+        mark += config.monitor.window_seconds;
+    }
+    boundaries.extend(scenario.boundaries());
+    boundaries.sort_by(f64::total_cmp);
+    boundaries.dedup_by(|a, b| a.to_bits() == b.to_bits());
+
+    let mut events: Vec<ReconfigureEvent> = Vec::new();
+    let mut last_obs = 0.0f64;
+    let mut last_reconfig = f64::NEG_INFINITY;
+    let mut sla_factors: Vec<f64> = scenario.phases[0]
+        .profiles
+        .iter()
+        .map(|p| p.sla_factor)
+        .collect();
+
+    for &t in &boundaries {
+        sim.run_until(t);
+
+        // Phase bookkeeping: new SLA budgets for everyone; the oracle also
+        // re-schedules here, from the phase's true rates.
+        let phase = scenario.phase_index_at(t);
+        let is_phase_start = scenario.phases[phase].start_seconds.to_bits() == t.to_bits();
+        if is_phase_start {
+            sla_factors = scenario.phases[phase]
+                .profiles
+                .iter()
+                .map(|p| p.sla_factor)
+                .collect();
+            sim.set_sla_factors(&sla_factors)?;
+            if policy == RuntimePolicy::Oracle {
+                let rates: Vec<f64> = scenario.phases[phase]
+                    .profiles
+                    .iter()
+                    .map(|p| p.qps.max(0.0))
+                    .collect();
+                reconfigure(
+                    &mut sim,
+                    &mut incumbent,
+                    &mut events,
+                    Reschedule {
+                        workloads,
+                        topo,
+                        catalog,
+                        config,
+                        cache,
+                        at: t,
+                        rates: &rates,
+                        delay: 0.0,
+                        reason: TriggerReason::PhaseBoundary { phase },
+                        sla_factors: &sla_factors,
+                    },
+                )?;
+                monitor.rebase(&sim.snapshot());
+            }
+        }
+
+        // Reactive: observe the window that just ended; maybe re-schedule.
+        if policy == RuntimePolicy::Reactive {
+            let arrivals: Vec<usize> = (0..k).map(|w| trace.arrivals_in(w, last_obs, t)).collect();
+            let window = (t - last_obs).max(f64::MIN_POSITIVE);
+            if let Some(trigger) = monitor.observe(&sim.snapshot(), &arrivals) {
+                let calm = t - last_reconfig >= config.cooldown_seconds;
+                let changed = events.iter().filter(|e| e.changed()).count();
+                if calm && changed < config.max_reconfigurations {
+                    let rates: Vec<f64> = trigger
+                        .window_arrivals
+                        .iter()
+                        .map(|&n| n as f64 / window)
+                        .collect();
+                    reconfigure(
+                        &mut sim,
+                        &mut incumbent,
+                        &mut events,
+                        Reschedule {
+                            workloads,
+                            topo,
+                            catalog,
+                            config,
+                            cache,
+                            at: t,
+                            rates: &rates,
+                            delay: config.reschedule_delay_seconds,
+                            reason: trigger.reason,
+                            sla_factors: &sla_factors,
+                        },
+                    )?;
+                    last_reconfig = t;
+                    monitor.rebase(&sim.snapshot());
+                }
+            }
+        }
+        last_obs = t;
+    }
+
+    let triggers_fired = monitor.triggers_fired();
+    Ok(ElasticReport {
+        policy,
+        serve: sim.finish(),
+        reconfigurations: events,
+        triggers_fired,
+    })
+}
+
+/// Everything one re-schedule decision needs (bundled to keep the call sites
+/// readable).
+struct Reschedule<'a> {
+    workloads: &'a [Workload],
+    topo: &'a Topology,
+    catalog: &'a Catalog,
+    config: &'a RuntimeConfig,
+    cache: &'a InnerSearchCache,
+    /// Decision instant.
+    at: f64,
+    /// Requests per second per workload driving the re-weighting.
+    rates: &'a [f64],
+    /// Background-search delay charged before migration starts.
+    delay: f64,
+    reason: TriggerReason,
+    /// SLA factors in force (forwarded to the simulator on activation).
+    sla_factors: &'a [f64],
+}
+
+/// Runs one warm-started re-schedule and, if the placement changed, charges
+/// drain + delay + migration before activating it.
+fn reconfigure(
+    sim: &mut SimState,
+    incumbent: &mut CoScheduleResult,
+    events: &mut Vec<ReconfigureEvent>,
+    r: Reschedule<'_>,
+) -> Result<(), ElasticError> {
+    // Effective SLA weights: base × (load share), clamped.  Load is the
+    // service demand the observed rate implies *on the incumbent placement*
+    // (rate × per-inference latency), so a surged workload on a slow
+    // partition shouts loudest.
+    let loads: Vec<f64> = r
+        .rates
+        .iter()
+        .zip(incumbent.placements.iter())
+        .map(|(&rate, p)| rate * p.result.mapping.latency_seconds)
+        .collect();
+    let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
+    if !(mean > 0.0 && mean.is_finite()) {
+        // Nothing is arriving at all (or the rates are garbage): there is no
+        // load signal to adapt to — keep the incumbent.
+        return Ok(());
+    }
+    let limit = r.config.weight_shift_limit;
+    let eff: Vec<Workload> = r
+        .workloads
+        .iter()
+        .zip(&loads)
+        .map(|(w, &load)| {
+            let shift = (load / mean).clamp(1.0 / limit, limit);
+            w.clone().with_weight(w.weight * shift)
+        })
+        .collect();
+
+    let schedule = r.config.schedule.clone().warm_start(incumbent);
+    let new_co = co_schedule_cached(&eff, r.topo, r.catalog, &schedule, r.cache)?;
+    let migration = migration_cost(r.topo, r.workloads, incumbent, &new_co, &r.config.migration);
+    if migration.is_free() || migration.seconds > r.config.max_migration_seconds {
+        // Either the search confirmed the incumbent (free), or the better
+        // placement is not worth its transfer bill: record the decision,
+        // change nothing, pay nothing.
+        events.push(ReconfigureEvent {
+            decided_at: r.at,
+            activated_at: r.at,
+            reason: r.reason,
+            migration,
+            applied: false,
+        });
+        return Ok(());
+    }
+    // Drain in-flight batches, wait out the background search, then move the
+    // weights; the new placement serves from `activated_at` on.
+    let drained = sim.drain_seconds().max(r.at + r.delay);
+    let activated_at = drained + migration.seconds;
+    sim.apply_placements(&new_co, r.sla_factors, activated_at)?;
+    events.push(ReconfigureEvent {
+        decided_at: r.at,
+        activated_at,
+        reason: r.reason,
+        migration,
+        applied: true,
+    });
+    *incumbent = new_co;
+    Ok(())
+}

@@ -1,0 +1,330 @@
+//! Property and integration tests of the elastic runtime's contracts:
+//!
+//! * the drift monitor stays silent on stationary, healthy traffic — for
+//!   *any* healthy window shape, not just one example;
+//! * trigger sequences and whole elastic reports are bit-identical across
+//!   `MARS_THREADS` worker counts and repeat runs;
+//! * re-scheduling onto the incumbent placement migrates nothing.
+
+use mars_accel::Catalog;
+use mars_core::{co_schedule, CoScheduleConfig, GaConfig, InnerSearchCache, Workload};
+use mars_model::zoo;
+use mars_model::{PhasedTraffic, TrafficPhase, TrafficProfile};
+use mars_runtime::{
+    migration_cost, run_elastic, run_elastic_with_cache, DriftMonitor, MigrationConfig,
+    MonitorConfig, RuntimeConfig, RuntimePolicy,
+};
+use mars_serve::{LaneSnapshot, SimSnapshot, Trace};
+use mars_topology::{presets, AccelId};
+use proptest::prelude::*;
+
+fn tiny_schedule(seed: u64) -> CoScheduleConfig {
+    CoScheduleConfig {
+        outer: GaConfig {
+            population: 4,
+            generations: 1,
+            ..GaConfig::tiny(seed)
+        },
+        ..CoScheduleConfig::fast(seed)
+    }
+}
+
+fn small_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(zoo::alexnet(100))
+            .with_batch(4)
+            .with_weight(1.5),
+        Workload::new(zoo::alexnet(10)).with_batch(2),
+    ]
+}
+
+/// Per-workload placement latencies of the runtime's starting co-schedule —
+/// the anchor for building scenarios with known load factors.
+fn placement_latencies(workloads: &[Workload], seed: u64) -> Vec<f64> {
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let co = co_schedule(workloads, &topo, &catalog, &tiny_schedule(seed)).unwrap();
+    co.placements
+        .iter()
+        .map(|p| p.result.mapping.latency_seconds)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stationary, healthy windows — high SLA-met ratio, flat queues, a
+    /// balanced platform — never fire the monitor, whatever the exact rates.
+    #[test]
+    fn monitor_stays_silent_on_stationary_healthy_traffic(
+        rate_per_window in 10usize..200,
+        met_ratio in 0.90f64..=1.0,
+        queue in 0usize..6,
+        busy_fraction in 0.05f64..0.95,
+        skew in 0.8f64..1.25,
+        windows in 3usize..20,
+    ) {
+        let window = 0.5f64;
+        let lanes_at = |k: usize| {
+            let completed = rate_per_window * k;
+            vec![LaneSnapshot {
+                workload: 0,
+                enqueued: completed + queue,
+                queued: queue,
+                completed,
+                met_sla: (completed as f64 * met_ratio).round() as usize,
+                busy_seconds: busy_fraction * window * k as f64,
+                free_at: 0.0,
+                accels: vec![AccelId(0), AccelId(1)],
+            }]
+        };
+        let snap_at = |k: usize| SimSnapshot {
+            clock: window * k as f64,
+            lanes: lanes_at(k),
+            accel_busy: vec![
+                (AccelId(0), busy_fraction * window * k as f64),
+                (AccelId(1), busy_fraction * skew * window * k as f64),
+            ],
+        };
+        let mut monitor = DriftMonitor::new(MonitorConfig::default(), snap_at(0));
+        for k in 1..=windows {
+            let trigger = monitor.observe(&snap_at(k), &[rate_per_window]);
+            prop_assert!(trigger.is_none(), "window {k} fired: {trigger:?}");
+        }
+        prop_assert_eq!(monitor.triggers_fired(), 0);
+    }
+
+    /// The monitor is a pure function of its snapshots: replaying the same
+    /// observation sequence yields the same triggers, bit for bit.
+    #[test]
+    fn monitor_is_deterministic_over_any_snapshot_sequence(
+        completions in proptest::collection::vec(0usize..400, 2..10),
+        met_per_mille in 0u32..=1000,
+        queue_step in 0usize..12,
+    ) {
+        let build = || {
+            let mut cumulative = 0usize;
+            let mut snaps = vec![SimSnapshot {
+                clock: 0.0,
+                lanes: vec![LaneSnapshot {
+                    workload: 0,
+                    enqueued: 0,
+                    queued: 0,
+                    completed: 0,
+                    met_sla: 0,
+                    busy_seconds: 0.0,
+                    free_at: 0.0,
+                    accels: vec![AccelId(0)],
+                }],
+                accel_busy: vec![(AccelId(0), 0.0)],
+            }];
+            for (k, &c) in completions.iter().enumerate() {
+                cumulative += c;
+                snaps.push(SimSnapshot {
+                    clock: 0.5 * (k + 1) as f64,
+                    lanes: vec![LaneSnapshot {
+                        workload: 0,
+                        enqueued: cumulative + queue_step * (k + 1),
+                        queued: queue_step * (k + 1),
+                        completed: cumulative,
+                        met_sla: cumulative * met_per_mille as usize / 1000,
+                        busy_seconds: 0.1 * (k + 1) as f64,
+                        free_at: 0.0,
+                        accels: vec![AccelId(0)],
+                    }],
+                    accel_busy: vec![(AccelId(0), 0.1 * (k + 1) as f64)],
+                });
+            }
+            snaps
+        };
+        let run = || {
+            let snaps = build();
+            let mut monitor = DriftMonitor::new(MonitorConfig::default(), snaps[0].clone());
+            let triggers: Vec<_> = snaps[1..]
+                .iter()
+                .map(|s| monitor.observe(s, &[7]))
+                .collect();
+            (triggers, monitor.triggers_fired())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Stationary traffic end to end: the reactive runtime never triggers, never
+/// reconfigures, and lands on the exact same report as the static runtime.
+#[test]
+fn stationary_traffic_reactive_equals_static_with_zero_triggers() {
+    let workloads = small_workloads();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let lat = placement_latencies(&workloads, 5);
+    // Moderate load on both lanes: ~25% of the deadline-feasible rate.
+    let profiles: Vec<TrafficProfile> = lat
+        .iter()
+        .map(|l| TrafficProfile::new((0.25 * 0.8 / l).min(400.0), 5.0))
+        .collect();
+    let scenario = PhasedTraffic::stationary(profiles, 4.0);
+    let trace = Trace::phased(&scenario, 11).unwrap();
+    let config = RuntimeConfig::new(tiny_schedule(5));
+
+    let cache = InnerSearchCache::new();
+    let run = |policy| {
+        run_elastic_with_cache(
+            &workloads, &topo, &catalog, &scenario, &trace, policy, &config, &cache,
+        )
+        .unwrap()
+    };
+    let reactive = run(RuntimePolicy::Reactive);
+    assert_eq!(
+        reactive.triggers_fired, 0,
+        "stationary traffic must not trigger"
+    );
+    assert!(reactive.reconfigurations.is_empty());
+    let static_run = run(RuntimePolicy::Static);
+    assert_eq!(reactive.serve, static_run.serve);
+    // A single-phase scenario has no boundaries, so the oracle is static too.
+    let oracle = run(RuntimePolicy::Oracle);
+    assert_eq!(oracle.serve, static_run.serve);
+    assert!(oracle.reconfigurations.is_empty());
+}
+
+/// A genuine surge: the monitor fires, and the whole elastic report —
+/// triggers, reconfigurations, serving outcome — is bit-identical across
+/// `MARS_THREADS` worker counts and repeat runs.
+#[test]
+fn elastic_report_is_bit_identical_across_thread_counts() {
+    let workloads = small_workloads();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let lat = placement_latencies(&workloads, 5);
+    // Healthy warm-up, then workload 0 surges to 3x its feasible rate.
+    let warm: Vec<TrafficProfile> = lat
+        .iter()
+        .map(|l| TrafficProfile::new(0.25 * 0.8 / l, 5.0))
+        .collect();
+    let mut surge = warm.clone();
+    surge[0] = TrafficProfile::new(3.0 * 0.8 / lat[0], 5.0);
+    let scenario = PhasedTraffic::new(
+        6.0,
+        vec![TrafficPhase::new(0.0, warm), TrafficPhase::new(2.0, surge)],
+    );
+    let trace = Trace::phased(&scenario, 11).unwrap();
+
+    let run = |threads: usize| {
+        let config = RuntimeConfig::new(tiny_schedule(5).with_threads(threads));
+        run_elastic(
+            &workloads,
+            &topo,
+            &catalog,
+            &scenario,
+            &trace,
+            RuntimePolicy::Reactive,
+            &config,
+        )
+        .unwrap()
+    };
+    let serial = run(1);
+    assert!(serial.triggers_fired > 0, "the surge must be detected");
+    let again = run(1);
+    let parallel = run(4);
+    for other in [&again, &parallel] {
+        assert_eq!(&serial, other);
+        assert_eq!(
+            serial.serve.p99_ms.to_bits(),
+            other.serve.p99_ms.to_bits(),
+            "percentiles must match to the bit"
+        );
+    }
+    // The oracle sees the same scenario boundaries at every thread count too.
+    let oracle = |threads: usize| {
+        let config = RuntimeConfig::new(tiny_schedule(5).with_threads(threads));
+        run_elastic(
+            &workloads,
+            &topo,
+            &catalog,
+            &scenario,
+            &trace,
+            RuntimePolicy::Oracle,
+            &config,
+        )
+        .unwrap()
+    };
+    assert_eq!(oracle(1), oracle(4));
+}
+
+/// Re-scheduling onto the incumbent placement is free: zero migration
+/// seconds, zero bytes, no lane listed — whatever the comm knobs.
+#[test]
+fn unchanged_placement_always_migrates_for_free() {
+    let workloads = small_workloads();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let co = co_schedule(&workloads, &topo, &catalog, &tiny_schedule(5)).unwrap();
+    for bytes_per_param in [1u64, 2, 4, 8] {
+        let cfg = MigrationConfig {
+            bytes_per_param,
+            ..MigrationConfig::default()
+        };
+        let cost = migration_cost(&topo, &workloads, &co, &co, &cfg);
+        assert!(cost.is_free(), "bytes_per_param {bytes_per_param}");
+        assert_eq!(cost.seconds, 0.0);
+        assert_eq!(cost.bytes, 0);
+        assert!(cost.migrated.is_empty());
+    }
+}
+
+/// Malformed inputs are rejected up front with the matching error.
+#[test]
+fn degenerate_inputs_are_rejected() {
+    use mars_runtime::ElasticError;
+    let workloads = small_workloads();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let profiles = vec![
+        TrafficProfile::new(50.0, 5.0),
+        TrafficProfile::new(50.0, 5.0),
+    ];
+    let scenario = PhasedTraffic::stationary(profiles.clone(), 2.0);
+    let trace = Trace::phased(&scenario, 3).unwrap();
+    let config = RuntimeConfig::new(tiny_schedule(1));
+    let run = |w: &[Workload], s: &PhasedTraffic, t: &Trace, c: &RuntimeConfig| {
+        run_elastic(w, &topo, &catalog, s, t, RuntimePolicy::Reactive, c)
+    };
+
+    // Scenario shape vs workloads.
+    let one_profile = PhasedTraffic::stationary(vec![profiles[0]], 2.0);
+    assert!(matches!(
+        run(
+            &workloads,
+            &one_profile,
+            &Trace::phased(&one_profile, 3).unwrap(),
+            &config
+        ),
+        Err(ElasticError::ShapeMismatch { .. })
+    ));
+    // Trace horizon vs scenario horizon.
+    let longer = PhasedTraffic::stationary(profiles.clone(), 3.0);
+    assert!(matches!(
+        run(&workloads, &longer, &trace, &config),
+        Err(ElasticError::HorizonMismatch { .. })
+    ));
+    // Malformed scenario.
+    let empty = PhasedTraffic::new(2.0, Vec::new());
+    assert!(matches!(
+        run(&workloads, &empty, &trace, &config),
+        Err(ElasticError::Traffic(_))
+    ));
+    // Degenerate knobs.
+    let mut bad = config.clone();
+    bad.cooldown_seconds = f64::NAN;
+    assert!(matches!(
+        run(&workloads, &scenario, &trace, &bad),
+        Err(ElasticError::InvalidKnob { .. })
+    ));
+    let mut zero_window = config.clone();
+    zero_window.monitor.window_seconds = 0.0;
+    assert!(matches!(
+        run(&workloads, &scenario, &trace, &zero_window),
+        Err(ElasticError::InvalidKnob { .. })
+    ));
+}

@@ -49,12 +49,15 @@ mod sim;
 mod trace;
 
 pub use report::render_serve;
-pub use sim::{simulate, DispatchPolicy, ServeConfig, ServeError, ServeReport, WorkloadServeStats};
+pub use sim::{
+    simulate, BatchEvent, DispatchPolicy, LaneSnapshot, ServeConfig, ServeError, ServeReport,
+    SimSnapshot, SimState, WorkloadServeStats,
+};
 pub use trace::Trace;
 
-/// Re-export of the traffic-profile vocabulary the trace generator consumes
+/// Re-export of the traffic vocabulary the trace generator consumes
 /// (defined next to [`Workload`](mars_model::Workload) in `mars-model`).
-pub use mars_model::TrafficProfile;
+pub use mars_model::{PhasedTraffic, TrafficPhase, TrafficProfile};
 
 #[doc(hidden)]
 pub mod testing {

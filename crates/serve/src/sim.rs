@@ -35,7 +35,7 @@ use crate::trace::Trace;
 use mars_core::CoScheduleResult;
 use mars_model::TrafficProfile;
 use mars_topology::AccelId;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// When the batcher hands an accumulated batch to its partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,17 +90,31 @@ pub struct ServeConfig {
     /// Per-dispatch overhead in units of the placement's per-inference
     /// latency.
     pub dispatch_overhead_factor: f64,
+    /// Extra launch margin for the deadline-aware policies, as a fraction of
+    /// the batch cost: EDF/SLA-weighted launch at
+    /// `deadline − cost(b) × (margin + slack)` instead of the bare
+    /// last-safe-instant.
+    ///
+    /// The default `0.0` reproduces the original zero-slack semantics
+    /// (finishing *exactly at* the deadline) bit for bit — but zero slack is
+    /// metastable: a singleton batch then finishes at `deadline ± 1 ulp`,
+    /// and whether it counts as met is floating-point noise.  Serving stacks
+    /// that steer by goodput (the elastic runtime's drift monitor) set a
+    /// small positive slack so healthy lanes are *robustly* healthy.
+    pub deadline_slack_factor: f64,
 }
 
 impl ServeConfig {
     /// The default serving knobs with the given policy: batches of up to 8,
-    /// a 10 ms FIFO window, one inference-equivalent of dispatch overhead.
+    /// a 10 ms FIFO window, one inference-equivalent of dispatch overhead,
+    /// zero deadline slack.
     pub fn new(policy: DispatchPolicy) -> Self {
         Self {
             policy,
             max_batch: 8,
             batch_timeout_seconds: 0.010,
             dispatch_overhead_factor: 1.0,
+            deadline_slack_factor: 0.0,
         }
     }
 
@@ -119,6 +133,13 @@ impl ServeConfig {
     /// Sets the per-dispatch overhead factor.
     pub fn with_dispatch_overhead(mut self, factor: f64) -> Self {
         self.dispatch_overhead_factor = factor;
+        self
+    }
+
+    /// Sets the deadline-aware launch slack (see
+    /// [`deadline_slack_factor`](Self::deadline_slack_factor)).
+    pub fn with_deadline_slack(mut self, slack: f64) -> Self {
+        self.deadline_slack_factor = slack;
         self
     }
 }
@@ -298,198 +319,588 @@ impl ServeReport {
 }
 
 /// Nearest-rank percentile of an unsorted latency sample, in milliseconds.
-/// Returns `0.0` for an empty sample.
+///
+/// Degenerate sample sizes get explicit, documented answers instead of
+/// falling out of the rank arithmetic:
+///
+/// * **0 samples** → `0.0` for every `q` — an explicit "nothing completed"
+///   marker, never `NaN` or a value interpolated off nothing.
+/// * **1 sample** → that sample for every `q`: with a single observation the
+///   p50, p95 and p99 are all exactly it (nearest-rank never interpolates,
+///   so no synthetic spread is invented around a lone point).
+///
+/// `q` is clamped into `[0, 1]`; `q = 0` means "the smallest sample" (rank
+/// is floored at 1).
 fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
-    if latencies.is_empty() {
-        return 0.0;
+    match latencies.len() {
+        0 => 0.0,
+        1 => latencies[0] * 1e3,
+        n => {
+            latencies.sort_by(f64::total_cmp);
+            let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+            latencies[rank - 1] * 1e3
+        }
     }
-    latencies.sort_by(f64::total_cmp);
-    let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
-    latencies[rank - 1] * 1e3
 }
 
-struct Request {
-    arrival: f64,
-    deadline: f64,
+/// One dispatched batch, as reported by [`SimState::step`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchEvent {
+    /// The workload whose lane dispatched.
+    pub workload: usize,
+    /// Instant the batch launched, seconds.
+    pub start: f64,
+    /// Instant the batch finishes, seconds (may lie past the horizon, in
+    /// which case its requests never count as completed).
+    pub finish: f64,
+    /// Number of requests in the batch.
+    pub size: usize,
 }
 
-struct WorkloadOutcome {
-    stats: WorkloadServeStats,
-    latencies: Vec<f64>,
+/// A cheap observation of one lane, taken by [`SimState::snapshot`].  The
+/// elastic runtime's drift monitor diffs consecutive snapshots to compute
+/// windowed SLA-miss, queue-growth and utilisation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSnapshot {
+    /// Index of the workload.
+    pub workload: usize,
+    /// Requests pulled into the batcher so far (arrivals already considered
+    /// by the dispatch decision; a lower bound on arrivals up to the clock).
+    pub enqueued: usize,
+    /// Requests waiting in the batcher right now.
+    pub queued: usize,
+    /// Requests whose batch has finished.
+    pub completed: usize,
+    /// Completed requests that met their deadline.
+    pub met_sla: usize,
+    /// Time the lane's partition has spent executing batches so far.
+    pub busy_seconds: f64,
+    /// When the partition finishes its current in-flight batch (`<= now`
+    /// when idle).
+    pub free_at: f64,
+    /// The accelerators currently backing the lane.
+    pub accels: Vec<AccelId>,
 }
 
-/// One workload's serving lane: the placement-derived scalars the
-/// single-server simulation needs.
-struct Lane<'a> {
+/// A consistent observation of the whole simulation at the current clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// The clock the snapshot was taken at (the last `run_until` bound).
+    pub clock: f64,
+    /// One entry per lane, in workload order.
+    pub lanes: Vec<LaneSnapshot>,
+    /// Cumulative busy seconds per accelerator, sorted by id.
+    pub accel_busy: Vec<(AccelId, f64)>,
+}
+
+/// One workload's single-server batching lane inside a [`SimState`].
+#[derive(Debug, Clone)]
+struct LaneState {
     workload: usize,
-    name: &'a str,
+    name: String,
     /// SLA weight of the placement (drives [`DispatchPolicy::SlaWeighted`]).
     weight: f64,
     /// Per-inference latency on the partition, seconds.
     latency: f64,
-    /// Absolute deadline budget, seconds after arrival.
+    /// Absolute deadline budget for *newly enqueued* requests, seconds after
+    /// arrival.
     sla_seconds: f64,
+    /// The accelerators currently backing the lane (for busy attribution).
+    accels: Vec<AccelId>,
+    /// The full arrival stream (immutable).
+    arrivals: Vec<f64>,
+    /// Deadline of request `i`, assigned when the request is enqueued (so a
+    /// re-placement changes budgets for *future* arrivals only); always
+    /// `deadlines.len() == next`.
+    deadlines: Vec<f64>,
+    queue: VecDeque<usize>,
+    /// First request not yet enqueued.
+    next: usize,
+    /// When the partition finishes its current batch.
+    free: f64,
+    busy: f64,
+    batches: usize,
+    dispatched: usize,
+    completed: usize,
+    met_sla: usize,
+    latencies: Vec<f64>,
 }
 
-/// Simulates one workload's single-server batching queue.
-fn simulate_workload(
-    lane: &Lane<'_>,
-    arrivals: &[f64],
-    horizon: f64,
-    config: &ServeConfig,
-) -> WorkloadOutcome {
-    let overhead = config.dispatch_overhead_factor * lane.latency;
-    let cost = |b: usize| overhead + b as f64 * lane.latency;
+impl LaneState {
+    fn enqueue_next(&mut self) {
+        self.deadlines
+            .push(self.arrivals[self.next] + self.sla_seconds);
+        self.queue.push_back(self.next);
+        self.next += 1;
+    }
 
-    let requests: Vec<Request> = arrivals
-        .iter()
-        .map(|&arrival| Request {
-            arrival,
-            deadline: arrival + lane.sla_seconds,
-        })
-        .collect();
-
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut next = 0usize; // first request not yet enqueued
-    let mut free = 0.0f64; // when the partition finishes its current batch
-    let mut busy = 0.0f64;
-    let mut batches = 0usize;
-    let mut dispatched = 0usize;
-    let mut completed = 0usize;
-    let mut met_sla = 0usize;
-    let mut latencies: Vec<f64> = Vec::new();
-
-    'serve: loop {
-        if queue.is_empty() {
-            if next >= requests.len() {
-                break;
+    /// Computes the next batch's launch instant, pulling every arrival that
+    /// joins before it (and strictly before `bound`) into the queue first.
+    ///
+    /// Returns `None` when nothing can launch before `bound`: the stream is
+    /// exhausted, or the next arrival is at or past `bound`.  The decision
+    /// is a fixpoint of (queue, next, free): calling it again — in a later
+    /// segment, with a larger bound — resumes the identical computation, so
+    /// segmented runs reproduce the uninterrupted run bit for bit.
+    fn decide(&mut self, config: &ServeConfig, bound: f64) -> Option<f64> {
+        if self.queue.is_empty() {
+            if self.next >= self.arrivals.len() || self.arrivals[self.next] >= bound {
+                return None;
             }
-            queue.push_back(next);
-            next += 1;
+            self.enqueue_next();
         }
+        let overhead = config.dispatch_overhead_factor * self.latency;
         loop {
-            let head = &requests[queue[0]];
-            let b_now = queue.len().min(config.max_batch);
+            let head = self.queue[0];
+            let head_arrival = self.arrivals[head];
+            let b_now = self.queue.len().min(config.max_batch);
+            // `cost(b_now)`: what launching right now would take.
+            let cost_now = overhead + b_now as f64 * self.latency;
             // Instant the batch fills from arrivals already known to come.
-            let fill = if queue.len() >= config.max_batch {
+            let fill = if self.queue.len() >= config.max_batch {
                 // Full already: ready the moment its newest member arrived.
-                requests[queue[config.max_batch - 1]].arrival
+                self.arrivals[self.queue[config.max_batch - 1]]
             } else {
                 // need >= 1 here, and huge max_batch values (an effectively
                 // unbounded batch) must saturate, not overflow the index.
-                let need = config.max_batch - queue.len();
-                match requests.get(next.saturating_add(need - 1)) {
-                    Some(r) => r.arrival,
+                let need = config.max_batch - self.queue.len();
+                match self.arrivals.get(self.next.saturating_add(need - 1)) {
+                    Some(&a) => a,
                     None => f64::INFINITY,
                 }
             };
+            // With zero slack the margin reduces exactly to the original
+            // `cost(b)` / `cost(b) × weight` last-safe-instant expressions
+            // (the multiplication by 1.0 is a bit-exact identity).
+            let slack = 1.0 + config.deadline_slack_factor;
             let policy_t = match config.policy {
-                DispatchPolicy::Fifo => head.arrival + config.batch_timeout_seconds,
-                DispatchPolicy::EarliestDeadline => head.deadline - cost(b_now),
+                DispatchPolicy::Fifo => head_arrival + config.batch_timeout_seconds,
+                DispatchPolicy::EarliestDeadline => self.deadlines[head] - cost_now * slack,
                 // Heavier SLA weight → larger margin before the deadline.
-                DispatchPolicy::SlaWeighted => head.deadline - cost(b_now) * lane.weight.max(1.0),
+                DispatchPolicy::SlaWeighted => {
+                    self.deadlines[head] - cost_now * (self.weight.max(1.0) * slack)
+                }
             };
-            let start = fill.min(policy_t).max(free).max(head.arrival);
+            let start = fill.min(policy_t).max(self.free).max(head_arrival);
             // Requests arriving by the launch instant join the queue first
-            // (and may move the launch decision — recompute).
-            if let Some(r) = requests.get(next) {
-                if r.arrival <= start {
-                    queue.push_back(next);
-                    next += 1;
+            // (and may move the launch decision — recompute).  Arrivals at
+            // or past `bound` stay un-enqueued: if `start < bound` they can
+            // never be `<= start`, and otherwise the dispatch belongs to a
+            // later segment, whose own `decide` will pull them (with the
+            // service parameters in force *then*).
+            if let Some(&a) = self.arrivals.get(self.next) {
+                if a <= start && a < bound {
+                    self.enqueue_next();
                     continue;
                 }
             }
-            if start >= horizon {
-                break 'serve;
-            }
-            let mut batch: Vec<usize> = Vec::new();
-            while batch.len() < config.max_batch
-                && queue.front().is_some_and(|&i| requests[i].arrival <= start)
-            {
-                batch.push(queue.pop_front().expect("front checked"));
-            }
-            let finish = start + cost(batch.len());
-            if finish <= horizon {
-                // In-flight-at-horizon batches never complete inside the
-                // simulation, so only finished batches contribute samples.
-                for &i in &batch {
-                    completed += 1;
-                    latencies.push(finish - requests[i].arrival);
-                    if finish <= requests[i].deadline {
-                        met_sla += 1;
-                    }
+            return Some(start);
+        }
+    }
+
+    /// Launches the batch decided at `start`, updating all lane accounting.
+    fn dispatch(&mut self, config: &ServeConfig, horizon: f64, start: f64) -> BatchEvent {
+        let overhead = config.dispatch_overhead_factor * self.latency;
+        let mut batch: Vec<usize> = Vec::new();
+        while batch.len() < config.max_batch
+            && self
+                .queue
+                .front()
+                .is_some_and(|&i| self.arrivals[i] <= start)
+        {
+            batch.push(self.queue.pop_front().expect("front checked"));
+        }
+        // Parenthesised as cost-then-add: bit-compatible with the original
+        // run-to-completion loop's `start + cost(b)` (associativity changes
+        // here would flip borderline deadline comparisons).
+        let finish = start + (overhead + batch.len() as f64 * self.latency);
+        if finish <= horizon {
+            // In-flight-at-horizon batches never complete inside the
+            // simulation, so only finished batches contribute samples.
+            for &i in &batch {
+                self.completed += 1;
+                self.latencies.push(finish - self.arrivals[i]);
+                if finish <= self.deadlines[i] {
+                    self.met_sla += 1;
                 }
             }
-            busy += finish.min(horizon) - start;
-            free = finish;
-            batches += 1;
-            dispatched += batch.len();
-            break;
+        }
+        self.busy += finish.min(horizon) - start;
+        self.free = finish;
+        self.batches += 1;
+        self.dispatched += batch.len();
+        BatchEvent {
+            workload: self.workload,
+            start,
+            finish,
+            size: batch.len(),
         }
     }
 
-    let mut sample = latencies.clone();
-    let stats = WorkloadServeStats {
-        workload: lane.workload,
-        name: lane.name.to_string(),
-        requests: requests.len(),
-        completed,
-        met_sla,
-        batches,
-        mean_batch: if batches > 0 {
-            dispatched as f64 / batches as f64
-        } else {
-            0.0
-        },
-        p50_ms: percentile_ms(&mut sample, 0.50),
-        p95_ms: percentile_ms(&mut sample, 0.95),
-        p99_ms: percentile_ms(&mut sample, 0.99),
-        sla_seconds: lane.sla_seconds,
-        busy_seconds: busy,
-    };
-    WorkloadOutcome { stats, latencies }
+    fn stats(&self) -> WorkloadServeStats {
+        let mut sample = self.latencies.clone();
+        WorkloadServeStats {
+            workload: self.workload,
+            name: self.name.clone(),
+            requests: self.arrivals.len(),
+            completed: self.completed,
+            met_sla: self.met_sla,
+            batches: self.batches,
+            mean_batch: if self.batches > 0 {
+                self.dispatched as f64 / self.batches as f64
+            } else {
+                0.0
+            },
+            p50_ms: percentile_ms(&mut sample, 0.50),
+            p95_ms: percentile_ms(&mut sample, 0.95),
+            p99_ms: percentile_ms(&mut sample, 0.99),
+            sla_seconds: self.sla_seconds,
+            busy_seconds: self.busy,
+        }
+    }
+
+    fn snapshot(&self) -> LaneSnapshot {
+        LaneSnapshot {
+            workload: self.workload,
+            enqueued: self.next,
+            queued: self.queue.len(),
+            completed: self.completed,
+            met_sla: self.met_sla,
+            busy_seconds: self.busy,
+            free_at: self.free,
+            accels: self.accels.clone(),
+        }
+    }
 }
 
-/// Replays `trace` against the co-schedule's placements under `config` and
-/// returns the aggregate [`ServeReport`].
+/// The resumable serving simulation: the explicit state behind [`simulate`].
 ///
-/// `profiles[w]` and `trace.arrivals[w]` describe workload `w` of
-/// `co.placements` (co-schedule input order).  The simulation is
-/// deterministic: the same inputs always produce a bit-identical report,
-/// regardless of `MARS_THREADS` or repetition.
+/// A `SimState` owns one batching [lane](LaneSnapshot) per placement and
+/// advances them on demand — [`run_until`](SimState::run_until) a chosen
+/// instant, one [`step`](SimState::step) (batch dispatch) at a time, or
+/// straight to the [`finish`](SimState::finish).  Because every piece of
+/// state is plain data, **checkpoint/restore is `Clone`**: cloning at any
+/// event boundary and resuming both copies reproduces the uninterrupted
+/// run's [`ServeReport`] bit for bit (pinned by this crate's tests).
 ///
-/// # Errors
+/// The elastic runtime (`mars-runtime`) builds directly on the resumable
+/// surface: it interleaves `run_until` with [`snapshot`](SimState::snapshot)
+/// observations for its drift monitor and swaps service parameters via
+/// [`apply_placements`](SimState::apply_placements) when it re-schedules.
 ///
-/// Rejects mismatched input shapes and degenerate knobs — see [`ServeError`].
-pub fn simulate(
-    co: &CoScheduleResult,
-    profiles: &[TrafficProfile],
-    trace: &Trace,
-    config: &ServeConfig,
-) -> Result<ServeReport, ServeError> {
-    let k = co.placements.len();
-    if profiles.len() != k || trace.arrivals.len() != k {
-        return Err(ServeError::ShapeMismatch {
-            placements: k,
-            profiles: profiles.len(),
-            streams: trace.arrivals.len(),
-        });
+/// ```
+/// use mars_model::TrafficProfile;
+/// use mars_serve::testing::synthetic_co;
+/// use mars_serve::{simulate, ServeConfig, SimState, Trace};
+///
+/// let co = synthetic_co(&[1e-3], &[1.0]);
+/// let profiles = [TrafficProfile::new(200.0, 5.0)];
+/// let trace = Trace::poisson(&profiles, 0.5, 7);
+/// let config = ServeConfig::default();
+///
+/// let mut sim = SimState::new(&co, &profiles, &trace, &config).unwrap();
+/// sim.run_until(0.25);                // first half of the horizon
+/// let checkpoint = sim.clone();       // checkpoint = clone
+/// let report = checkpoint.finish();   // restore = resume the clone
+/// assert_eq!(report, sim.finish());
+/// assert_eq!(report, simulate(&co, &profiles, &trace, &config).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimState {
+    config: ServeConfig,
+    horizon: f64,
+    clock: f64,
+    lanes: Vec<LaneState>,
+    /// Cumulative busy seconds per accelerator (keyed so re-placements keep
+    /// attributing to whichever accelerators were backing the lane at
+    /// dispatch time).
+    accel_busy: BTreeMap<AccelId, f64>,
+}
+
+impl SimState {
+    /// Validates the inputs and builds the initial (time-zero) state.
+    ///
+    /// `profiles[w]` and `trace.arrivals[w]` describe workload `w` of
+    /// `co.placements` (co-schedule input order), exactly as for
+    /// [`simulate`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched input shapes and degenerate knobs — see
+    /// [`ServeError`].
+    pub fn new(
+        co: &CoScheduleResult,
+        profiles: &[TrafficProfile],
+        trace: &Trace,
+        config: &ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let k = co.placements.len();
+        if profiles.len() != k || trace.arrivals.len() != k {
+            return Err(ServeError::ShapeMismatch {
+                placements: k,
+                profiles: profiles.len(),
+                streams: trace.arrivals.len(),
+            });
+        }
+        let horizon = trace.horizon_seconds;
+        if !(horizon > 0.0 && horizon.is_finite()) {
+            return Err(ServeError::InvalidHorizon(horizon));
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::ZeroMaxBatch);
+        }
+        for (knob, value) in [
+            ("batch_timeout_seconds", config.batch_timeout_seconds),
+            ("dispatch_overhead_factor", config.dispatch_overhead_factor),
+            ("deadline_slack_factor", config.deadline_slack_factor),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(ServeError::InvalidKnob { knob, value });
+            }
+        }
+        validate_service(co, profiles)?;
+        // The event loop's lookahead (batch-fill prediction, FIFO timeout
+        // anchored on the queue head) silently assumes each stream is sorted
+        // and inside the horizon — enforce the Trace invariant instead of
+        // producing quietly wrong numbers for a hand-built trace.
+        for (w, stream) in trace.arrivals.iter().enumerate() {
+            let in_window = stream.iter().all(|t| (0.0..horizon).contains(t));
+            let sorted = stream.windows(2).all(|p| p[0] <= p[1]);
+            if !(in_window && sorted) {
+                return Err(ServeError::InvalidTrace { workload: w });
+            }
+        }
+
+        let mut accel_busy = BTreeMap::new();
+        let lanes = co
+            .placements
+            .iter()
+            .enumerate()
+            .map(|(w, placement)| {
+                for &a in &placement.accels {
+                    accel_busy.entry(a).or_insert(0.0);
+                }
+                let latency = placement.result.mapping.latency_seconds;
+                LaneState {
+                    workload: w,
+                    name: placement.name.clone(),
+                    weight: placement.weight,
+                    latency,
+                    sla_seconds: profiles[w].sla_factor * latency,
+                    accels: placement.accels.clone(),
+                    arrivals: trace.arrivals[w].clone(),
+                    deadlines: Vec::new(),
+                    queue: VecDeque::new(),
+                    next: 0,
+                    free: 0.0,
+                    busy: 0.0,
+                    batches: 0,
+                    dispatched: 0,
+                    completed: 0,
+                    met_sla: 0,
+                    latencies: Vec::new(),
+                }
+            })
+            .collect();
+        Ok(Self {
+            config: *config,
+            horizon,
+            clock: 0.0,
+            lanes,
+            accel_busy,
+        })
     }
-    let horizon = trace.horizon_seconds;
-    if !(horizon > 0.0 && horizon.is_finite()) {
-        return Err(ServeError::InvalidHorizon(horizon));
+
+    /// The simulated horizon in seconds.
+    pub fn horizon_seconds(&self) -> f64 {
+        self.horizon
     }
-    if config.max_batch == 0 {
-        return Err(ServeError::ZeroMaxBatch);
+
+    /// The current clock: the largest `run_until` bound reached so far.
+    pub fn clock(&self) -> f64 {
+        self.clock
     }
-    for (knob, value) in [
-        ("batch_timeout_seconds", config.batch_timeout_seconds),
-        ("dispatch_overhead_factor", config.dispatch_overhead_factor),
-    ] {
-        if !(value >= 0.0 && value.is_finite()) {
-            return Err(ServeError::InvalidKnob { knob, value });
+
+    /// Advances every lane, dispatching each batch whose launch instant lies
+    /// strictly before `min(t, horizon)`.  Idempotent for non-increasing
+    /// `t`; a sequence of `run_until` calls with increasing bounds is bit-
+    /// identical to one call with the final bound.
+    pub fn run_until(&mut self, t: f64) {
+        let bound = t.min(self.horizon).max(self.clock);
+        for w in 0..self.lanes.len() {
+            while let Some(start) = self.lanes[w].decide(&self.config, bound) {
+                if start >= bound {
+                    break;
+                }
+                self.dispatch_lane(w, start);
+            }
+        }
+        self.clock = bound;
+    }
+
+    /// Dispatches the single globally-earliest pending batch (ties resolve
+    /// to the lowest workload index), regardless of the clock, and returns
+    /// it; `None` when no batch can ever launch inside the horizon.  This
+    /// is the finest event granularity — the boundary the checkpoint test
+    /// clones at.
+    pub fn step(&mut self) -> Option<BatchEvent> {
+        let mut earliest: Option<(usize, f64)> = None;
+        for w in 0..self.lanes.len() {
+            if let Some(start) = self.lanes[w].decide(&self.config, self.horizon) {
+                if start < self.horizon && earliest.is_none_or(|(_, s)| start < s) {
+                    earliest = Some((w, start));
+                }
+            }
+        }
+        let (w, start) = earliest?;
+        Some(self.dispatch_lane(w, start))
+    }
+
+    fn dispatch_lane(&mut self, w: usize, start: f64) -> BatchEvent {
+        let lane = &mut self.lanes[w];
+        let before = lane.busy;
+        let event = lane.dispatch(&self.config, self.horizon, start);
+        let delta = lane.busy - before;
+        for &a in &lane.accels {
+            *self.accel_busy.entry(a).or_insert(0.0) += delta;
+        }
+        event
+    }
+
+    /// Observes the current state (see [`SimSnapshot`]); does not advance
+    /// the simulation.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            clock: self.clock,
+            lanes: self.lanes.iter().map(LaneState::snapshot).collect(),
+            accel_busy: self.accel_busy.iter().map(|(&a, &b)| (a, b)).collect(),
         }
     }
+
+    /// When every in-flight batch has finished: the latest lane `free`
+    /// instant (at least the clock).  The elastic runtime drains to this
+    /// point before migrating weights.
+    pub fn drain_seconds(&self) -> f64 {
+        self.lanes.iter().map(|l| l.free).fold(self.clock, f64::max)
+    }
+
+    /// Swaps in a re-scheduled co-schedule: each lane adopts its new
+    /// placement's accelerator subset and per-inference latency, its
+    /// deadline budget for *future* arrivals becomes
+    /// `sla_factors[w] × latency`, and the lane stays blocked until
+    /// `activate_at` (the migration completing).  Requests already waiting
+    /// keep the deadlines they were admitted with.
+    ///
+    /// The lane's SLA *weight* (the [`DispatchPolicy::SlaWeighted`] margin)
+    /// is intentionally **not** taken from the new placements: re-schedulers
+    /// pass load-scaled weights to the search, which must not leak into
+    /// dispatch priorities.
+    ///
+    /// # Errors
+    ///
+    /// Rejects shape mismatches and degenerate latencies/SLA factors, like
+    /// [`SimState::new`] — the state is unchanged on error.
+    pub fn apply_placements(
+        &mut self,
+        co: &CoScheduleResult,
+        sla_factors: &[f64],
+        activate_at: f64,
+    ) -> Result<(), ServeError> {
+        let k = self.lanes.len();
+        if co.placements.len() != k || sla_factors.len() != k {
+            return Err(ServeError::ShapeMismatch {
+                placements: co.placements.len(),
+                profiles: sla_factors.len(),
+                streams: k,
+            });
+        }
+        let profiles: Vec<TrafficProfile> = sla_factors
+            .iter()
+            .map(|&f| TrafficProfile::new(0.0, f))
+            .collect();
+        validate_service(co, &profiles)?;
+        for (lane, placement) in self.lanes.iter_mut().zip(&co.placements) {
+            lane.latency = placement.result.mapping.latency_seconds;
+            lane.sla_seconds = sla_factors[lane.workload] * lane.latency;
+            lane.accels = placement.accels.clone();
+            lane.free = lane.free.max(activate_at);
+            for &a in &placement.accels {
+                self.accel_busy.entry(a).or_insert(0.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Updates the deadline budget of future arrivals to
+    /// `sla_factors[w] × current latency` (a phase-boundary SLA change
+    /// without a re-placement).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a mismatched factor count or non-positive/non-finite factors.
+    pub fn set_sla_factors(&mut self, sla_factors: &[f64]) -> Result<(), ServeError> {
+        if sla_factors.len() != self.lanes.len() {
+            return Err(ServeError::ShapeMismatch {
+                placements: self.lanes.len(),
+                profiles: sla_factors.len(),
+                streams: self.lanes.len(),
+            });
+        }
+        for (w, &f) in sla_factors.iter().enumerate() {
+            if !(f > 0.0 && f.is_finite()) {
+                return Err(ServeError::InvalidSla {
+                    workload: w,
+                    sla_factor: f,
+                });
+            }
+        }
+        for (lane, &f) in self.lanes.iter_mut().zip(sla_factors) {
+            lane.sla_seconds = f * lane.latency;
+        }
+        Ok(())
+    }
+
+    /// Builds the report for the state *as it stands* (requests not yet
+    /// dispatched count as arrived but incomplete).  Call after
+    /// [`run_until`](SimState::run_until)`(horizon)` — or use
+    /// [`finish`](SimState::finish) — for the complete-run report.
+    pub fn report(&self) -> ServeReport {
+        let per_workload: Vec<WorkloadServeStats> =
+            self.lanes.iter().map(LaneState::stats).collect();
+        let mut all: Vec<f64> = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.latencies.iter().copied())
+            .collect();
+        let utilization: Vec<(AccelId, f64)> = self
+            .accel_busy
+            .iter()
+            .map(|(&a, &busy)| (a, busy / self.horizon))
+            .collect();
+        ServeReport {
+            policy: self.config.policy,
+            horizon_seconds: self.horizon,
+            total_requests: per_workload.iter().map(|s| s.requests).sum(),
+            completed: per_workload.iter().map(|s| s.completed).sum(),
+            goodput: per_workload.iter().map(|s| s.met_sla).sum(),
+            p50_ms: percentile_ms(&mut all, 0.50),
+            p95_ms: percentile_ms(&mut all, 0.95),
+            p99_ms: percentile_ms(&mut all, 0.99),
+            per_workload,
+            utilization,
+        }
+    }
+
+    /// Runs the remaining events and returns the final [`ServeReport`].
+    pub fn finish(mut self) -> ServeReport {
+        self.run_until(self.horizon);
+        self.report()
+    }
+}
+
+/// The per-placement service-parameter checks shared by [`SimState::new`]
+/// and [`SimState::apply_placements`].
+fn validate_service(co: &CoScheduleResult, profiles: &[TrafficProfile]) -> Result<(), ServeError> {
     for (w, p) in profiles.iter().enumerate() {
         if !(p.sla_factor > 0.0 && p.sla_factor.is_finite()) {
             return Err(ServeError::InvalidSla {
@@ -505,59 +916,29 @@ pub fn simulate(
             });
         }
     }
-    // The event loop's lookahead (batch-fill prediction, FIFO timeout
-    // anchored on the queue head) silently assumes each stream is sorted
-    // and inside the horizon — enforce the Trace invariant instead of
-    // producing quietly wrong numbers for a hand-built trace.
-    for (w, stream) in trace.arrivals.iter().enumerate() {
-        let in_window = stream.iter().all(|t| (0.0..horizon).contains(t));
-        let sorted = stream.windows(2).all(|p| p[0] <= p[1]);
-        if !(in_window && sorted) {
-            return Err(ServeError::InvalidTrace { workload: w });
-        }
-    }
+    Ok(())
+}
 
-    let mut per_workload = Vec::with_capacity(k);
-    let mut all_latencies: Vec<f64> = Vec::new();
-    let mut utilization: Vec<(AccelId, f64)> = Vec::new();
-    for (w, placement) in co.placements.iter().enumerate() {
-        let latency = placement.result.mapping.latency_seconds;
-        let outcome = simulate_workload(
-            &Lane {
-                workload: w,
-                name: &placement.name,
-                weight: placement.weight,
-                latency,
-                sla_seconds: profiles[w].sla_factor * latency,
-            },
-            &trace.arrivals[w],
-            horizon,
-            config,
-        );
-        // Every accelerator of the partition is busy while a batch runs.
-        let util = outcome.stats.busy_seconds / horizon;
-        for &a in &placement.accels {
-            utilization.push((a, util));
-        }
-        all_latencies.extend_from_slice(&outcome.latencies);
-        per_workload.push(outcome.stats);
-    }
-    utilization.sort_by_key(|(a, _)| *a);
-    let mut all = all_latencies;
-
-    let report = ServeReport {
-        policy: config.policy,
-        horizon_seconds: horizon,
-        total_requests: per_workload.iter().map(|s| s.requests).sum(),
-        completed: per_workload.iter().map(|s| s.completed).sum(),
-        goodput: per_workload.iter().map(|s| s.met_sla).sum(),
-        p50_ms: percentile_ms(&mut all, 0.50),
-        p95_ms: percentile_ms(&mut all, 0.95),
-        p99_ms: percentile_ms(&mut all, 0.99),
-        per_workload,
-        utilization,
-    };
-    Ok(report)
+/// Replays `trace` against the co-schedule's placements under `config` and
+/// returns the aggregate [`ServeReport`].
+///
+/// `profiles[w]` and `trace.arrivals[w]` describe workload `w` of
+/// `co.placements` (co-schedule input order).  The simulation is
+/// deterministic: the same inputs always produce a bit-identical report,
+/// regardless of `MARS_THREADS` or repetition.  This is the one-shot form of
+/// [`SimState`], which additionally supports pausing, checkpointing and
+/// mid-run re-placement.
+///
+/// # Errors
+///
+/// Rejects mismatched input shapes and degenerate knobs — see [`ServeError`].
+pub fn simulate(
+    co: &CoScheduleResult,
+    profiles: &[TrafficProfile],
+    trace: &Trace,
+    config: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    Ok(SimState::new(co, profiles, trace, config)?.finish())
 }
 
 #[cfg(test)]
@@ -801,5 +1182,245 @@ mod tests {
         assert_eq!(percentile_ms(&mut sample, 0.95), 4.0);
         let mut empty: [f64; 0] = [];
         assert_eq!(percentile_ms(&mut empty, 0.99), 0.0);
+    }
+
+    /// The degenerate-sample contract: zero samples report an explicit zero
+    /// for every percentile, and a single sample *is* every percentile —
+    /// exactly, with no interpolation inventing spread around a lone point.
+    #[test]
+    fn percentile_edge_cases_zero_and_one_sample() {
+        let mut empty: [f64; 0] = [];
+        for q in [0.0, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile_ms(&mut empty, q), 0.0, "q={q}");
+        }
+        let mut one = [0.0075];
+        for q in [0.0, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                percentile_ms(&mut one, q).to_bits(),
+                7.5f64.to_bits(),
+                "q={q}"
+            );
+        }
+        // Two samples: p50 is the lower, p95/p99 the upper — still no
+        // interpolation between them.
+        let mut two = [0.004, 0.002];
+        assert_eq!(percentile_ms(&mut two, 0.50), 2.0);
+        assert_eq!(percentile_ms(&mut two, 0.95), 4.0);
+        assert_eq!(percentile_ms(&mut two, 0.99), 4.0);
+        // Out-of-range q is clamped, not allowed to index out of bounds.
+        let mut many = [0.001, 0.002, 0.003];
+        assert_eq!(percentile_ms(&mut many, -1.0), 1.0);
+        assert_eq!(percentile_ms(&mut many, 2.0), 3.0);
+    }
+
+    /// A one-completion simulation reports that completion's latency as its
+    /// p50, p95 *and* p99 — the report-level face of the single-sample rule.
+    #[test]
+    fn single_completion_report_has_flat_percentiles() {
+        let co = synthetic_co(&[1.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(100.0, 5.0)];
+        let trace = trace_of(vec![vec![0.0]], 0.1);
+        let report = simulate(&co, &profiles, &trace, &ServeConfig::default()).unwrap();
+        assert_eq!(report.completed, 1);
+        assert!(report.p50_ms > 0.0);
+        assert_eq!(report.p50_ms.to_bits(), report.p95_ms.to_bits());
+        assert_eq!(report.p95_ms.to_bits(), report.p99_ms.to_bits());
+        // And the zero-completion report keeps explicit zeros.
+        let none = simulate(
+            &co,
+            &profiles,
+            &trace_of(vec![vec![0.099]], 0.1),
+            &ServeConfig::new(DispatchPolicy::Fifo),
+        )
+        .unwrap();
+        assert_eq!(none.completed, 0);
+        assert_eq!(none.p50_ms, 0.0);
+        assert_eq!(none.p99_ms, 0.0);
+    }
+
+    /// Checkpoint (= clone) at *every* event boundary, resume the copy, and
+    /// the uninterrupted report must be reproduced bit for bit.
+    #[test]
+    fn checkpoint_restore_at_every_event_boundary_is_bit_identical() {
+        let co = synthetic_co(&[1.0 * MS, 3.0 * MS], &[1.5, 1.0]);
+        let profiles = [
+            TrafficProfile::new(300.0, 4.0),
+            TrafficProfile::new(120.0, 6.0),
+        ];
+        let trace = Trace::poisson(&profiles, 0.5, 42);
+        for policy in DispatchPolicy::ALL {
+            let config = ServeConfig::new(policy).with_max_batch(4);
+            let uninterrupted = simulate(&co, &profiles, &trace, &config).unwrap();
+            // Walk the run one dispatch at a time; at each boundary fork a
+            // checkpoint and run it to completion.
+            let mut sim = SimState::new(&co, &profiles, &trace, &config).unwrap();
+            let mut boundaries = 0usize;
+            loop {
+                let restored = sim.clone().finish();
+                assert_eq!(
+                    restored, uninterrupted,
+                    "{policy}: divergence after {boundaries} events"
+                );
+                if sim.step().is_none() {
+                    break;
+                }
+                boundaries += 1;
+            }
+            assert!(boundaries > 10, "{policy}: too few events to be meaningful");
+            // The stepped-to-exhaustion state agrees too.
+            assert_eq!(sim.report(), uninterrupted);
+        }
+    }
+
+    /// Segmented `run_until` advances (mid-batch, mid-queue bounds included)
+    /// are bit-identical to the one-shot run.
+    #[test]
+    fn segmented_run_until_matches_one_shot() {
+        let co = synthetic_co(&[2.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(400.0, 6.0)];
+        let trace = Trace::poisson(&profiles, 0.4, 7);
+        let config = ServeConfig::default();
+        let uninterrupted = simulate(&co, &profiles, &trace, &config).unwrap();
+        let mut sim = SimState::new(&co, &profiles, &trace, &config).unwrap();
+        let mut t = 0.0;
+        while t < 0.4 {
+            sim.run_until(t);
+            assert!((sim.clock() - t).abs() < 1e-15);
+            t += 0.0137;
+        }
+        // Bounds past the horizon are clamped...
+        sim.run_until(1.0);
+        assert_eq!(sim.clock(), 0.4);
+        // ...and non-increasing bounds are no-ops.
+        sim.run_until(0.1);
+        assert_eq!(sim.clock(), 0.4);
+        assert_eq!(sim.finish(), uninterrupted);
+    }
+
+    /// Snapshots observe without advancing, and their accounting is
+    /// consistent with the final report.
+    #[test]
+    fn snapshots_observe_without_perturbing() {
+        let co = synthetic_co(&[1.0 * MS, 2.0 * MS], &[1.0, 1.0]);
+        let profiles = [
+            TrafficProfile::new(200.0, 5.0),
+            TrafficProfile::new(100.0, 5.0),
+        ];
+        let trace = Trace::poisson(&profiles, 0.5, 11);
+        let config = ServeConfig::default();
+        let mut sim = SimState::new(&co, &profiles, &trace, &config).unwrap();
+        sim.run_until(0.25);
+        let snap = sim.snapshot();
+        assert_eq!(snap.clock, 0.25);
+        assert_eq!(snap.lanes.len(), 2);
+        for lane in &snap.lanes {
+            assert!(lane.met_sla <= lane.completed);
+            assert!(lane.completed + lane.queued <= lane.enqueued);
+            assert_eq!(lane.accels.len(), 2);
+        }
+        // Observing twice changes nothing, and the finished run still
+        // matches the one-shot simulation.
+        assert_eq!(snap, sim.snapshot());
+        assert!(sim.drain_seconds() >= snap.clock);
+        assert_eq!(
+            sim.finish(),
+            simulate(&co, &profiles, &trace, &config).unwrap()
+        );
+    }
+
+    /// Zero deadline slack finishes singleton EDF batches *exactly at* the
+    /// deadline (metastable by a ulp); a small positive slack turns those
+    /// coin-flips into robust hits without rescheduling anything else.
+    #[test]
+    fn deadline_slack_turns_exact_deadline_finishes_into_hits() {
+        let co = synthetic_co(&[1.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(20.0, 5.0)];
+        // Sparse singleton arrivals: every batch is a lone request launched
+        // at the last safe instant.
+        let trace = Trace::poisson(&profiles, 1.0, 13);
+        let zero = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::EarliestDeadline),
+        )
+        .unwrap();
+        let slack = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::EarliestDeadline).with_deadline_slack(0.2),
+        )
+        .unwrap();
+        assert_eq!(zero.completed, slack.completed);
+        // With slack every completion has real headroom; without, the
+        // at-deadline finishes are floating-point luck.
+        assert_eq!(slack.goodput, slack.completed);
+        assert!(slack.goodput >= zero.goodput);
+        assert!(slack.p95_ms <= zero.p95_ms + 1e-9);
+        // And the zero-slack run is the pinned legacy behaviour (the knob
+        // does not perturb it).
+        let legacy = simulate(
+            &co,
+            &profiles,
+            &trace,
+            &ServeConfig::new(DispatchPolicy::EarliestDeadline).with_deadline_slack(0.0),
+        )
+        .unwrap();
+        assert_eq!(legacy, zero);
+    }
+
+    /// A mid-run re-placement changes latency/SLA for future work only:
+    /// queued requests keep their admitted deadlines, the lane stays blocked
+    /// until the activation instant, and new busy time is attributed to the
+    /// new accelerators.
+    #[test]
+    fn apply_placements_swaps_service_for_future_arrivals() {
+        let co_slow = synthetic_co(&[4.0 * MS], &[1.0]);
+        // The "re-schedule": the same workload on twice the accelerators at
+        // half the latency (synthetic ids 0/1 -> manual 2/3 swap below).
+        let mut co_fast = synthetic_co(&[2.0 * MS], &[1.0]);
+        co_fast.placements[0].accels = vec![AccelId(2), AccelId(3)];
+        let profiles = [TrafficProfile::new(150.0, 3.0)];
+        let trace = Trace::poisson(&profiles, 1.0, 3);
+        let config = ServeConfig::default();
+
+        let static_report = simulate(&co_slow, &profiles, &trace, &config).unwrap();
+
+        let mut sim = SimState::new(&co_slow, &profiles, &trace, &config).unwrap();
+        sim.run_until(0.5);
+        sim.apply_placements(&co_fast, &[3.0], 0.55).unwrap();
+        let snap = sim.snapshot();
+        assert_eq!(snap.lanes[0].accels, vec![AccelId(2), AccelId(3)]);
+        assert!(snap.lanes[0].free_at >= 0.55, "blocked until activation");
+        let elastic_report = sim.finish();
+
+        // The faster second half must not lose goodput relative to the
+        // all-slow run (it may gain), and the utilisation map now covers
+        // both the old and the new accelerators.
+        assert!(elastic_report.goodput >= static_report.goodput);
+        let ids: Vec<AccelId> = elastic_report.utilization.iter().map(|(a, _)| *a).collect();
+        assert_eq!(ids, (0..4).map(AccelId).collect::<Vec<_>>());
+        // Errors leave the state untouched.
+        assert!(sim_err_is_shape(&co_fast, &profiles, &trace, &config));
+    }
+
+    fn sim_err_is_shape(
+        co: &mars_core::CoScheduleResult,
+        profiles: &[TrafficProfile],
+        trace: &Trace,
+        config: &ServeConfig,
+    ) -> bool {
+        let mut sim = SimState::new(co, profiles, trace, config).unwrap();
+        matches!(
+            sim.apply_placements(co, &[], 0.0),
+            Err(ServeError::ShapeMismatch { .. })
+        ) && matches!(
+            sim.set_sla_factors(&[1.0, 2.0]),
+            Err(ServeError::ShapeMismatch { .. })
+        ) && matches!(
+            sim.set_sla_factors(&[f64::NAN]),
+            Err(ServeError::InvalidSla { .. })
+        )
     }
 }

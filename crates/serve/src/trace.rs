@@ -7,7 +7,7 @@
 //! `(trace, placements, config)` — the property the determinism tests pin.
 
 use mars_core::genome_stream_seed;
-use mars_model::TrafficProfile;
+use mars_model::{PhasedTraffic, TrafficError, TrafficProfile};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,6 +15,11 @@ use rand::{Rng, SeedableRng};
 /// streams never collide with the co-scheduler's search streams, which derive
 /// from the same master seed.
 const TRACE_STREAM: u64 = 0x72ac_e5ed;
+
+/// Domain-separation tag for phased traces: each `(workload, phase)` pair
+/// draws from its own stream, so editing one phase never perturbs the
+/// arrivals of any other phase or workload.
+const PHASE_STREAM: u64 = 0x009a_5ed0;
 
 /// One workload's request stream plus every other workload's, replayable.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,9 +72,70 @@ impl Trace {
         }
     }
 
+    /// Draws a trace for a non-stationary [`PhasedTraffic`] scenario:
+    /// workload `w`'s arrivals are Poisson-like at each phase's rate inside
+    /// that phase's window, from an RNG stream derived from
+    /// `(seed, phase, w)` — so editing one phase (or adding a workload)
+    /// never perturbs any other phase's or workload's arrivals, and the same
+    /// `(scenario, seed)` always yields the same trace.
+    ///
+    /// [Silent](TrafficProfile::is_silent) phase profiles yield no arrivals
+    /// for their window — that is how workload departure (and late arrival)
+    /// is expressed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhasedTraffic::validate`].
+    pub fn phased(scenario: &PhasedTraffic, seed: u64) -> Result<Self, TrafficError> {
+        scenario.validate()?;
+        let horizon = scenario.horizon_seconds;
+        let arrivals = (0..scenario.workloads())
+            .map(|w| {
+                let mut times = Vec::new();
+                for (pi, phase) in scenario.phases.iter().enumerate() {
+                    let p = phase.profiles[w];
+                    if p.is_silent() {
+                        continue;
+                    }
+                    let end = scenario.phase_end(pi).min(horizon);
+                    let mut rng = StdRng::seed_from_u64(genome_stream_seed(
+                        seed,
+                        PHASE_STREAM.wrapping_add(pi as u64),
+                        w as u64,
+                    ));
+                    let mut t = phase.start_seconds;
+                    loop {
+                        let u: f64 = rng.gen();
+                        // u ∈ [0, 1) so 1-u ∈ (0, 1]: ln is finite and the
+                        // gap is non-negative.
+                        t += -(1.0 - u).ln() / p.qps;
+                        if t >= end {
+                            break;
+                        }
+                        times.push(t);
+                    }
+                }
+                times
+            })
+            .collect();
+        Ok(Trace {
+            horizon_seconds: horizon,
+            arrivals,
+        })
+    }
+
     /// Total number of requests across all workloads.
     pub fn total_requests(&self) -> usize {
         self.arrivals.iter().map(Vec::len).sum()
+    }
+
+    /// Requests of workload `w` arriving inside `[from, to)` — the windowed
+    /// arrival count the elastic runtime's drift monitor consumes.
+    pub fn arrivals_in(&self, w: usize, from: f64, to: f64) -> usize {
+        self.arrivals[w]
+            .iter()
+            .filter(|&&t| from <= t && t < to)
+            .count()
     }
 }
 
@@ -103,6 +169,62 @@ mod tests {
         let a = Trace::poisson(&profiles(), 1.0, 1);
         let b = Trace::poisson(&profiles(), 1.0, 2);
         assert_ne!(a.arrivals, b.arrivals);
+    }
+
+    #[test]
+    fn phased_traces_respect_phase_windows_and_rates() {
+        use mars_model::{PhasedTraffic, TrafficPhase};
+        let scenario = PhasedTraffic::new(
+            2.0,
+            vec![
+                TrafficPhase::new(
+                    0.0,
+                    vec![
+                        TrafficProfile::new(100.0, 5.0),
+                        TrafficProfile::new(50.0, 5.0),
+                    ],
+                ),
+                // Workload 0 departs; workload 1 surges 8x.
+                TrafficPhase::new(
+                    1.0,
+                    vec![TrafficProfile::silent(5.0), TrafficProfile::new(400.0, 5.0)],
+                ),
+            ],
+        );
+        let a = Trace::phased(&scenario, 42).unwrap();
+        let b = Trace::phased(&scenario, 42).unwrap();
+        assert_eq!(a, b, "same scenario + seed must be bit-identical");
+        for stream in &a.arrivals {
+            assert!(stream.windows(2).all(|w| w[0] < w[1]), "not increasing");
+            assert!(stream.iter().all(|&t| (0.0..2.0).contains(&t)));
+        }
+        // Workload 0 is silent after its departure at t = 1.
+        assert_eq!(a.arrivals_in(0, 1.0, 2.0), 0);
+        assert!(a.arrivals_in(0, 0.0, 1.0) > 50);
+        // Workload 1's surge phase is much denser than its quiet phase.
+        let quiet = a.arrivals_in(1, 0.0, 1.0);
+        let surge = a.arrivals_in(1, 1.0, 2.0);
+        assert!(
+            surge > 3 * quiet,
+            "surge {surge} should dwarf quiet {quiet}"
+        );
+        // Windowed counts tile the horizon.
+        assert_eq!(
+            a.arrivals_in(1, 0.0, 1.0) + a.arrivals_in(1, 1.0, 2.0),
+            a.arrivals[1].len()
+        );
+    }
+
+    #[test]
+    fn phased_single_phase_matches_scenario_shape_and_validates() {
+        use mars_model::{PhasedTraffic, TrafficError};
+        let stationary = PhasedTraffic::stationary(profiles(), 1.0);
+        let t = Trace::phased(&stationary, 7).unwrap();
+        assert_eq!(t.arrivals.len(), 2);
+        assert!(t.total_requests() > 0);
+        // Validation errors propagate.
+        let bad = PhasedTraffic::new(0.0, Vec::new());
+        assert_eq!(Trace::phased(&bad, 7), Err(TrafficError::NoPhases));
     }
 
     #[test]

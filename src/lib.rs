@@ -14,6 +14,7 @@
 //! | [`parallel`] | `mars-parallel` | ES/SS parallelism strategies, shard algebra and per-layer evaluation |
 //! | [`core`]     | `mars-core`     | Two-level genetic mapping search, baselines, reports, ablations |
 //! | [`serve`]    | `mars-serve`    | Online serving simulator: SLA-aware dynamic batching over co-schedule placements |
+//! | [`runtime`]  | `mars-runtime`  | Elastic runtime: drift monitor, warm-started online re-scheduling, migration cost model |
 //!
 //! ## Quickstart
 //!
@@ -60,10 +61,21 @@
 //! [`serve::Trace`] and [`serve::DispatchPolicy`].  Bundled traffic
 //! profiles live on [`model::zoo::MixZoo::traffic`].
 //!
+//! ## Elastic serving
+//!
+//! [`runtime`] closes the loop for *non-stationary* traffic
+//! ([`model::PhasedTraffic`], bundled per mix on
+//! [`model::zoo::MixZoo::phased_traffic`]): a drift monitor watches the
+//! live stream, re-schedules run [`co_schedule`] warm-started from the
+//! incumbent, and a migration cost model prices every placement change
+//! before it activates — see [`runtime::run_elastic`] and
+//! [`runtime::RuntimePolicy`].
+//!
 //! The `examples/` directory contains runnable versions of these flows
 //! (`quickstart`, `resnet_on_f1`, `hetero_bandwidth_sweep`,
-//! `custom_accelerator`, `co_schedule`, `serve`), and the `mars-bench` crate
-//! regenerates every table and figure of the paper's evaluation.
+//! `custom_accelerator`, `co_schedule`, `serve`, `elastic`), and the
+//! `mars-bench` crate regenerates every table and figure of the paper's
+//! evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +85,7 @@ pub use mars_comm as comm;
 pub use mars_core as core;
 pub use mars_model as model;
 pub use mars_parallel as parallel;
+pub use mars_runtime as runtime;
 pub use mars_serve as serve;
 pub use mars_topology as topology;
 
@@ -155,15 +168,18 @@ pub mod prelude {
     pub use mars_accel::{AccelDesign, Catalog, DesignId, PerformanceModel, ProfileTable};
     pub use mars_comm::{CommConfig, CommSim};
     pub use mars_core::{
-        Assignment, CoScheduleConfig, CoScheduleResult, DesignPolicy, Evaluator, GaConfig, Mapping,
-        Mars, Placement, SearchConfig, SearchResult, Workload,
+        Assignment, CoScheduleConfig, CoScheduleResult, DesignPolicy, Evaluator, GaConfig,
+        InnerSearchCache, Mapping, Mars, Placement, SearchConfig, SearchResult, Workload,
     };
     pub use mars_model::{
         ConvParams, Dim, DimSet, FeatureMap, Layer, LayerId, LayerKind, LoopNest, Network,
-        TrafficProfile,
+        PhasedTraffic, TrafficPhase, TrafficProfile,
     };
     pub use mars_parallel::{evaluate_layer, EvalContext, LayerEval, ShardPlan, Strategy};
-    pub use mars_serve::{DispatchPolicy, ServeConfig, ServeReport, Trace};
+    pub use mars_runtime::{
+        run_elastic, DriftMonitor, ElasticReport, MonitorConfig, RuntimeConfig, RuntimePolicy,
+    };
+    pub use mars_serve::{DispatchPolicy, ServeConfig, ServeReport, SimState, Trace};
     pub use mars_topology::{AccelId, Gbps, Topology, TopologyBuilder};
 }
 
