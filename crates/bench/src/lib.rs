@@ -379,6 +379,39 @@ pub fn table_elastic_row(mix: MixZoo, budget: Budget, seed: u64) -> ElasticRow {
     }
 }
 
+/// Runs one `table_failover` row: like [`table_elastic_row`] but over the
+/// mix's bundled [`MixZoo::failure_scenario`] — the same phased traffic plus
+/// seeded accelerator failures, restores and link degradations.  The row
+/// shape is identical (an [`ElasticRow`] with one report per policy), so all
+/// the gain accessors apply; the headline here is
+/// [`ElasticRow::reactive_vs_static_goodput_gain`] under *faults*: Static
+/// keeps serving into a dead partition while Reactive re-plans onto the
+/// survivors.
+pub fn table_failover_row(mix: MixZoo, budget: Budget, seed: u64) -> ElasticRow {
+    let workloads = mix.entries();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let scenario = mix.failure_scenario();
+    let trace = Trace::phased(&scenario, seed).expect("bundled scenarios are valid");
+    let config = RuntimeConfig::new(budget.co_schedule_config(seed));
+    let cache = InnerSearchCache::new();
+    let reports = RuntimePolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            run_elastic_with_cache(
+                &workloads, &topo, &catalog, &scenario, &trace, policy, &config, &cache,
+            )
+            .expect("bundled scenarios fit the F1 platform")
+        })
+        .collect();
+    ElasticRow {
+        mix,
+        scenario,
+        trace,
+        reports,
+    }
+}
+
 /// Runs a single MARS search on the F1 platform with an explicit worker
 /// count (used by the GA benches, the parallel-speedup bench and the
 /// ablation harness).

@@ -15,7 +15,9 @@
 //! numbers are identical at every thread count.
 
 use mars_accel::{Catalog, ProfileTable};
-use mars_bench::{table3_row, table_elastic_row, table_multi_row, table_serve_row, Budget};
+use mars_bench::{
+    table3_row, table_elastic_row, table_failover_row, table_multi_row, table_serve_row, Budget,
+};
 use mars_model::zoo::{Benchmark, MixZoo};
 use mars_runtime::RuntimePolicy;
 use mars_serve::DispatchPolicy;
@@ -218,6 +220,71 @@ fn golden_table_elastic_goodput() {
         strict_wins >= 2,
         "Reactive must strictly beat Static on at least 2 of 3 mixes, got {strict_wins}"
     );
+}
+
+/// The failover headline numbers of `table_failover` at seed 42:
+/// `(mix, total requests, [static, reactive, oracle] goodput)` under the
+/// bundled failure scenarios.  Goodputs are request *counts*, so the pins
+/// are exact integers — any drift at all means the fault injection, the
+/// revocation accounting, the topology trigger or the sub-topology
+/// re-scheduler changed.
+const FAILOVER_GOLDEN: [(MixZoo, usize, [usize; 3]); 3] = [
+    (MixZoo::ClassicPair, 454, [203, 391, 392]),
+    (MixZoo::ResNetSurf, 1127, [413, 798, 889]),
+    (MixZoo::HeteroTriple, 819, [407, 547, 611]),
+];
+
+#[test]
+#[ignore = "golden search; run via --include-ignored (CI nightly)"]
+fn golden_table_failover_goodput() {
+    for (mix, requests, goodputs) in FAILOVER_GOLDEN {
+        let row = table_failover_row(mix, Budget::Fast, 42);
+        assert_eq!(
+            row.trace.total_requests(),
+            requests,
+            "{mix} request count drifted (intentional change? re-pin)"
+        );
+        for (policy, pinned) in RuntimePolicy::ALL.into_iter().zip(goodputs) {
+            assert_eq!(
+                row.report(policy).serve.goodput,
+                pinned,
+                "{mix}/{policy} goodput drifted (intentional change? re-pin)"
+            );
+        }
+        // The recovery relationships, not just the numbers: under faults a
+        // re-planning runtime *strictly* beats the static placement on every
+        // bundled mix, and the clairvoyant oracle bounds the detector.
+        let s = row.report(RuntimePolicy::Static).serve.goodput;
+        let r = row.report(RuntimePolicy::Reactive).serve.goodput;
+        let o = row.report(RuntimePolicy::Oracle).serve.goodput;
+        assert!(r > s, "{mix}: Reactive {r} must strictly beat Static {s}");
+        assert!(o >= r, "{mix}: Oracle {o} must not lose to Reactive {r}");
+        // Epoch discipline: applied reconfigurations carry strictly
+        // increasing epochs, and no post-recovery placement ever targets a
+        // downed accelerator.
+        for report in &row.reports {
+            let mut last_epoch = 0u64;
+            for e in &report.reconfigurations {
+                if e.applied {
+                    assert!(
+                        e.epoch > last_epoch,
+                        "{mix}/{}: epoch {} not strictly increasing",
+                        report.policy,
+                        e.epoch
+                    );
+                    last_epoch = e.epoch;
+                    for accels in &e.accels {
+                        assert!(
+                            accels.iter().all(|a| !e.down.contains(a)),
+                            "{mix}/{}: placement targets downed accel",
+                            report.policy
+                        );
+                    }
+                }
+            }
+            assert_eq!(report.final_epoch(), last_epoch);
+        }
+    }
 }
 
 #[test]

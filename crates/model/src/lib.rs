@@ -38,4 +38,6 @@ pub use graph::{kind_histogram, ChainBuilder, LayerId, Network, NetworkError};
 pub use layer::{ConvParams, DenseParams, Layer, LayerKind, NormActParams, PoolKind, PoolParams};
 pub use loopnest::{Dim, DimSet, LoopNest};
 pub use tensor::{FeatureMap, TensorShape, BYTES_PER_ELEMENT};
-pub use workload::{PhasedTraffic, TrafficError, TrafficPhase, TrafficProfile, Workload};
+pub use workload::{
+    FaultEvent, FaultKind, PhasedTraffic, TrafficError, TrafficPhase, TrafficProfile, Workload,
+};

@@ -88,6 +88,88 @@ impl TrafficProfile {
     }
 }
 
+/// What happens to the accelerator pool at a [`FaultEvent`]'s instant.
+///
+/// Accelerators are named by their *index* in the serving platform's
+/// topology (the model crate stays topology-agnostic; the elastic runtime
+/// checks the index against the actual pool size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The accelerator dies: batches in flight on it are lost or requeued
+    /// (per the serving simulator's fault policy) and no new batch may be
+    /// dispatched to it until an [`AccelRestored`](FaultKind::AccelRestored)
+    /// event revives it.
+    AccelDown {
+        /// Index of the failing accelerator in the platform topology.
+        accel: usize,
+    },
+    /// A previously-failed accelerator rejoins the pool.
+    AccelRestored {
+        /// Index of the recovering accelerator in the platform topology.
+        accel: usize,
+    },
+    /// Every link of the platform degrades: migration traffic moves at
+    /// `factor` times its healthy bandwidth from this instant on (serving
+    /// itself is intra-partition and keeps its placement-time latency).
+    LinkDegraded {
+        /// Remaining fraction of healthy bandwidth, in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+/// One hardware fault injected into a [`PhasedTraffic`] scenario: at
+/// [`at_seconds`](FaultEvent::at_seconds) the pool changes per
+/// [`kind`](FaultEvent::kind).
+///
+/// Faults are deterministic scenario data, not random processes — the same
+/// scenario always fails the same accelerator at the same instant, which
+/// keeps failover runs bit-identical across thread counts and repeat runs.
+///
+/// ```
+/// use mars_model::{FaultEvent, FaultKind};
+///
+/// let dies = FaultEvent::accel_down(2.5, 3);
+/// assert_eq!(dies.kind, FaultKind::AccelDown { accel: 3 });
+/// let heals = FaultEvent::accel_restored(8.0, 3);
+/// assert_eq!(heals.at_seconds, 8.0);
+/// let slow = FaultEvent::link_degraded(5.0, 0.25);
+/// assert!(matches!(slow.kind, FaultKind::LinkDegraded { factor } if factor == 0.25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes, in seconds from the start of the scenario
+    /// (strictly inside `(0, horizon)`).
+    pub at_seconds: f64,
+    /// What the fault does to the pool.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// An accelerator failure at `at_seconds`.
+    pub fn accel_down(at_seconds: f64, accel: usize) -> Self {
+        Self {
+            at_seconds,
+            kind: FaultKind::AccelDown { accel },
+        }
+    }
+
+    /// An accelerator recovery at `at_seconds`.
+    pub fn accel_restored(at_seconds: f64, accel: usize) -> Self {
+        Self {
+            at_seconds,
+            kind: FaultKind::AccelRestored { accel },
+        }
+    }
+
+    /// A link degradation to `factor` of healthy bandwidth at `at_seconds`.
+    pub fn link_degraded(at_seconds: f64, factor: f64) -> Self {
+        Self {
+            at_seconds,
+            kind: FaultKind::LinkDegraded { factor },
+        }
+    }
+}
+
 /// Errors rejected when validating a [`PhasedTraffic`] scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TrafficError {
@@ -127,6 +209,34 @@ pub enum TrafficError {
         /// The rejected factor.
         sla_factor: f64,
     },
+    /// A fault event's instant is not strictly inside `(0, horizon)`, or is
+    /// not finite.
+    InvalidFaultTime {
+        /// Index of the offending fault event.
+        fault: usize,
+        /// Its rejected instant in seconds.
+        at_seconds: f64,
+    },
+    /// Fault events are not sorted by non-decreasing instant.
+    UnsortedFaults {
+        /// Index of the fault event that strikes before its predecessor.
+        fault: usize,
+    },
+    /// A [`FaultKind::LinkDegraded`] factor is outside `(0, 1]`.
+    InvalidLinkFactor {
+        /// Index of the offending fault event.
+        fault: usize,
+        /// The rejected bandwidth factor.
+        factor: f64,
+    },
+    /// The fault sequence is inconsistent: an accelerator goes down while
+    /// already down, or is restored while up.
+    InconsistentFault {
+        /// Index of the offending fault event.
+        fault: usize,
+        /// Index of the accelerator whose state the event contradicts.
+        accel: usize,
+    },
 }
 
 impl std::fmt::Display for TrafficError {
@@ -156,6 +266,19 @@ impl std::fmt::Display for TrafficError {
             } => write!(
                 f,
                 "phase {phase}, workload {workload}: invalid SLA factor {sla_factor}"
+            ),
+            TrafficError::InvalidFaultTime { fault, at_seconds } => {
+                write!(f, "fault {fault} strikes at invalid instant {at_seconds}s")
+            }
+            TrafficError::UnsortedFaults { fault } => {
+                write!(f, "fault {fault} strikes before its predecessor")
+            }
+            TrafficError::InvalidLinkFactor { fault, factor } => {
+                write!(f, "fault {fault} has invalid link factor {factor}")
+            }
+            TrafficError::InconsistentFault { fault, accel } => write!(
+                f,
+                "fault {fault} contradicts accelerator {accel}'s up/down state"
             ),
         }
     }
@@ -231,6 +354,10 @@ pub struct PhasedTraffic {
     /// The phases, ordered by strictly increasing
     /// [`TrafficPhase::start_seconds`], the first at `0.0`.
     pub phases: Vec<TrafficPhase>,
+    /// Hardware faults injected into the scenario, ordered by non-decreasing
+    /// [`FaultEvent::at_seconds`].  Empty for a healthy pool — a scenario
+    /// with `faults = []` is served exactly as if the field did not exist.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl PhasedTraffic {
@@ -240,6 +367,7 @@ impl PhasedTraffic {
         Self {
             horizon_seconds,
             phases,
+            faults: Vec::new(),
         }
     }
 
@@ -249,7 +377,27 @@ impl PhasedTraffic {
         Self {
             horizon_seconds,
             phases: vec![TrafficPhase::new(0.0, profiles)],
+            faults: Vec::new(),
         }
+    }
+
+    /// Attaches hardware [`FaultEvent`]s to the scenario (validate with
+    /// [`validate`](Self::validate)).
+    ///
+    /// ```
+    /// use mars_model::{FaultEvent, PhasedTraffic, TrafficProfile};
+    ///
+    /// let scenario = PhasedTraffic::stationary(vec![TrafficProfile::new(50.0, 5.0)], 10.0)
+    ///     .with_faults(vec![
+    ///         FaultEvent::accel_down(3.0, 1),
+    ///         FaultEvent::accel_restored(7.0, 1),
+    ///     ]);
+    /// scenario.validate().unwrap();
+    /// assert_eq!(scenario.fault_instants(), vec![3.0, 7.0]);
+    /// ```
+    pub fn with_faults(mut self, faults: Vec<FaultEvent>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Number of workloads every phase describes (0 for an empty scenario).
@@ -309,6 +457,48 @@ impl PhasedTraffic {
                 }
             }
         }
+        self.validate_faults()
+    }
+
+    /// Checks the fault-sequence invariants: every instant finite and
+    /// strictly inside `(0, horizon)`, non-decreasing instants, link factors
+    /// in `(0, 1]`, and a consistent up/down history per accelerator (no
+    /// double failure, no restoring a healthy accelerator).
+    fn validate_faults(&self) -> Result<(), TrafficError> {
+        let mut prev = 0.0_f64;
+        let mut down: Vec<usize> = Vec::new();
+        for (i, fault) in self.faults.iter().enumerate() {
+            let at = fault.at_seconds;
+            if !(at.is_finite() && at > 0.0 && at < self.horizon_seconds) {
+                return Err(TrafficError::InvalidFaultTime {
+                    fault: i,
+                    at_seconds: at,
+                });
+            }
+            if at < prev {
+                return Err(TrafficError::UnsortedFaults { fault: i });
+            }
+            prev = at;
+            match fault.kind {
+                FaultKind::AccelDown { accel } => {
+                    if down.contains(&accel) {
+                        return Err(TrafficError::InconsistentFault { fault: i, accel });
+                    }
+                    down.push(accel);
+                }
+                FaultKind::AccelRestored { accel } => {
+                    let Some(pos) = down.iter().position(|&a| a == accel) else {
+                        return Err(TrafficError::InconsistentFault { fault: i, accel });
+                    };
+                    down.remove(pos);
+                }
+                FaultKind::LinkDegraded { factor } => {
+                    if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+                        return Err(TrafficError::InvalidLinkFactor { fault: i, factor });
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
@@ -344,6 +534,30 @@ impl PhasedTraffic {
             .skip(1)
             .map(|p| p.start_seconds)
             .collect()
+    }
+
+    /// The distinct instants at which faults strike, in increasing order.
+    /// The elastic runtime treats these like phase boundaries: serving is
+    /// advanced exactly to each instant before the pool changes, which keeps
+    /// failover runs bit-identical regardless of monitor-window alignment.
+    pub fn fault_instants(&self) -> Vec<f64> {
+        let mut instants: Vec<f64> = self.faults.iter().map(|f| f.at_seconds).collect();
+        instants.sort_by(f64::total_cmp);
+        instants.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        instants
+    }
+
+    /// The largest accelerator index any fault names, if the scenario has
+    /// accelerator faults at all.  The runtime checks this against the pool
+    /// size before serving.
+    pub fn max_fault_accel(&self) -> Option<usize> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::AccelDown { accel } | FaultKind::AccelRestored { accel } => Some(accel),
+                FaultKind::LinkDegraded { .. } => None,
+            })
+            .max()
     }
 }
 
@@ -472,6 +686,85 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn fault_events_validate_and_expose_instants() {
+        let scenario = two_phase().with_faults(vec![
+            FaultEvent::accel_down(0.5, 3),
+            FaultEvent::link_degraded(0.5, 0.5),
+            FaultEvent::accel_down(1.0, 5),
+            FaultEvent::accel_restored(1.5, 3),
+        ]);
+        scenario.validate().unwrap();
+        assert_eq!(scenario.fault_instants(), vec![0.5, 1.0, 1.5]);
+        assert_eq!(scenario.max_fault_accel(), Some(5));
+        // A fault-free scenario reports no instants and no accel.
+        assert!(two_phase().fault_instants().is_empty());
+        assert_eq!(two_phase().max_fault_accel(), None);
+    }
+
+    #[test]
+    fn fault_schema_violations_are_rejected() {
+        let base = two_phase();
+        // Instants must be finite and strictly inside (0, horizon).
+        for bad in [0.0, -1.0, 2.0, 5.0, f64::NAN, f64::INFINITY] {
+            let s = base
+                .clone()
+                .with_faults(vec![FaultEvent::accel_down(bad, 0)]);
+            assert!(
+                matches!(
+                    s.validate(),
+                    Err(TrafficError::InvalidFaultTime { fault: 0, .. })
+                ),
+                "instant {bad} must be rejected"
+            );
+        }
+        // Instants must be non-decreasing.
+        let unsorted = base.clone().with_faults(vec![
+            FaultEvent::accel_down(1.0, 0),
+            FaultEvent::accel_down(0.5, 1),
+        ]);
+        assert_eq!(
+            unsorted.validate(),
+            Err(TrafficError::UnsortedFaults { fault: 1 })
+        );
+        // Link factors live in (0, 1].
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let s = base
+                .clone()
+                .with_faults(vec![FaultEvent::link_degraded(0.5, bad)]);
+            assert!(
+                matches!(
+                    s.validate(),
+                    Err(TrafficError::InvalidLinkFactor { fault: 0, .. })
+                ),
+                "factor {bad} must be rejected"
+            );
+        }
+        // No double failure; no restoring a healthy accelerator.
+        let double = base.clone().with_faults(vec![
+            FaultEvent::accel_down(0.5, 2),
+            FaultEvent::accel_down(1.0, 2),
+        ]);
+        assert_eq!(
+            double.validate(),
+            Err(TrafficError::InconsistentFault { fault: 1, accel: 2 })
+        );
+        let phantom = base
+            .clone()
+            .with_faults(vec![FaultEvent::accel_restored(0.5, 2)]);
+        assert_eq!(
+            phantom.validate(),
+            Err(TrafficError::InconsistentFault { fault: 0, accel: 2 })
+        );
+        // A full down/restore cycle may repeat.
+        let cycle = base.with_faults(vec![
+            FaultEvent::accel_down(0.3, 2),
+            FaultEvent::accel_restored(0.6, 2),
+            FaultEvent::accel_down(0.9, 2),
+        ]);
+        assert_eq!(cycle.validate(), Ok(()));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::layer::{
     ConvParams, DenseParams, Layer, LayerKind, NormActParams, PoolKind, PoolParams,
 };
 use crate::tensor::FeatureMap;
-use crate::workload::{PhasedTraffic, TrafficPhase, TrafficProfile, Workload};
+use crate::workload::{FaultEvent, PhasedTraffic, TrafficPhase, TrafficProfile, Workload};
 
 /// Shorthand for building a mix entry.
 fn entry(network: Network, weight: f64, batch: usize) -> Workload {
@@ -368,6 +368,53 @@ impl MixZoo {
             ],
         };
         PhasedTraffic::new(horizon, phases)
+    }
+
+    /// The bundled *failure* scenario of the mix: the
+    /// [`phased_traffic`](MixZoo::phased_traffic) scenario with hardware
+    /// [`FaultEvent`]s attached, sized for the 8-accelerator F1 platform.
+    ///
+    /// Each mix loses an accelerator early enough that most of the horizon
+    /// is served on the degraded pool — the regime where a runtime that
+    /// re-schedules onto the surviving sub-topology (Reactive, Oracle)
+    /// visibly beats one that keeps dispatching to a dead partition
+    /// (Static).  The scenarios also exercise the other two fault kinds:
+    /// `ClassicPair` restores its accelerator late (recovery epoch),
+    /// `ResNetSurf` degrades the links at failure time (pricier recovery
+    /// migration), and `HeteroTriple` loses a second accelerator mid-surge.
+    ///
+    /// ```
+    /// use mars_model::zoo::MixZoo;
+    ///
+    /// for mix in MixZoo::ALL {
+    ///     let scenario = mix.failure_scenario();
+    ///     scenario.validate().unwrap();
+    ///     assert!(!scenario.faults.is_empty(), "{mix} must inject faults");
+    ///     assert!(scenario.max_fault_accel().unwrap() < 8, "fits the F1 pool");
+    /// }
+    /// ```
+    pub fn failure_scenario(self) -> PhasedTraffic {
+        let faults = match self {
+            // Kill an accelerator of the busy AlexNet partition during the
+            // warm-up, revive it just after the recovery phase begins.
+            MixZoo::ClassicPair => vec![
+                FaultEvent::accel_down(2.0, 0),
+                FaultEvent::accel_restored(9.5, 0),
+            ],
+            // Lose a CASIA accelerator as the ResNet surge begins, with the
+            // interconnect simultaneously degraded to half bandwidth.
+            MixZoo::ResNetSurf => vec![
+                FaultEvent::link_degraded(2.5, 0.5),
+                FaultEvent::accel_down(2.5, 4),
+            ],
+            // Two independent failures: one in the warm-up, a second during
+            // the BERT surge — the pool shrinks to six accelerators.
+            MixZoo::HeteroTriple => vec![
+                FaultEvent::accel_down(2.0, 1),
+                FaultEvent::accel_down(5.5, 6),
+            ],
+        };
+        self.phased_traffic().with_faults(faults)
     }
 
     /// Builds the mix's workload entries.

@@ -18,12 +18,48 @@
 //! * a [migration cost model](migration_cost) prices the switch (weight
 //!   bytes over the [`Topology`](mars_topology::Topology)'s links via
 //!   `mars-comm`, after draining in-flight batches) before the new placement
-//!   activates.
+//!   activates;
+//! * when the scenario injects [`FaultEvent`]s, the
+//!   monitor's [`TriggerReason::TopologyChanged`] forces an *epoch-style
+//!   recovery*: in-flight work on the dead accelerator is revoked per the
+//!   configured [`FaultPolicy`], the co-scheduler re-plans on the surviving
+//!   sub-topology ([`Topology::subtopology`](mars_topology::Topology::subtopology)),
+//!   and every applied change stamps a new monotonically increasing
+//!   [`epoch`](ReconfigureEvent::epoch).
 //!
 //! [`run_elastic`] compares three [`RuntimePolicy`]s — `Static` (never
 //! re-schedule), `Reactive` (drift-triggered) and `Oracle` (phase-boundary
 //! clairvoyant) — under the same trace; all three are bit-identical across
 //! `MARS_THREADS` values and repeat runs.
+//!
+//! ## Surviving a failure
+//!
+//! ```no_run
+//! use mars_accel::Catalog;
+//! use mars_model::zoo::MixZoo;
+//! use mars_runtime::{run_elastic, RuntimeConfig, RuntimePolicy};
+//! use mars_serve::Trace;
+//! use mars_topology::presets;
+//!
+//! // The bundled failure scenario: same phases as `phased_traffic()`, plus
+//! // seeded accelerator failures and restores.
+//! let mix = MixZoo::ClassicPair;
+//! let scenario = mix.failure_scenario();
+//! assert!(!scenario.faults.is_empty());
+//! let trace = Trace::phased(&scenario, 42).unwrap();
+//! let config = RuntimeConfig::new(mars_core::CoScheduleConfig::fast(42));
+//! let report = run_elastic(
+//!     &mix.entries(),
+//!     &presets::f1_16xlarge(),
+//!     &Catalog::standard_three(),
+//!     &scenario,
+//!     &trace,
+//!     RuntimePolicy::Reactive,
+//!     &config,
+//! )
+//! .unwrap();
+//! println!("recovered through epoch {}", report.final_epoch());
+//! ```
 //!
 //! ```no_run
 //! use mars_accel::Catalog;
@@ -69,5 +105,5 @@ pub use runtime::{
 /// Re-export of the non-stationary traffic vocabulary the runtime consumes
 /// (defined in `mars-model`) and the resumable simulator it drives (defined
 /// in `mars-serve`).
-pub use mars_model::{PhasedTraffic, TrafficPhase, TrafficProfile};
-pub use mars_serve::{SimSnapshot, SimState};
+pub use mars_model::{FaultEvent, FaultKind, PhasedTraffic, TrafficPhase, TrafficProfile};
+pub use mars_serve::{FaultPolicy, SimSnapshot, SimState};

@@ -20,6 +20,7 @@
 //! — the property the runtime's determinism tests pin.
 
 use mars_serve::SimSnapshot;
+use mars_topology::AccelId;
 
 /// Thresholds of the drift monitor.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +91,14 @@ pub enum TriggerReason {
         /// Index of the phase that just began.
         phase: usize,
     },
+    /// The set of down accelerators changed between the two snapshots — an
+    /// accelerator failed or came back.  Checked before every other signal:
+    /// a shrunken platform must be re-planned even if the surviving lanes
+    /// still look healthy.
+    TopologyChanged {
+        /// The down set at the end of the window.
+        down: Vec<AccelId>,
+    },
 }
 
 impl std::fmt::Display for TriggerReason {
@@ -103,6 +112,10 @@ impl std::fmt::Display for TriggerReason {
             }
             TriggerReason::Imbalance { ratio } => write!(f, "imbalance {ratio:.1}x"),
             TriggerReason::PhaseBoundary { phase } => write!(f, "phase-boundary {phase}"),
+            TriggerReason::TopologyChanged { down } => {
+                let ids: Vec<String> = down.iter().map(|a| a.0.to_string()).collect();
+                write!(f, "topology-changed down=[{}]", ids.join(","))
+            }
         }
     }
 }
@@ -184,14 +197,25 @@ impl DriftMonitor {
         let prev = &self.prev;
         let window = (now.clock - prev.clock).max(f64::MIN_POSITIVE);
 
-        // 1. SLA misses among the window's completions.
+        // 0. Topology change — an accelerator failed or was restored.  This
+        // outranks every drift heuristic: the platform the incumbent
+        // schedule was planned for no longer exists.
+        if now.down != prev.down {
+            return Some(TriggerReason::TopologyChanged {
+                down: now.down.clone(),
+            });
+        }
+
+        // 1. SLA misses among the window's completions.  Counter diffs use
+        // saturating arithmetic: revoking an in-flight batch after a failure
+        // legitimately rolls `completed`/`met_sla` backwards.
         let mut completed = 0usize;
         let mut met = 0usize;
         for (a, b) in prev.lanes.iter().zip(&now.lanes) {
-            completed += b.completed - a.completed;
-            met += b.met_sla - a.met_sla;
+            completed += b.completed.saturating_sub(a.completed);
+            met += b.met_sla.saturating_sub(a.met_sla);
         }
-        let missed = completed - met;
+        let missed = completed.saturating_sub(met);
         if completed >= self.config.min_window_completions
             && missed as f64 > self.config.miss_rate_threshold * completed as f64
         {
@@ -264,6 +288,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, &b)| (AccelId(i), b))
                 .collect(),
+            down: vec![],
         }
     }
 
@@ -335,6 +360,30 @@ mod tests {
             .observe(&snap(0.25, vec![lane(0, 0, 0, 0)], &[0.24, 0.0]), &[0])
             .expect("imbalance");
         assert!(matches!(t.reason, TriggerReason::Imbalance { ratio } if ratio > 1.9));
+    }
+
+    #[test]
+    fn topology_change_outranks_every_other_signal() {
+        let start = snap(0.0, vec![lane(0, 0, 0, 0)], &[0.0, 0.0]);
+        let mut monitor = DriftMonitor::new(MonitorConfig::default(), start);
+        // A window that would fire SlaMisses *and* QueueGrowth on its own —
+        // but accel 1 also went down, and that wins.
+        let mut failed = snap(0.25, vec![lane(0, 20, 2, 12)], &[0.1, 0.1]);
+        failed.down = vec![AccelId(1)];
+        let t = monitor.observe(&failed, &[30]).expect("must fire");
+        assert_eq!(
+            t.reason,
+            TriggerReason::TopologyChanged {
+                down: vec![AccelId(1)]
+            }
+        );
+        // Restoration is a topology change too (down set shrinks back).
+        // Counters roll backwards across this window — the saturating diffs
+        // must stay silent rather than panic.
+        let restored = snap(0.5, vec![lane(0, 18, 2, 1)], &[0.1, 0.1]);
+        let t = monitor.observe(&restored, &[0]).expect("restore fires");
+        assert_eq!(t.reason, TriggerReason::TopologyChanged { down: vec![] });
+        assert_eq!(monitor.triggers_fired(), 2);
     }
 
     #[test]

@@ -33,9 +33,10 @@ use mars_core::{
     co_schedule_cached, CoScheduleConfig, CoScheduleError, CoScheduleResult, InnerSearchCache,
     Workload,
 };
-use mars_model::{PhasedTraffic, TrafficError};
-use mars_serve::{ServeConfig, ServeError, ServeReport, SimState, Trace};
-use mars_topology::Topology;
+use mars_model::{FaultKind, PhasedTraffic, TrafficError};
+use mars_serve::{FaultPolicy, ServeConfig, ServeError, ServeReport, SimState, Trace};
+use mars_topology::{AccelId, Topology};
+use std::collections::BTreeMap;
 
 /// Who decides when the placement changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +104,10 @@ pub struct RuntimeConfig {
     /// How far observed load may scale a workload's SLA weight for the
     /// re-search, as a factor in `[1/limit, limit]` around the base weight.
     pub weight_shift_limit: f64,
+    /// What happens to batches in flight on an accelerator the moment it
+    /// fails — requeued (default) or lost.  Only consulted when the
+    /// scenario carries [`FaultEvent`](mars_model::FaultEvent)s.
+    pub fault_policy: FaultPolicy,
 }
 
 impl RuntimeConfig {
@@ -124,6 +129,7 @@ impl RuntimeConfig {
             max_reconfigurations: 6,
             max_migration_seconds: 0.3,
             weight_shift_limit: 8.0,
+            fault_policy: FaultPolicy::default(),
         }
     }
 
@@ -136,6 +142,12 @@ impl RuntimeConfig {
     /// Sets the drift-monitor thresholds.
     pub fn with_monitor(mut self, monitor: MonitorConfig) -> Self {
         self.monitor = monitor;
+        self
+    }
+
+    /// Sets the in-flight policy for accelerator failures.
+    pub fn with_fault_policy(mut self, fault_policy: FaultPolicy) -> Self {
+        self.fault_policy = fault_policy;
         self
     }
 }
@@ -172,6 +184,14 @@ pub enum ElasticError {
         /// The rejected value.
         value: f64,
     },
+    /// A fault event in the scenario names an accelerator the topology does
+    /// not have.
+    FaultAccelOutOfRange {
+        /// The accelerator index the fault names.
+        accel: usize,
+        /// How many accelerators the topology has.
+        accelerators: usize,
+    },
 }
 
 impl std::fmt::Display for ElasticError {
@@ -192,6 +212,13 @@ impl std::fmt::Display for ElasticError {
                 write!(f, "horizon mismatch: scenario {scenario}s, trace {trace}s")
             }
             ElasticError::InvalidKnob { knob, value } => write!(f, "invalid {knob}: {value}"),
+            ElasticError::FaultAccelOutOfRange {
+                accel,
+                accelerators,
+            } => write!(
+                f,
+                "fault names accelerator {accel} but the topology has {accelerators}"
+            ),
         }
     }
 }
@@ -233,6 +260,16 @@ pub struct ReconfigureEvent {
     pub migration: MigrationCost,
     /// `true` when the placement actually changed.
     pub applied: bool,
+    /// Configuration epoch in force *after* this decision.  The run starts
+    /// at epoch 0; every applied change increments it, so applied events
+    /// carry strictly increasing epochs and declined events repeat the
+    /// incumbent's.
+    pub epoch: u64,
+    /// Per-workload accelerator subsets in force after the decision (the new
+    /// placement's when applied, the incumbent's when not).
+    pub accels: Vec<Vec<AccelId>>,
+    /// Accelerators that were down at the moment of the decision.
+    pub down: Vec<AccelId>,
 }
 
 impl ReconfigureEvent {
@@ -278,6 +315,17 @@ impl ElasticReport {
             .filter(|e| e.applied)
             .map(|e| e.migration.seconds)
             .sum()
+    }
+
+    /// The configuration epoch the run ended on: 0 if the placement never
+    /// changed, otherwise the epoch of the last applied reconfiguration.
+    pub fn final_epoch(&self) -> u64 {
+        self.reconfigurations
+            .iter()
+            .filter(|e| e.applied)
+            .map(|e| e.epoch)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -373,6 +421,14 @@ pub fn run_elastic_with_cache(
             value: window,
         });
     }
+    if let Some(accel) = scenario.max_fault_accel() {
+        if accel >= topo.len() {
+            return Err(ElasticError::FaultAccelOutOfRange {
+                accel,
+                accelerators: topo.len(),
+            });
+        }
+    }
 
     // The shared starting point of every policy: the plain co-schedule of
     // the base workloads (what an offline deployment would compute).
@@ -386,8 +442,9 @@ pub fn run_elastic_with_cache(
     let mut monitor = DriftMonitor::new(config.monitor.clone(), sim.snapshot());
 
     // Control-loop boundaries: every monitor window mark plus every phase
-    // start, in order.  Phase starts that coincide with window marks are
-    // processed once (phase bookkeeping first, then observation).
+    // start plus every fault instant, in order.  Instants that coincide are
+    // processed once (faults first, then phase bookkeeping, then
+    // observation).
     let horizon = scenario.horizon_seconds;
     let mut boundaries: Vec<f64> = Vec::new();
     let mut mark = config.monitor.window_seconds;
@@ -396,6 +453,7 @@ pub fn run_elastic_with_cache(
         mark += config.monitor.window_seconds;
     }
     boundaries.extend(scenario.boundaries());
+    boundaries.extend(scenario.fault_instants());
     boundaries.sort_by(f64::total_cmp);
     boundaries.dedup_by(|a, b| a.to_bits() == b.to_bits());
 
@@ -408,11 +466,39 @@ pub fn run_elastic_with_cache(
         .map(|p| p.sla_factor)
         .collect();
 
+    // Fault bookkeeping: the next unprocessed fault, the current host-link
+    // health (scales migration transfer time), the configuration epoch, and
+    // one inner-search cache per down set — a cached inner search is only
+    // sound against the exact accelerator pool it was computed on.
+    let mut fault_idx = 0usize;
+    let mut link_factor = 1.0f64;
+    let mut epoch = 0u64;
+    let mut sub_caches: BTreeMap<Vec<AccelId>, InnerSearchCache> = BTreeMap::new();
+
     for &t in &boundaries {
         sim.run_until(t);
 
-        // Phase bookkeeping: new SLA budgets for everyone; the oracle also
-        // re-schedules here, from the phase's true rates.
+        // Faults land first: the rest of this boundary's decisions must see
+        // the post-fault pool.
+        let mut pool_changed = false;
+        while fault_idx < scenario.faults.len()
+            && scenario.faults[fault_idx].at_seconds.to_bits() == t.to_bits()
+        {
+            match scenario.faults[fault_idx].kind {
+                FaultKind::AccelDown { accel } => {
+                    sim.fail_accel(AccelId(accel), config.fault_policy);
+                    pool_changed = true;
+                }
+                FaultKind::AccelRestored { accel } => {
+                    sim.restore_accel(AccelId(accel));
+                    pool_changed = true;
+                }
+                FaultKind::LinkDegraded { factor } => link_factor = factor,
+            }
+            fault_idx += 1;
+        }
+
+        // Phase bookkeeping: new SLA budgets for everyone.
         let phase = scenario.phase_index_at(t);
         let is_phase_start = scenario.phases[phase].start_seconds.to_bits() == t.to_bits();
         if is_phase_start {
@@ -422,41 +508,56 @@ pub fn run_elastic_with_cache(
                 .map(|p| p.sla_factor)
                 .collect();
             sim.set_sla_factors(&sla_factors)?;
-            if policy == RuntimePolicy::Oracle {
-                let rates: Vec<f64> = scenario.phases[phase]
-                    .profiles
-                    .iter()
-                    .map(|p| p.qps.max(0.0))
-                    .collect();
-                reconfigure(
-                    &mut sim,
-                    &mut incumbent,
-                    &mut events,
-                    Reschedule {
-                        workloads,
-                        topo,
-                        catalog,
-                        config,
-                        cache,
-                        at: t,
-                        rates: &rates,
-                        delay: 0.0,
-                        reason: TriggerReason::PhaseBoundary { phase },
-                        sla_factors: &sla_factors,
-                    },
-                )?;
-                monitor.rebase(&sim.snapshot());
-            }
+        }
+
+        // Oracle: re-schedule at every phase boundary and every pool change,
+        // from the phase's true rates, with zero detection lag.  A pool
+        // change that coincides with a phase start is one decision, not two.
+        if policy == RuntimePolicy::Oracle && (pool_changed || is_phase_start) {
+            let rates: Vec<f64> = scenario.phases[phase]
+                .profiles
+                .iter()
+                .map(|p| p.qps.max(0.0))
+                .collect();
+            let reason = if pool_changed {
+                TriggerReason::TopologyChanged { down: sim.down() }
+            } else {
+                TriggerReason::PhaseBoundary { phase }
+            };
+            reconfigure(
+                &mut sim,
+                &mut incumbent,
+                &mut events,
+                &mut epoch,
+                &mut sub_caches,
+                Reschedule {
+                    workloads,
+                    topo,
+                    catalog,
+                    config,
+                    cache,
+                    at: t,
+                    rates: &rates,
+                    delay: 0.0,
+                    reason,
+                    sla_factors: &sla_factors,
+                    link_factor,
+                },
+            )?;
+            monitor.rebase(&sim.snapshot());
         }
 
         // Reactive: observe the window that just ended; maybe re-schedule.
+        // A topology trigger bypasses both the cooldown and the
+        // reconfiguration cap — surviving a failure outranks rate limiting.
         if policy == RuntimePolicy::Reactive {
             let arrivals: Vec<usize> = (0..k).map(|w| trace.arrivals_in(w, last_obs, t)).collect();
             let window = (t - last_obs).max(f64::MIN_POSITIVE);
             if let Some(trigger) = monitor.observe(&sim.snapshot(), &arrivals) {
+                let topology = matches!(trigger.reason, TriggerReason::TopologyChanged { .. });
                 let calm = t - last_reconfig >= config.cooldown_seconds;
                 let changed = events.iter().filter(|e| e.changed()).count();
-                if calm && changed < config.max_reconfigurations {
+                if topology || (calm && changed < config.max_reconfigurations) {
                     let rates: Vec<f64> = trigger
                         .window_arrivals
                         .iter()
@@ -466,6 +567,8 @@ pub fn run_elastic_with_cache(
                         &mut sim,
                         &mut incumbent,
                         &mut events,
+                        &mut epoch,
+                        &mut sub_caches,
                         Reschedule {
                             workloads,
                             topo,
@@ -477,6 +580,7 @@ pub fn run_elastic_with_cache(
                             delay: config.reschedule_delay_seconds,
                             reason: trigger.reason,
                             sla_factors: &sla_factors,
+                            link_factor,
                         },
                     )?;
                     last_reconfig = t;
@@ -513,16 +617,32 @@ struct Reschedule<'a> {
     reason: TriggerReason,
     /// SLA factors in force (forwarded to the simulator on activation).
     sla_factors: &'a [f64],
+    /// Current host-link health in `(0, 1]`; migration transfer time is
+    /// divided by it, so a degraded link makes every move more expensive.
+    link_factor: f64,
 }
 
-/// Runs one warm-started re-schedule and, if the placement changed, charges
-/// drain + delay + migration before activating it.
+/// Runs one warm-started re-schedule — over the full topology when every
+/// accelerator is healthy, over the surviving sub-topology otherwise — and,
+/// if the placement changed, charges drain + delay + migration before
+/// activating it.  Applied changes increment `epoch`.
 fn reconfigure(
     sim: &mut SimState,
     incumbent: &mut CoScheduleResult,
     events: &mut Vec<ReconfigureEvent>,
+    epoch: &mut u64,
+    sub_caches: &mut BTreeMap<Vec<AccelId>, InnerSearchCache>,
     r: Reschedule<'_>,
 ) -> Result<(), ElasticError> {
+    let down = sim.down();
+    // A recovery move: the incumbent parks a workload on a dead accelerator.
+    // Such a placement serves nothing, so the migration budget must not be
+    // allowed to veto the move off it.
+    let incumbent_dead = incumbent
+        .placements
+        .iter()
+        .any(|p| p.accels.iter().any(|a| down.contains(a)));
+
     // Effective SLA weights: base × (load share), clamped.  Load is the
     // service demand the observed rate implies *on the incumbent placement*
     // (rate × per-inference latency), so a surged workload on a slow
@@ -534,7 +654,8 @@ fn reconfigure(
         .map(|(&rate, p)| rate * p.result.mapping.latency_seconds)
         .collect();
     let mean = loads.iter().sum::<f64>() / loads.len().max(1) as f64;
-    if !(mean > 0.0 && mean.is_finite()) {
+    let has_load = mean > 0.0 && mean.is_finite();
+    if !has_load && !incumbent_dead {
         // Nothing is arriving at all (or the rates are garbage): there is no
         // load signal to adapt to — keep the incumbent.
         return Ok(());
@@ -545,24 +666,92 @@ fn reconfigure(
         .iter()
         .zip(&loads)
         .map(|(w, &load)| {
-            let shift = (load / mean).clamp(1.0 / limit, limit);
+            // With no load signal (a recovery under a silent window), fall
+            // back to the base weights.
+            let shift = if has_load {
+                (load / mean).clamp(1.0 / limit, limit)
+            } else {
+                1.0
+            };
             w.clone().with_weight(w.weight * shift)
         })
         .collect();
 
-    let schedule = r.config.schedule.clone().warm_start(incumbent);
-    let new_co = co_schedule_cached(&eff, r.topo, r.catalog, &schedule, r.cache)?;
-    let migration = migration_cost(r.topo, r.workloads, incumbent, &new_co, &r.config.migration);
-    if migration.is_free() || migration.seconds > r.config.max_migration_seconds {
+    let new_co = if down.is_empty() {
+        let schedule = r.config.schedule.clone().warm_start(incumbent);
+        co_schedule_cached(&eff, r.topo, r.catalog, &schedule, r.cache)?
+    } else {
+        // Re-plan on the surviving sub-topology.  If there are not enough
+        // survivors to give every workload a partition (or the sub-topology
+        // cannot be built), keep the incumbent and wait for a restore.
+        let survivors: Vec<AccelId> = r
+            .topo
+            .accelerators()
+            .filter(|a| !down.contains(a))
+            .collect();
+        if survivors.len() < r.workloads.len() {
+            return Ok(());
+        }
+        let Ok((sub_topo, map)) = r.topo.subtopology(&survivors) else {
+            return Ok(());
+        };
+        // Warm-start from the incumbent *restricted to the survivors*: each
+        // placement's accelerators filtered to the live set and renamed into
+        // the sub-topology's contiguous id space.  If a placement loses its
+        // whole partition the restriction is meaningless — cold-start.
+        let to_local = |a: &AccelId| map.iter().position(|g| g == a).map(AccelId);
+        let mut restricted = incumbent.clone();
+        let mut restrictable = true;
+        for p in &mut restricted.placements {
+            let local: Vec<AccelId> = p.accels.iter().filter_map(to_local).collect();
+            if local.is_empty() {
+                restrictable = false;
+                break;
+            }
+            p.accels = local;
+        }
+        let mut schedule = r.config.schedule.clone();
+        if restrictable {
+            schedule = schedule.warm_start(&restricted);
+        }
+        // A cached inner search is keyed on (workload, accel subset) *within
+        // one topology*: sub-topology searches get a cache per down set.
+        let sub_cache = sub_caches.entry(down.clone()).or_default();
+        let mut sub_co = co_schedule_cached(&eff, &sub_topo, r.catalog, &schedule, sub_cache)?;
+        // Rename the winning placements back into the global id space.
+        for p in &mut sub_co.placements {
+            for a in &mut p.accels {
+                *a = map[a.0];
+            }
+        }
+        sub_co
+    };
+
+    let mut migration =
+        migration_cost(r.topo, r.workloads, incumbent, &new_co, &r.config.migration);
+    if r.link_factor < 1.0 {
+        migration.seconds /= r.link_factor;
+    }
+    if migration.is_free()
+        || (!incumbent_dead && migration.seconds > r.config.max_migration_seconds)
+    {
         // Either the search confirmed the incumbent (free), or the better
         // placement is not worth its transfer bill: record the decision,
-        // change nothing, pay nothing.
+        // change nothing, pay nothing.  (A recovery move is never declined
+        // on budget — see `incumbent_dead` above.)
         events.push(ReconfigureEvent {
             decided_at: r.at,
             activated_at: r.at,
             reason: r.reason,
             migration,
             applied: false,
+            epoch: *epoch,
+            accels: incumbent
+                .placements
+                .iter()
+                .map(|p| p.accels.clone())
+                .collect(),
+            down,
         });
         return Ok(());
     }
@@ -571,12 +760,16 @@ fn reconfigure(
     let drained = sim.drain_seconds().max(r.at + r.delay);
     let activated_at = drained + migration.seconds;
     sim.apply_placements(&new_co, r.sla_factors, activated_at)?;
+    *epoch += 1;
     events.push(ReconfigureEvent {
         decided_at: r.at,
         activated_at,
         reason: r.reason,
         migration,
         applied: true,
+        epoch: *epoch,
+        accels: new_co.placements.iter().map(|p| p.accels.clone()).collect(),
+        down,
     });
     *incumbent = new_co;
     Ok(())

@@ -4,12 +4,15 @@
 //!   *any* healthy window shape, not just one example;
 //! * trigger sequences and whole elastic reports are bit-identical across
 //!   `MARS_THREADS` worker counts and repeat runs;
-//! * re-scheduling onto the incumbent placement migrates nothing.
+//! * re-scheduling onto the incumbent placement migrates nothing;
+//! * fault handling is strictly additive (an empty fault list changes
+//!   nothing), recovery placements never target a downed accelerator, and
+//!   applied reconfigurations carry strictly increasing epochs.
 
 use mars_accel::Catalog;
 use mars_core::{co_schedule, CoScheduleConfig, GaConfig, InnerSearchCache, Workload};
 use mars_model::zoo;
-use mars_model::{PhasedTraffic, TrafficPhase, TrafficProfile};
+use mars_model::{FaultEvent, PhasedTraffic, TrafficPhase, TrafficProfile};
 use mars_runtime::{
     migration_cost, run_elastic, run_elastic_with_cache, DriftMonitor, MigrationConfig,
     MonitorConfig, RuntimeConfig, RuntimePolicy,
@@ -85,6 +88,7 @@ proptest! {
                 (AccelId(0), busy_fraction * window * k as f64),
                 (AccelId(1), busy_fraction * skew * window * k as f64),
             ],
+            down: vec![],
         };
         let mut monitor = DriftMonitor::new(MonitorConfig::default(), snap_at(0));
         for k in 1..=windows {
@@ -117,6 +121,7 @@ proptest! {
                     accels: vec![AccelId(0)],
                 }],
                 accel_busy: vec![(AccelId(0), 0.0)],
+                down: vec![],
             }];
             for (k, &c) in completions.iter().enumerate() {
                 cumulative += c;
@@ -133,6 +138,7 @@ proptest! {
                         accels: vec![AccelId(0)],
                     }],
                     accel_busy: vec![(AccelId(0), 0.1 * (k + 1) as f64)],
+                    down: vec![],
                 });
             }
             snaps
@@ -273,6 +279,94 @@ fn unchanged_placement_always_migrates_for_free() {
     }
 }
 
+/// A two-phase surge scenario shared by the fault tests: healthy warm-up,
+/// then workload 0 surges to 3x its feasible rate at t=2.
+fn surge_scenario(lat: &[f64]) -> PhasedTraffic {
+    let warm: Vec<TrafficProfile> = lat
+        .iter()
+        .map(|l| TrafficProfile::new(0.25 * 0.8 / l, 5.0))
+        .collect();
+    let mut surge = warm.clone();
+    surge[0] = TrafficProfile::new(3.0 * 0.8 / lat[0], 5.0);
+    PhasedTraffic::new(
+        6.0,
+        vec![TrafficPhase::new(0.0, warm), TrafficPhase::new(2.0, surge)],
+    )
+}
+
+/// Fault handling is strictly additive: a scenario whose fault list is
+/// explicitly empty produces bit-identical reports to the same scenario
+/// without the builder call, for every policy.
+#[test]
+fn empty_fault_list_is_bit_identical_to_a_fault_free_run() {
+    let workloads = small_workloads();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let lat = placement_latencies(&workloads, 5);
+    let plain = surge_scenario(&lat);
+    let stripped = plain.clone().with_faults(vec![]);
+    let config = RuntimeConfig::new(tiny_schedule(5));
+    for policy in RuntimePolicy::ALL {
+        let run = |s: &PhasedTraffic| {
+            let trace = Trace::phased(s, 11).unwrap();
+            run_elastic(&workloads, &topo, &catalog, s, &trace, policy, &config).unwrap()
+        };
+        assert_eq!(run(&plain), run(&stripped), "{policy} diverged");
+    }
+}
+
+/// Under injected failures: no applied reconfiguration ever places a
+/// workload on a downed accelerator, applied epochs increase strictly, the
+/// reactive runtime actually recovers (at least one applied change), and
+/// the whole faulted report stays bit-identical across thread counts.
+#[test]
+fn recovery_placements_avoid_downed_accels_and_epochs_increase() {
+    let workloads = small_workloads();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let lat = placement_latencies(&workloads, 5);
+    // Knock out both accelerators of workload 0's starting partition, then
+    // bring one back: the run crosses a fail *and* a restore epoch.
+    let co = co_schedule(&workloads, &topo, &catalog, &tiny_schedule(5)).unwrap();
+    let victim = co.placements[0].accels[0].0;
+    let scenario = surge_scenario(&lat).with_faults(vec![
+        FaultEvent::accel_down(1.0, victim),
+        FaultEvent::accel_restored(4.0, victim),
+    ]);
+    scenario.validate().unwrap();
+    let trace = Trace::phased(&scenario, 11).unwrap();
+
+    let run = |policy, threads: usize| {
+        let config = RuntimeConfig::new(tiny_schedule(5).with_threads(threads));
+        run_elastic(
+            &workloads, &topo, &catalog, &scenario, &trace, policy, &config,
+        )
+        .unwrap()
+    };
+    for policy in [RuntimePolicy::Reactive, RuntimePolicy::Oracle] {
+        let report = run(policy, 1);
+        assert!(
+            report.placements_changed() >= 1,
+            "{policy} must recover from the failure"
+        );
+        let mut last_epoch = 0u64;
+        for e in &report.reconfigurations {
+            if e.applied {
+                assert!(e.epoch > last_epoch, "{policy}: epochs must increase");
+                last_epoch = e.epoch;
+                for accels in &e.accels {
+                    assert!(
+                        accels.iter().all(|a| !e.down.contains(a)),
+                        "{policy}: applied placement targets a downed accel"
+                    );
+                }
+            }
+        }
+        assert_eq!(report.final_epoch(), last_epoch);
+        assert_eq!(report, run(policy, 4), "{policy} not thread-invariant");
+    }
+}
+
 /// Malformed inputs are rejected up front with the matching error.
 #[test]
 fn degenerate_inputs_are_rejected() {
@@ -326,5 +420,13 @@ fn degenerate_inputs_are_rejected() {
     assert!(matches!(
         run(&workloads, &scenario, &trace, &zero_window),
         Err(ElasticError::InvalidKnob { .. })
+    ));
+    // A fault naming an accelerator the topology does not have.
+    let phantom = scenario
+        .clone()
+        .with_faults(vec![FaultEvent::accel_down(1.0, 99)]);
+    assert!(matches!(
+        run(&workloads, &phantom, &trace, &config),
+        Err(ElasticError::FaultAccelOutOfRange { accel: 99, .. })
     ));
 }

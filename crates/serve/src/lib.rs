@@ -20,6 +20,12 @@
 //! [`ServeReport`] is bit-identical across `MARS_THREADS` values and repeat
 //! runs — the same determinism contract as every other MARS subsystem.
 //!
+//! The resumable [`SimState`] also supports *fault injection* for the
+//! elastic runtime above: [`SimState::fail_accel`] revokes the dead lane's
+//! in-flight batch (its requests requeued or lost per [`FaultPolicy`]) and
+//! blocks dispatch until [`SimState::restore_accel`]; the current down set
+//! rides on every [`SimSnapshot`].
+//!
 //! ```no_run
 //! use mars_accel::Catalog;
 //! use mars_core::{co_schedule, CoScheduleConfig};
@@ -50,14 +56,14 @@ mod trace;
 
 pub use report::render_serve;
 pub use sim::{
-    simulate, BatchEvent, DispatchPolicy, LaneSnapshot, ServeConfig, ServeError, ServeReport,
-    SimSnapshot, SimState, WorkloadServeStats,
+    simulate, BatchEvent, DispatchPolicy, FaultPolicy, LaneSnapshot, ServeConfig, ServeError,
+    ServeReport, SimSnapshot, SimState, WorkloadServeStats,
 };
 pub use trace::Trace;
 
 /// Re-export of the traffic vocabulary the trace generator consumes
 /// (defined next to [`Workload`](mars_model::Workload) in `mars-model`).
-pub use mars_model::{PhasedTraffic, TrafficPhase, TrafficProfile};
+pub use mars_model::{FaultEvent, FaultKind, PhasedTraffic, TrafficPhase, TrafficProfile};
 
 #[doc(hidden)]
 pub mod testing {

@@ -35,7 +35,7 @@ use crate::trace::Trace;
 use mars_core::CoScheduleResult;
 use mars_model::TrafficProfile;
 use mars_topology::AccelId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// When the batcher hands an accumulated batch to its partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,6 +71,36 @@ impl DispatchPolicy {
 }
 
 impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happens to a batch in flight on an accelerator that fails
+/// (see [`SimState::fail_accel`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum FaultPolicy {
+    /// The batch is destroyed with the device: its requests never complete
+    /// (they still count as arrived, so they weigh on goodput).
+    LoseInflight,
+    /// The batch's requests return to the *front* of the lane's queue in
+    /// their original order, keeping the deadlines they were admitted with —
+    /// they rejoin the next dispatch once the lane is healthy again.
+    #[default]
+    RequeueInflight,
+}
+
+impl FaultPolicy {
+    /// Short display name (`lose`, `requeue`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPolicy::LoseInflight => "lose",
+            FaultPolicy::RequeueInflight => "requeue",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
@@ -391,6 +421,10 @@ pub struct SimSnapshot {
     pub lanes: Vec<LaneSnapshot>,
     /// Cumulative busy seconds per accelerator, sorted by id.
     pub accel_busy: Vec<(AccelId, f64)>,
+    /// The accelerators currently failed, sorted by id (empty on a healthy
+    /// pool).  The elastic runtime's drift monitor diffs this across
+    /// snapshots to fire its `TopologyChanged` trigger.
+    pub down: Vec<AccelId>,
 }
 
 /// One workload's single-server batching lane inside a [`SimState`].
@@ -424,6 +458,12 @@ struct LaneState {
     completed: usize,
     met_sla: usize,
     latencies: Vec<f64>,
+    /// Members of the most recent dispatch, kept until its finish instant
+    /// passes so an accelerator failure can revoke the batch mid-flight.
+    inflight: Vec<usize>,
+    /// Finish instant of the most recent dispatch (`0` before the first);
+    /// the batch is in flight exactly while this lies past the clock.
+    inflight_finish: f64,
 }
 
 impl LaneState {
@@ -529,12 +569,51 @@ impl LaneState {
         self.free = finish;
         self.batches += 1;
         self.dispatched += batch.len();
+        let size = batch.len();
+        self.inflight = batch;
+        self.inflight_finish = finish;
         BatchEvent {
             workload: self.workload,
             start,
             finish,
-            size: batch.len(),
+            size,
         }
+    }
+
+    /// Undoes the most recent dispatch because its accelerator died at
+    /// `clock` (strictly before the batch's finish): completion/SLA/latency
+    /// accounting is reverted, the partition's busy time is cut back to the
+    /// failure instant, and the batch's members are requeued or lost per
+    /// `policy`.  Returns the busy-seconds delta (non-positive) so the
+    /// caller can fix per-accelerator attribution.
+    fn revoke_inflight(&mut self, clock: f64, horizon: f64, policy: FaultPolicy) -> f64 {
+        let finish = self.inflight_finish;
+        debug_assert!(finish > clock);
+        if finish <= horizon {
+            // `dispatch` counted these at launch; the batch never finishes.
+            for &i in &self.inflight {
+                self.completed -= 1;
+                if finish <= self.deadlines[i] {
+                    self.met_sla -= 1;
+                }
+            }
+            self.latencies
+                .truncate(self.latencies.len() - self.inflight.len());
+        }
+        let delta = clock.min(horizon) - finish.min(horizon);
+        self.busy += delta;
+        self.batches -= 1;
+        self.dispatched -= self.inflight.len();
+        self.free = clock;
+        self.inflight_finish = clock;
+        let members = std::mem::take(&mut self.inflight);
+        if policy == FaultPolicy::RequeueInflight {
+            // They were popped from the queue front in order; restore it.
+            for &i in members.iter().rev() {
+                self.queue.push_front(i);
+            }
+        }
+        delta
     }
 
     fn stats(&self) -> WorkloadServeStats {
@@ -615,6 +694,9 @@ pub struct SimState {
     /// attributing to whichever accelerators were backing the lane at
     /// dispatch time).
     accel_busy: BTreeMap<AccelId, f64>,
+    /// The accelerators currently failed; a lane whose subset intersects
+    /// this set cannot dispatch.
+    down: BTreeSet<AccelId>,
 }
 
 impl SimState {
@@ -699,6 +781,8 @@ impl SimState {
                     completed: 0,
                     met_sla: 0,
                     latencies: Vec::new(),
+                    inflight: Vec::new(),
+                    inflight_finish: 0.0,
                 }
             })
             .collect();
@@ -708,6 +792,7 @@ impl SimState {
             clock: 0.0,
             lanes,
             accel_busy,
+            down: BTreeSet::new(),
         })
     }
 
@@ -728,6 +813,9 @@ impl SimState {
     pub fn run_until(&mut self, t: f64) {
         let bound = t.min(self.horizon).max(self.clock);
         for w in 0..self.lanes.len() {
+            if self.lane_blocked(w) {
+                continue;
+            }
             while let Some(start) = self.lanes[w].decide(&self.config, bound) {
                 if start >= bound {
                     break;
@@ -746,6 +834,9 @@ impl SimState {
     pub fn step(&mut self) -> Option<BatchEvent> {
         let mut earliest: Option<(usize, f64)> = None;
         for w in 0..self.lanes.len() {
+            if self.lane_blocked(w) {
+                continue;
+            }
             if let Some(start) = self.lanes[w].decide(&self.config, self.horizon) {
                 if start < self.horizon && earliest.is_none_or(|(_, s)| start < s) {
                     earliest = Some((w, start));
@@ -774,7 +865,78 @@ impl SimState {
             clock: self.clock,
             lanes: self.lanes.iter().map(LaneState::snapshot).collect(),
             accel_busy: self.accel_busy.iter().map(|(&a, &b)| (a, b)).collect(),
+            down: self.down.iter().copied().collect(),
         }
+    }
+
+    /// `true` when lane `w`'s current accelerator subset intersects the
+    /// failed set — the lane cannot dispatch until it is re-placed onto
+    /// survivors or its accelerators are restored.
+    fn lane_blocked(&self, w: usize) -> bool {
+        self.lanes[w].accels.iter().any(|a| self.down.contains(a))
+    }
+
+    /// Fails accelerator `accel` at the current clock.  Any batch in flight
+    /// on a lane backed by it is revoked: its completion accounting is
+    /// undone, the partition's busy time is cut back to the failure instant,
+    /// and the batch's requests are requeued or lost per `policy`.  Lanes
+    /// whose subset contains a failed accelerator dispatch nothing until
+    /// re-placed (see [`apply_placements`](Self::apply_placements)) or
+    /// restored (see [`restore_accel`](Self::restore_accel)).  Returns the
+    /// number of in-flight requests the failure interrupted.
+    ///
+    /// Failing an already-failed accelerator is a no-op.  Advance the clock
+    /// to the failure instant with [`run_until`](Self::run_until) *before*
+    /// calling this, so exactly the batches launched before the failure are
+    /// affected.
+    pub fn fail_accel(&mut self, accel: AccelId, policy: FaultPolicy) -> usize {
+        if !self.down.insert(accel) {
+            return 0;
+        }
+        let clock = self.clock;
+        let horizon = self.horizon;
+        let mut interrupted = 0;
+        for w in 0..self.lanes.len() {
+            let lane = &self.lanes[w];
+            // Only a genuinely running batch (launched before the failure,
+            // finishing after it) on a lane backed by the dead accelerator
+            // is revoked; `free` alone can sit in the future for other
+            // reasons (migration blocking).
+            if !lane.accels.contains(&accel)
+                || lane.inflight.is_empty()
+                || lane.inflight_finish <= clock
+            {
+                continue;
+            }
+            interrupted += self.lanes[w].inflight.len();
+            let delta = self.lanes[w].revoke_inflight(clock, horizon, policy);
+            let lane = &self.lanes[w];
+            for &a in &lane.accels {
+                *self.accel_busy.entry(a).or_insert(0.0) += delta;
+            }
+        }
+        interrupted
+    }
+
+    /// Restores a previously-failed accelerator at the current clock.  Lanes
+    /// it unblocks resume dispatching from now (never retroactively inside
+    /// the outage window).  Restoring a healthy accelerator is a no-op.
+    pub fn restore_accel(&mut self, accel: AccelId) {
+        if !self.down.remove(&accel) {
+            return;
+        }
+        let clock = self.clock;
+        for w in 0..self.lanes.len() {
+            if self.lanes[w].accels.contains(&accel) && !self.lane_blocked(w) {
+                let lane = &mut self.lanes[w];
+                lane.free = lane.free.max(clock);
+            }
+        }
+    }
+
+    /// The accelerators currently failed, sorted by id.
+    pub fn down(&self) -> Vec<AccelId> {
+        self.down.iter().copied().collect()
     }
 
     /// When every in-flight batch has finished: the latest lane `free`
@@ -1403,6 +1565,87 @@ mod tests {
         assert_eq!(ids, (0..4).map(AccelId).collect::<Vec<_>>());
         // Errors leave the state untouched.
         assert!(sim_err_is_shape(&co_fast, &profiles, &trace, &config));
+    }
+
+    /// Failing an accelerator mid-batch revokes the dispatch-time
+    /// accounting, cuts busy time back to the failure instant, and blocks
+    /// the lane until the accelerator is restored — after which requeued
+    /// requests are served (late), never retroactively inside the outage.
+    #[test]
+    fn fail_accel_revokes_inflight_and_requeues() {
+        let co = synthetic_co(&[10.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(20.0, 3.0)];
+        let trace = trace_of(vec![vec![0.0, 50.0 * MS]], 0.2);
+        let config = ServeConfig::default();
+        let mut sim = SimState::new(&co, &profiles, &trace, &config).unwrap();
+        // EDF launches request 0 at 10 ms (deadline 30 ms − cost 20 ms),
+        // finishing at 30 ms; at 15 ms the batch is in flight.
+        sim.run_until(15.0 * MS);
+        let before = sim.snapshot();
+        assert_eq!(before.lanes[0].completed, 1, "counted at dispatch time");
+        assert!(before.down.is_empty());
+
+        let interrupted = sim.fail_accel(AccelId(0), FaultPolicy::RequeueInflight);
+        assert_eq!(interrupted, 1);
+        let failed = sim.snapshot();
+        assert_eq!(failed.down, vec![AccelId(0)]);
+        assert_eq!(failed.lanes[0].completed, 0, "revoked");
+        assert_eq!(failed.lanes[0].queued, 1, "requeued");
+        assert!((failed.lanes[0].busy_seconds - 5.0 * MS).abs() < 1e-12);
+        for (_, b) in &failed.accel_busy {
+            assert!(*b >= 0.0);
+        }
+        // Failing the same accelerator again is a no-op.
+        assert_eq!(sim.fail_accel(AccelId(0), FaultPolicy::RequeueInflight), 0);
+
+        // Blocked: nothing dispatches while the accelerator is down.
+        sim.run_until(40.0 * MS);
+        assert_eq!(sim.snapshot().lanes[0].completed, 0);
+
+        // Restored at 40 ms: the requeued request runs from now (finish
+        // 60 ms — past its admitted 30 ms deadline), the later arrival is
+        // served normally.
+        sim.restore_accel(AccelId(0));
+        assert!(sim.down().is_empty());
+        let report = sim.finish();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.goodput, 1, "the interrupted request misses");
+    }
+
+    /// `LoseInflight` destroys the batch instead of requeueing it: the
+    /// requests still count as arrived but can never complete.
+    #[test]
+    fn lose_inflight_drops_the_interrupted_requests() {
+        let co = synthetic_co(&[10.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(20.0, 3.0)];
+        let trace = trace_of(vec![vec![0.0, 50.0 * MS]], 0.2);
+        let mut sim = SimState::new(&co, &profiles, &trace, &ServeConfig::default()).unwrap();
+        sim.run_until(15.0 * MS);
+        assert_eq!(sim.fail_accel(AccelId(0), FaultPolicy::LoseInflight), 1);
+        assert_eq!(sim.snapshot().lanes[0].queued, 0, "lost, not requeued");
+        sim.run_until(40.0 * MS);
+        sim.restore_accel(AccelId(0));
+        let report = sim.finish();
+        assert_eq!(report.total_requests, 2);
+        assert_eq!(report.completed, 1, "only the post-outage arrival");
+    }
+
+    /// A failure on an idle lane (no batch in flight) interrupts nothing;
+    /// restoring an accelerator that never failed is a no-op.
+    #[test]
+    fn idle_failures_and_spurious_restores_are_benign() {
+        let co = synthetic_co(&[1.0 * MS], &[1.0]);
+        let profiles = [TrafficProfile::new(50.0, 5.0)];
+        let trace = trace_of(vec![vec![50.0 * MS]], 0.2);
+        let mut sim = SimState::new(&co, &profiles, &trace, &ServeConfig::default()).unwrap();
+        sim.run_until(10.0 * MS);
+        assert_eq!(sim.fail_accel(AccelId(1), FaultPolicy::RequeueInflight), 0);
+        sim.restore_accel(AccelId(5));
+        assert_eq!(sim.down(), vec![AccelId(1)]);
+        sim.run_until(100.0 * MS);
+        sim.restore_accel(AccelId(1));
+        let report = sim.finish();
+        assert_eq!(report.completed, 1);
     }
 
     fn sim_err_is_shape(

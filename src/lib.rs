@@ -14,7 +14,7 @@
 //! | [`parallel`] | `mars-parallel` | ES/SS parallelism strategies, shard algebra and per-layer evaluation |
 //! | [`core`]     | `mars-core`     | Two-level genetic mapping search, baselines, reports, ablations |
 //! | [`serve`]    | `mars-serve`    | Online serving simulator: SLA-aware dynamic batching over co-schedule placements |
-//! | [`runtime`]  | `mars-runtime`  | Elastic runtime: drift monitor, warm-started online re-scheduling, migration cost model |
+//! | [`runtime`]  | `mars-runtime`  | Elastic runtime: drift monitor, warm-started online re-scheduling, migration cost model, epoch-style failure recovery |
 //!
 //! ## Quickstart
 //!
@@ -71,11 +71,21 @@
 //! before it activates — see [`runtime::run_elastic`] and
 //! [`runtime::RuntimePolicy`].
 //!
+//! ## Fault tolerance
+//!
+//! Scenarios can also inject platform faults ([`model::FaultEvent`]:
+//! accelerator failures, restores, link degradation — bundled per mix on
+//! [`model::zoo::MixZoo::failure_scenario`]).  The runtime treats a
+//! topology change as an epoch transition: in-flight work on the dead
+//! accelerator is revoked per [`serve::FaultPolicy`], the co-scheduler
+//! re-plans on the surviving sub-topology, and every applied change stamps
+//! a monotonically increasing [`runtime::ReconfigureEvent::epoch`].
+//!
 //! The `examples/` directory contains runnable versions of these flows
 //! (`quickstart`, `resnet_on_f1`, `hetero_bandwidth_sweep`,
-//! `custom_accelerator`, `co_schedule`, `serve`, `elastic`), and the
-//! `mars-bench` crate regenerates every table and figure of the paper's
-//! evaluation.
+//! `custom_accelerator`, `co_schedule`, `serve`, `elastic`, `failover`),
+//! and the `mars-bench` crate regenerates every table and figure of the
+//! paper's evaluation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -172,14 +182,14 @@ pub mod prelude {
         InnerSearchCache, Mapping, Mars, Placement, SearchConfig, SearchResult, Workload,
     };
     pub use mars_model::{
-        ConvParams, Dim, DimSet, FeatureMap, Layer, LayerId, LayerKind, LoopNest, Network,
-        PhasedTraffic, TrafficPhase, TrafficProfile,
+        ConvParams, Dim, DimSet, FaultEvent, FaultKind, FeatureMap, Layer, LayerId, LayerKind,
+        LoopNest, Network, PhasedTraffic, TrafficPhase, TrafficProfile,
     };
     pub use mars_parallel::{evaluate_layer, EvalContext, LayerEval, ShardPlan, Strategy};
     pub use mars_runtime::{
         run_elastic, DriftMonitor, ElasticReport, MonitorConfig, RuntimeConfig, RuntimePolicy,
     };
-    pub use mars_serve::{DispatchPolicy, ServeConfig, ServeReport, SimState, Trace};
+    pub use mars_serve::{DispatchPolicy, FaultPolicy, ServeConfig, ServeReport, SimState, Trace};
     pub use mars_topology::{AccelId, Gbps, Topology, TopologyBuilder};
 }
 

@@ -96,6 +96,56 @@ fn policies_respect_their_contracts() {
 }
 
 #[test]
+fn bundled_failure_scenarios_inject_faults_and_policies_recover() {
+    let topo = mars::topology::presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    for mix in MixZoo::ALL {
+        let scenario = mix.failure_scenario();
+        scenario
+            .validate()
+            .expect("bundled failure scenario is valid");
+        assert!(!scenario.faults.is_empty(), "{mix} injects no faults");
+        assert!(
+            scenario.max_fault_accel().unwrap() < topo.len(),
+            "{mix} faults an accelerator off the F1 platform"
+        );
+        // Fault instants are interior and become control-loop boundaries.
+        for &at in &scenario.fault_instants() {
+            assert!(at > 0.0 && at < scenario.horizon_seconds);
+        }
+    }
+
+    // One end-to-end recovery at tiny budget: Reactive applies at least one
+    // epoch-stamped change, and no applied placement targets a down accel.
+    let mix = MixZoo::ClassicPair;
+    let workloads: Vec<Workload> = mix.entries();
+    let scenario = mix.failure_scenario();
+    let trace = Trace::phased(&scenario, DEFAULT_SEED).unwrap();
+    let report = run_elastic(
+        &workloads,
+        &topo,
+        &catalog,
+        &scenario,
+        &trace,
+        RuntimePolicy::Reactive,
+        &tiny_runtime(1),
+    )
+    .expect("bundled failure scenario fits the F1 platform");
+    assert!(
+        report.placements_changed() >= 1,
+        "Reactive must recover from the bundled failure"
+    );
+    assert!(report.final_epoch() >= 1);
+    for event in &report.reconfigurations {
+        if event.applied {
+            for accels in &event.accels {
+                assert!(accels.iter().all(|a| !event.down.contains(a)));
+            }
+        }
+    }
+}
+
+#[test]
 fn bundled_scenarios_are_non_stationary_and_traceable() {
     for mix in MixZoo::ALL {
         let scenario = mix.phased_traffic();
