@@ -17,8 +17,8 @@
 
 use mars_accel::{Catalog, ProfileTable};
 use mars_bench::{
-    smoke, table3_row, table_elastic_row, table_failover_row, table_multi_row, table_serve_row_on,
-    Budget,
+    smoke, table3_row, table_elastic_row, table_failover_row, table_fleet_row, table_multi_row,
+    table_serve_row_on, Budget,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
 use std::time::Instant;
@@ -112,6 +112,18 @@ fn main() {
     }
     let table_failover_s = t.elapsed().as_secs_f64();
 
+    // table_fleet: the calendar-queue engine on the 144-workload fleet
+    // scenario (seed 42).  Two headlines: raw simulation throughput in
+    // events/s (arrivals + dispatched batches over the engine's wall clock)
+    // and the speedup over the legacy linear-scan oracle on the identical
+    // event-by-event drive.  The row builder asserts the engines' reports are
+    // bit-identical, so a passing gate also re-proves the oracle agreement.
+    let t = Instant::now();
+    let fleet_row = table_fleet_row(42);
+    let events_per_second = fleet_row.events_per_second();
+    let fleet_engine_speedup = fleet_row.engine_speedup();
+    let table_fleet_s = t.elapsed().as_secs_f64();
+
     let wall_clock = [
         ("table2", table2_s),
         ("table3", table3_s),
@@ -119,6 +131,7 @@ fn main() {
         ("table_serve", table_serve_s),
         ("table_elastic", table_elastic_s),
         ("table_failover", table_failover_s),
+        ("table_fleet", table_fleet_s),
     ];
     let headlines = [
         ("table3_min_search_speedup", table3_min_speedup),
@@ -126,6 +139,8 @@ fn main() {
         ("table_serve_min_goodput_gain", serve_min_gain),
         ("reactive_vs_static", elastic_min_gain),
         ("recovery_goodput_ratio", recovery_min_ratio),
+        ("events_per_second", events_per_second),
+        ("fleet_engine_speedup", fleet_engine_speedup),
     ];
 
     let summary = smoke::render_summary("fast", threads, &wall_clock, &headlines);

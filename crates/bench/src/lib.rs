@@ -22,8 +22,12 @@ use mars_core::{
 use mars_model::zoo::{Benchmark, MixZoo};
 use mars_model::{Network, PhasedTraffic, TrafficProfile};
 use mars_runtime::{run_elastic_with_cache, ElasticReport, RuntimeConfig, RuntimePolicy};
-use mars_serve::{compare_policies, DispatchPolicy, ServeConfig, ServeReport, Trace};
+use mars_serve::{
+    compare_policies, fleet_co_schedule, reference, simulate_sharded_with_faults, DispatchPolicy,
+    FaultPolicy, ServeConfig, ServeReport, SimState, Trace,
+};
 use mars_topology::{presets, Topology};
+use std::time::Instant;
 
 /// Search budget used by the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -289,6 +293,150 @@ pub fn table_serve_row_on(mix: MixZoo, seed: u64, co: CoScheduleResult) -> Serve
         co,
         trace,
         reports,
+    }
+}
+
+/// One row of the fleet-scale engine benchmark (`table_fleet`): the
+/// 144-workload, 288-accelerator [`MixZoo::fleet`] scenario — phased traffic
+/// plus its bundled failure schedule — served under every dispatch policy,
+/// and a timed head-to-head of the calendar-queue engine against the legacy
+/// linear-scan oracle kept in [`mars_serve::reference`].
+///
+/// The head-to-head runs both engines event by event ([`SimState::step`]
+/// until exhaustion): next-event extraction is the operation a fleet-scale
+/// discrete-event simulator performs tens of thousands of times per run,
+/// and it is exactly where the engines differ — the legacy loop re-decides
+/// **every** lane to find the globally earliest batch, while the calendar
+/// engine pops it from the event queue.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Number of workloads (= serving lanes) in the fleet.
+    pub workloads: usize,
+    /// Number of accelerators across all (disjoint) partitions.
+    pub accels: usize,
+    /// The replayed phased trace (shared by every policy and both engines).
+    pub trace: Trace,
+    /// One faulted, sharded report per policy, in [`DispatchPolicy::ALL`]
+    /// order.
+    pub reports: Vec<ServeReport>,
+    /// Simulation events in the timed drive: every request arrival plus
+    /// every dispatched batch.  Identical for both engines — their reports
+    /// are asserted bit-equal before the row is returned.
+    pub events: usize,
+    /// Batches the timed drive dispatched (`events` minus the arrivals).
+    pub batches: usize,
+    /// Wall-clock seconds of the calendar-queue engine's timed drive.
+    pub calendar_seconds: f64,
+    /// Wall-clock seconds of the legacy reference engine's timed drive.
+    pub legacy_seconds: f64,
+}
+
+impl FleetRow {
+    /// The report of `policy`.
+    ///
+    /// # Panics
+    /// Panics if `policy` is somehow missing from the row (it never is: rows
+    /// always carry all of [`DispatchPolicy::ALL`]).
+    pub fn report(&self, policy: DispatchPolicy) -> &ServeReport {
+        self.reports
+            .iter()
+            .find(|r| r.policy == policy)
+            .expect("rows carry every policy")
+    }
+
+    /// Events per wall-clock second of the calendar-queue engine — the
+    /// `perf_smoke` headline.
+    pub fn events_per_second(&self) -> f64 {
+        self.events as f64 / self.calendar_seconds.max(1e-12)
+    }
+
+    /// Events per wall-clock second of the legacy reference engine.
+    pub fn legacy_events_per_second(&self) -> f64 {
+        self.events as f64 / self.legacy_seconds.max(1e-12)
+    }
+
+    /// Calendar-engine throughput over legacy throughput (the acceptance
+    /// figure: the new engine must clear 5× on the fleet mix).
+    pub fn engine_speedup(&self) -> f64 {
+        self.legacy_seconds / self.calendar_seconds.max(1e-12)
+    }
+}
+
+/// Runs a simulation event by event to exhaustion and returns the final
+/// report plus the number of batches stepped through.  Monomorphised per
+/// engine by `$sim`'s type — the drive itself is identical, which is the
+/// point of the comparison.
+macro_rules! fleet_step_drive {
+    ($sim:expr) => {{
+        let mut sim = $sim;
+        let mut batches = 0usize;
+        while sim.step().is_some() {
+            batches += 1;
+        }
+        (sim.finish(), batches)
+    }};
+}
+
+/// Runs one `table_fleet` row at `seed`: builds the [`MixZoo::fleet`]
+/// scenario's synthetic co-schedule, replays its seeded phased trace with
+/// the bundled failure schedule under every dispatch policy (on the
+/// partition-sharded runner), then times the calendar-queue engine against
+/// the legacy oracle on the identical windowed drive.  The two engines'
+/// reports are asserted bit-equal — the bench refuses to print a speedup
+/// over an oracle it disagrees with.
+pub fn table_fleet_row(seed: u64) -> FleetRow {
+    let fleet = MixZoo::fleet();
+    let co = fleet_co_schedule(&fleet);
+    let profiles = fleet.traffic.phases[0].profiles.clone();
+    let trace = Trace::phased(&fleet.traffic, seed).expect("bundled fleet scenario is valid");
+    let accels = co.placements.iter().map(|p| p.accels.len()).sum();
+    let faults = &fleet.traffic.faults;
+
+    let reports: Vec<ServeReport> = DispatchPolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            simulate_sharded_with_faults(
+                &co,
+                &profiles,
+                &trace,
+                &ServeConfig::new(policy),
+                faults,
+                FaultPolicy::RequeueInflight,
+            )
+            .expect("valid fleet inputs")
+        })
+        .collect();
+
+    let config = ServeConfig::default();
+    let t = Instant::now();
+    let (calendar_report, batches) = fleet_step_drive!(SimState::new(
+        &co, &profiles, &trace, &config
+    )
+    .expect("valid fleet inputs"));
+    let calendar_seconds = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let (legacy_report, _) = fleet_step_drive!(reference::SimState::new(
+        &co, &profiles, &trace, &config
+    )
+    .expect("valid fleet inputs"));
+    let legacy_seconds = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        calendar_report, legacy_report,
+        "fleet engines diverged — the differential harness must be failing too"
+    );
+    let events = calendar_report.total_requests + batches;
+
+    FleetRow {
+        workloads: co.placements.len(),
+        accels,
+        trace,
+        reports,
+        events,
+        batches,
+        calendar_seconds,
+        legacy_seconds,
     }
 }
 

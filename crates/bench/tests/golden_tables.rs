@@ -16,7 +16,8 @@
 
 use mars_accel::{Catalog, ProfileTable};
 use mars_bench::{
-    table3_row, table_elastic_row, table_failover_row, table_multi_row, table_serve_row, Budget,
+    table3_row, table_elastic_row, table_failover_row, table_fleet_row, table_multi_row,
+    table_serve_row, Budget,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
 use mars_runtime::RuntimePolicy;
@@ -285,6 +286,52 @@ fn golden_table_failover_goodput() {
             assert_eq!(report.final_epoch(), last_epoch);
         }
     }
+}
+
+/// The fleet-scale headline numbers of `table_fleet` at seed 42: total
+/// requests and the `[fifo, edf, sla-w]` goodputs of the faulted,
+/// partition-sharded run over the 144-workload [`MixZoo::fleet`] scenario.
+/// Goodputs are request *counts*, so the pins are exact integers — any
+/// drift at all means the calendar engine, the arena batcher, the shard
+/// merge or the fleet scenario changed.  (No search behind this row: the
+/// placements are synthetic, so the whole golden runs in well under a
+/// second.)
+const FLEET_GOLDEN: (usize, [usize; 3]) = (126_518, [23_450, 79_726, 82_383]);
+
+#[test]
+#[ignore = "golden fleet replay; run via --include-ignored (CI nightly)"]
+fn golden_table_fleet_goodput() {
+    let (requests, goodputs) = FLEET_GOLDEN;
+    let row = table_fleet_row(42);
+    assert_eq!(
+        row.trace.total_requests(),
+        requests,
+        "fleet request count drifted (intentional change? re-pin)"
+    );
+    for (policy, pinned) in DispatchPolicy::ALL.into_iter().zip(goodputs) {
+        assert_eq!(
+            row.report(policy).goodput,
+            pinned,
+            "fleet/{policy:?} goodput drifted (intentional change? re-pin)"
+        );
+    }
+    // The acceptance relationships: SLA-aware dispatch beats FIFO at fleet
+    // scale too, and the calendar engine holds its headline margin over the
+    // legacy oracle (the row builder already proved them bit-identical).
+    let fifo = row.report(DispatchPolicy::Fifo).goodput;
+    let best = row
+        .report(DispatchPolicy::EarliestDeadline)
+        .goodput
+        .max(row.report(DispatchPolicy::SlaWeighted).goodput);
+    assert!(
+        best > fifo,
+        "fleet: SLA-aware goodput {best} must beat FIFO {fifo}"
+    );
+    assert!(
+        row.engine_speedup() > 1.0,
+        "fleet: calendar engine fell behind the legacy oracle ({:.2}x)",
+        row.engine_speedup()
+    );
 }
 
 #[test]

@@ -439,6 +439,109 @@ impl MixZoo {
             ],
         }
     }
+
+    /// The fleet-scale serving scenario: 144 workloads drawn from six service
+    /// classes, sized for a 288-accelerator pool (two accelerators per
+    /// workload, ids `2w` and `2w + 1` — the synthetic-placement convention
+    /// of `mars-serve::fleet_co_schedule`, which the fault schedule's
+    /// accelerator ids also follow).
+    ///
+    /// Unlike the co-scheduling mixes above, the fleet scenario is *not* a
+    /// `MixZoo` variant: it carries per-inference latencies directly instead
+    /// of networks (searching 144 placements would dwarf the serving
+    /// experiment it feeds), so it slots into the serving simulator without
+    /// a co-schedule search.  Traffic runs three phases — warm-up, a surge
+    /// at 1.6× rates with tightened SLAs, cool-down — and the fault schedule
+    /// kills two partitions mid-surge, restoring one.
+    ///
+    /// ```
+    /// use mars_model::zoo::MixZoo;
+    ///
+    /// let fleet = MixZoo::fleet();
+    /// assert_eq!(fleet.names.len(), 144);
+    /// assert!(2 * fleet.names.len() >= 64, "fleet pool has 64+ accelerators");
+    /// fleet.traffic.validate().unwrap();
+    /// assert!(fleet.traffic.max_fault_accel().unwrap() < 2 * fleet.names.len());
+    /// ```
+    pub fn fleet() -> FleetSpec {
+        // (class, per-inference latency s, SLA weight, base qps, SLA factor)
+        const CLASSES: [(&str, f64, f64, f64, f64); 6] = [
+            ("resnet50", 2.4e-3, 1.0, 160.0, 5.0),
+            ("bert-base", 5.6e-3, 2.0, 70.0, 4.0),
+            ("mobilenet", 0.9e-3, 1.0, 420.0, 6.0),
+            ("vgg16", 4.1e-3, 1.2, 90.0, 5.0),
+            ("casia-surf", 1.7e-3, 1.5, 230.0, 4.5),
+            ("gpt-decode", 7.3e-3, 2.5, 50.0, 3.5),
+        ];
+        const WORKLOADS: usize = 144;
+        let mut names = Vec::with_capacity(WORKLOADS);
+        let mut weights = Vec::with_capacity(WORKLOADS);
+        let mut latencies = Vec::with_capacity(WORKLOADS);
+        let mut base = Vec::with_capacity(WORKLOADS);
+        let mut surge = Vec::with_capacity(WORKLOADS);
+        let mut cool = Vec::with_capacity(WORKLOADS);
+        for w in 0..WORKLOADS {
+            let (class, latency, weight, qps, sla) = CLASSES[w % CLASSES.len()];
+            // Replicas of a class get slightly slower, lighter-traffic
+            // instances (older hardware tiers), so lanes never collapse
+            // into identical copies of each other.
+            let tier = (w / CLASSES.len()) as f64;
+            let latency = latency * (1.0 + 0.06 * tier);
+            let qps = qps / (1.0 + 0.08 * tier);
+            names.push(format!("{class}-{w:02}"));
+            weights.push(weight);
+            latencies.push(latency);
+            base.push(TrafficProfile::new(qps, sla));
+            surge.push(TrafficProfile::new(qps * 1.6, sla * 0.8));
+            cool.push(TrafficProfile::new(qps * 0.7, sla));
+        }
+        let traffic = PhasedTraffic::new(
+            8.0,
+            vec![
+                TrafficPhase::new(0.0, base),
+                TrafficPhase::new(2.5, surge),
+                TrafficPhase::new(5.5, cool),
+            ],
+        )
+        .with_faults(vec![
+            // Workload 1 (bert-base-01) loses an accelerator in the warm-up
+            // and gets it back during the cool-down.
+            FaultEvent::accel_down(1.5, 3),
+            // Workloads 20, 125 and 45 (the classes cycle) die mid-surge
+            // and never recover — the third sits deep in the pool, so the
+            // fault path is exercised well past the first 96 accelerators.
+            FaultEvent::accel_down(3.25, 40),
+            FaultEvent::accel_down(4.0, 250),
+            FaultEvent::accel_down(4.75, 91),
+            FaultEvent::accel_restored(6.0, 3),
+        ]);
+        FleetSpec {
+            names,
+            weights,
+            latencies_seconds: latencies,
+            traffic,
+        }
+    }
+}
+
+/// The fleet-scale serving scenario built by [`MixZoo::fleet`]: per-workload
+/// service parameters (name, SLA weight, per-inference latency) plus the
+/// phased traffic and fault schedule, with all vectors indexed by workload.
+///
+/// Latencies are carried directly — there is no network or mapping search
+/// behind a fleet workload — so the serving layer can synthesise placements
+/// for any accelerator pool without running the co-scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Display name per workload (`class-index`).
+    pub names: Vec<String>,
+    /// SLA weight per workload (drives the `SlaWeighted` dispatch margin).
+    pub weights: Vec<f64>,
+    /// Per-inference latency per workload, seconds.
+    pub latencies_seconds: Vec<f64>,
+    /// The phased traffic (rates and SLA factors per phase) and the fault
+    /// schedule, over the scenario's horizon.
+    pub traffic: PhasedTraffic,
 }
 
 impl std::fmt::Display for MixZoo {

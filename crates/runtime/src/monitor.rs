@@ -275,7 +275,7 @@ mod tests {
             met_sla: met,
             busy_seconds: 0.0,
             free_at: 0.0,
-            accels: vec![AccelId(2 * workload), AccelId(2 * workload + 1)],
+            accels: vec![AccelId(2 * workload), AccelId(2 * workload + 1)].into(),
         }
     }
 

@@ -520,7 +520,9 @@ pub fn run_elastic_with_cache(
                 .map(|p| p.qps.max(0.0))
                 .collect();
             let reason = if pool_changed {
-                TriggerReason::TopologyChanged { down: sim.down() }
+                TriggerReason::TopologyChanged {
+                    down: sim.down().to_vec(),
+                }
             } else {
                 TriggerReason::PhaseBoundary { phase }
             };
@@ -634,7 +636,7 @@ fn reconfigure(
     sub_caches: &mut BTreeMap<Vec<AccelId>, InnerSearchCache>,
     r: Reschedule<'_>,
 ) -> Result<(), ElasticError> {
-    let down = sim.down();
+    let down = sim.down().to_vec();
     // A recovery move: the incumbent parks a workload on a dead accelerator.
     // Such a placement serves nothing, so the migration budget must not be
     // allowed to veto the move off it.

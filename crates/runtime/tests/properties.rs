@@ -78,7 +78,7 @@ proptest! {
                 met_sla: (completed as f64 * met_ratio).round() as usize,
                 busy_seconds: busy_fraction * window * k as f64,
                 free_at: 0.0,
-                accels: vec![AccelId(0), AccelId(1)],
+                accels: vec![AccelId(0), AccelId(1)].into(),
             }]
         };
         let snap_at = |k: usize| SimSnapshot {
@@ -118,7 +118,7 @@ proptest! {
                     met_sla: 0,
                     busy_seconds: 0.0,
                     free_at: 0.0,
-                    accels: vec![AccelId(0)],
+                    accels: vec![AccelId(0)].into(),
                 }],
                 accel_busy: vec![(AccelId(0), 0.0)],
                 down: vec![],
@@ -135,7 +135,7 @@ proptest! {
                         met_sla: cumulative * met_per_mille as usize / 1000,
                         busy_seconds: 0.1 * (k + 1) as f64,
                         free_at: 0.0,
-                        accels: vec![AccelId(0)],
+                        accels: vec![AccelId(0)].into(),
                     }],
                     accel_busy: vec![(AccelId(0), 0.1 * (k + 1) as f64)],
                     down: vec![],

@@ -1,0 +1,290 @@
+//! Fleet-scale serving: synthetic placements for the
+//! [`MixZoo::fleet`](mars_model::zoo::MixZoo::fleet) scenario and the
+//! partition-sharded simulation that runs it across worker threads.
+//!
+//! Lanes never interact — each workload owns a disjoint accelerator
+//! partition, and faults/restores address accelerators, not lanes — so the
+//! simulation decomposes exactly: partition the lanes into contiguous
+//! shards, run each shard as an independent [`SimState`] on the
+//! `mars-parallel` worker pool, and merge the shard outputs *in lane order*.
+//! Every per-lane figure is computed by the same float operations in the
+//! same order as the single-shard run, and the aggregate percentiles are
+//! recomputed from the concatenated raw samples, so the merged
+//! [`ServeReport`] is **bit-identical** to the unsharded one for every
+//! `MARS_THREADS` setting — the determinism contract the equivalence suite
+//! (`tests/fleet_sim_equivalence.rs`) pins.
+
+use crate::sim::{
+    percentile_ms, FaultPolicy, ServeConfig, ServeError, ServeReport, SimState, WorkloadServeStats,
+};
+use crate::trace::Trace;
+use mars_core::{CoScheduleResult, Mapping, Placement, SearchResult};
+use mars_model::zoo::FleetSpec;
+use mars_model::{FaultEvent, FaultKind, TrafficProfile};
+use mars_parallel::{resolve_threads, scoped_map, threads_from_env};
+use mars_topology::AccelId;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Builds the synthetic co-schedule of a [`FleetSpec`]: workload `w` runs on
+/// the two-accelerator partition `{2w, 2w + 1}` at the spec's per-inference
+/// latency, with no search behind the mapping (searching placements for 144
+/// workloads would dwarf the serving experiment; the spec's fault schedule
+/// already assumes this accelerator numbering).
+///
+/// ```
+/// use mars_model::zoo::MixZoo;
+/// use mars_serve::fleet_co_schedule;
+///
+/// let co = fleet_co_schedule(&MixZoo::fleet());
+/// assert_eq!(co.placements.len(), 144);
+/// let accels: usize = co.placements.iter().map(|p| p.accels.len()).sum();
+/// assert!(accels >= 64, "fleet pool spans 64+ accelerators");
+/// ```
+pub fn fleet_co_schedule(spec: &FleetSpec) -> CoScheduleResult {
+    let placements: Vec<Placement> = spec
+        .names
+        .iter()
+        .enumerate()
+        .map(|(w, name)| Placement {
+            workload: w,
+            name: name.clone(),
+            weight: spec.weights[w],
+            batch: 1,
+            accels: vec![AccelId(2 * w), AccelId(2 * w + 1)],
+            result: SearchResult {
+                mapping: Mapping::new(Vec::new(), BTreeMap::new(), spec.latencies_seconds[w]),
+                history: Vec::new(),
+                evaluations: 0,
+                elapsed: Duration::ZERO,
+            },
+        })
+        .collect();
+    CoScheduleResult {
+        placements,
+        makespan_seconds: 0.0,
+        weighted_makespan_seconds: 0.0,
+        sequential_makespan_seconds: 0.0,
+        sequential_weighted_makespan_seconds: 0.0,
+        outer_history: Vec::new(),
+        outer_evaluations: 0,
+        inner_searches: 0,
+        elapsed: Duration::ZERO,
+    }
+}
+
+/// What one shard hands back for the deterministic merge.
+struct ShardOut {
+    stats: Vec<WorkloadServeStats>,
+    latencies: Vec<Vec<f64>>,
+    accel_busy: Vec<(AccelId, f64)>,
+}
+
+/// [`simulate`](crate::simulate), sharded by accelerator partition across
+/// the `MARS_THREADS` worker pool.  Bit-identical to the unsharded run at
+/// every thread count (see the module docs).
+///
+/// # Errors
+///
+/// Rejects exactly the inputs [`SimState::new`] rejects.
+pub fn simulate_sharded(
+    co: &CoScheduleResult,
+    profiles: &[TrafficProfile],
+    trace: &Trace,
+    config: &ServeConfig,
+) -> Result<ServeReport, ServeError> {
+    simulate_sharded_with_faults(
+        co,
+        profiles,
+        trace,
+        config,
+        &[],
+        FaultPolicy::RequeueInflight,
+    )
+}
+
+/// [`simulate_sharded`] with a hardware-fault schedule: each
+/// [`FaultEvent`] is applied at its instant (`AccelDown` →
+/// [`SimState::fail_accel`] under `fault_policy`, `AccelRestored` →
+/// [`SimState::restore_accel`]; `LinkDegraded` has no serving-level
+/// analogue and is ignored, as in the elastic runtime's recovery path the
+/// co-scheduler handles it).  Equivalent to driving one [`SimState`] through
+/// the same `run_until`/fault sequence — bit-identically, at every
+/// `MARS_THREADS` setting.
+///
+/// # Errors
+///
+/// Rejects exactly the inputs [`SimState::new`] rejects.
+pub fn simulate_sharded_with_faults(
+    co: &CoScheduleResult,
+    profiles: &[TrafficProfile],
+    trace: &Trace,
+    config: &ServeConfig,
+    faults: &[FaultEvent],
+    fault_policy: FaultPolicy,
+) -> Result<ServeReport, ServeError> {
+    let k = co.placements.len();
+    if profiles.len() != k || trace.arrivals.len() != k {
+        return Err(ServeError::ShapeMismatch {
+            placements: k,
+            profiles: profiles.len(),
+            streams: trace.arrivals.len(),
+        });
+    }
+    if k == 0 {
+        // No lanes to shard; keep the unsharded path's validation behaviour.
+        let mut sim = SimState::new(co, profiles, trace, config)?;
+        drive_faults(&mut sim, faults, fault_policy);
+        return Ok(sim.finish());
+    }
+
+    let threads = threads_from_env();
+    let workers = resolve_threads(threads).min(k);
+    let shard_size = k.div_ceil(workers).max(1);
+    let shards: Vec<(usize, usize)> = (0..k)
+        .step_by(shard_size)
+        .map(|lo| (lo, (lo + shard_size).min(k)))
+        .collect();
+
+    let outputs: Vec<Result<ShardOut, ServeError>> =
+        scoped_map(threads, &shards, |_, &(lo, hi)| {
+            // A shard is a sub-problem in its own right: the lanes' slice of
+            // the placements, profiles and arrival streams.  Lane `w` of the
+            // shard is global lane `lo + w`.
+            let sub_co = CoScheduleResult {
+                placements: co.placements[lo..hi].to_vec(),
+                makespan_seconds: 0.0,
+                weighted_makespan_seconds: 0.0,
+                sequential_makespan_seconds: 0.0,
+                sequential_weighted_makespan_seconds: 0.0,
+                outer_history: Vec::new(),
+                outer_evaluations: 0,
+                inner_searches: 0,
+                elapsed: Duration::ZERO,
+            };
+            let sub_trace = Trace {
+                horizon_seconds: trace.horizon_seconds,
+                arrivals: trace.arrivals[lo..hi].to_vec(),
+            };
+            let mut sim = SimState::new(&sub_co, &profiles[lo..hi], &sub_trace, config)?;
+            drive_faults(&mut sim, faults, fault_policy);
+            sim.run_until(trace.horizon_seconds);
+            let (stats, latencies, accel_busy) = sim.into_shard_parts();
+            Ok(ShardOut {
+                stats,
+                latencies,
+                accel_busy,
+            })
+        });
+
+    // Deterministic merge, in shard (= global lane) order.
+    let mut per_workload: Vec<WorkloadServeStats> = Vec::with_capacity(k);
+    let mut all: Vec<f64> = Vec::new();
+    let mut busy: BTreeMap<AccelId, f64> = BTreeMap::new();
+    for (&(lo, _), out) in shards.iter().zip(outputs) {
+        let out = out?;
+        for (local, mut stats) in out.stats.into_iter().enumerate() {
+            stats.workload = lo + local;
+            per_workload.push(stats);
+        }
+        for lane in out.latencies {
+            all.extend(lane);
+        }
+        // Partitions are disjoint, so each accelerator's busy total comes
+        // whole from exactly one shard — no cross-shard float addition.
+        for (a, b) in out.accel_busy {
+            *busy.entry(a).or_insert(0.0) += b;
+        }
+    }
+    let horizon = trace.horizon_seconds;
+    let utilization: Vec<(AccelId, f64)> =
+        busy.into_iter().map(|(a, b)| (a, b / horizon)).collect();
+    Ok(ServeReport {
+        policy: config.policy,
+        horizon_seconds: horizon,
+        total_requests: per_workload.iter().map(|s| s.requests).sum(),
+        completed: per_workload.iter().map(|s| s.completed).sum(),
+        goodput: per_workload.iter().map(|s| s.met_sla).sum(),
+        p50_ms: percentile_ms(&mut all, 0.50),
+        p95_ms: percentile_ms(&mut all, 0.95),
+        p99_ms: percentile_ms(&mut all, 0.99),
+        per_workload,
+        utilization,
+    })
+}
+
+/// Applies a fault schedule to a simulation: advance to each event's instant,
+/// then fail or restore the accelerator.  Fault instants are visited in the
+/// given order ([`PhasedTraffic`](mars_model::PhasedTraffic) validation
+/// guarantees non-decreasing times).
+fn drive_faults(sim: &mut SimState, faults: &[FaultEvent], fault_policy: FaultPolicy) {
+    for fault in faults {
+        sim.run_until(fault.at_seconds);
+        match fault.kind {
+            FaultKind::AccelDown { accel } => {
+                sim.fail_accel(AccelId(accel), fault_policy);
+            }
+            FaultKind::AccelRestored { accel } => sim.restore_accel(AccelId(accel)),
+            FaultKind::LinkDegraded { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::DispatchPolicy;
+    use mars_model::zoo::MixZoo;
+
+    #[test]
+    fn fleet_spec_and_schedule_are_consistent() {
+        let fleet = MixZoo::fleet();
+        fleet.traffic.validate().unwrap();
+        let co = fleet_co_schedule(&fleet);
+        assert_eq!(co.placements.len(), fleet.names.len());
+        // Disjoint two-accelerator partitions numbered 0..2k.
+        let mut seen = std::collections::BTreeSet::new();
+        for (w, p) in co.placements.iter().enumerate() {
+            assert_eq!(p.accels, vec![AccelId(2 * w), AccelId(2 * w + 1)]);
+            assert!(p.accels.iter().all(|&a| seen.insert(a)));
+        }
+        assert!(seen.len() >= 64, "fleet spans 64+ accelerators");
+        // Fault accel ids stay inside the synthesized pool.
+        assert!(fleet.traffic.max_fault_accel().unwrap() < seen.len());
+    }
+
+    #[test]
+    fn sharded_no_fault_run_matches_simulate_bit_for_bit() {
+        let fleet = MixZoo::fleet();
+        let co = fleet_co_schedule(&fleet);
+        let profiles = fleet.traffic.phases[0].profiles.clone();
+        let trace = Trace::phased(&fleet.traffic, 42).unwrap();
+        let config = ServeConfig::new(DispatchPolicy::SlaWeighted);
+        let sharded = simulate_sharded(&co, &profiles, &trace, &config).unwrap();
+        let single = crate::sim::simulate(&co, &profiles, &trace, &config).unwrap();
+        assert_eq!(sharded, single);
+        assert!(sharded.total_requests > 0);
+    }
+
+    #[test]
+    fn sharded_fault_run_matches_a_hand_driven_sim_state() {
+        let fleet = MixZoo::fleet();
+        let co = fleet_co_schedule(&fleet);
+        let profiles = fleet.traffic.phases[0].profiles.clone();
+        let trace = Trace::phased(&fleet.traffic, 7).unwrap();
+        let config = ServeConfig::new(DispatchPolicy::EarliestDeadline);
+        let faults = &fleet.traffic.faults;
+        let sharded = simulate_sharded_with_faults(
+            &co,
+            &profiles,
+            &trace,
+            &config,
+            faults,
+            FaultPolicy::RequeueInflight,
+        )
+        .unwrap();
+        let mut sim = SimState::new(&co, &profiles, &trace, &config).unwrap();
+        drive_faults(&mut sim, faults, FaultPolicy::RequeueInflight);
+        assert_eq!(sharded, sim.finish());
+    }
+}

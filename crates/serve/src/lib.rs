@@ -50,10 +50,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod calendar;
+mod fleet;
+pub mod reference;
 mod report;
 mod sim;
 mod trace;
 
+pub use fleet::{fleet_co_schedule, simulate_sharded, simulate_sharded_with_faults};
 pub use report::render_serve;
 pub use sim::{
     simulate, BatchEvent, DispatchPolicy, FaultPolicy, LaneSnapshot, ServeConfig, ServeError,

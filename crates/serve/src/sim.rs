@@ -31,11 +31,13 @@
 //! trace, config)` — no wall clock, no global RNG — so its [`ServeReport`]
 //! is bit-identical across `MARS_THREADS` settings and repeat runs.
 
+use crate::arena::RequestArena;
+use crate::calendar::CalendarQueue;
 use crate::trace::Trace;
 use mars_core::CoScheduleResult;
 use mars_model::TrafficProfile;
 use mars_topology::AccelId;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// When the batcher hands an accumulated batch to its partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -361,7 +363,7 @@ impl ServeReport {
 ///
 /// `q` is clamped into `[0, 1]`; `q = 0` means "the smallest sample" (rank
 /// is floored at 1).
-fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
+pub(crate) fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
     match latencies.len() {
         0 => 0.0,
         1 => latencies[0] * 1e3,
@@ -408,8 +410,11 @@ pub struct LaneSnapshot {
     /// When the partition finishes its current in-flight batch (`<= now`
     /// when idle).
     pub free_at: f64,
-    /// The accelerators currently backing the lane.
-    pub accels: Vec<AccelId>,
+    /// The accelerators currently backing the lane (shared with the live
+    /// lane state — snapshots are allocation-free here; placements are
+    /// replaced wholesale, never mutated in place, so the shared slice is
+    /// immutable).
+    pub accels: Arc<[AccelId]>,
 }
 
 /// A consistent observation of the whole simulation at the current clock.
@@ -427,9 +432,18 @@ pub struct SimSnapshot {
     pub down: Vec<AccelId>,
 }
 
-/// One workload's single-server batching lane inside a [`SimState`].
+/// One workload's single-server batching lane inside a [`SimState`], in the
+/// fleet-scale representation: request state lives in a struct-of-arrays
+/// [`RequestArena`] (contiguous id spans instead of id queues and per-batch
+/// member vectors) and the accelerator subset is a shared `Arc` slice so
+/// snapshots are allocation-free.
+///
+/// The decision arithmetic (`decide`/`dispatch`/`revoke_inflight`) is kept
+/// *expression-for-expression* identical to the legacy loop preserved in
+/// [`crate::reference`]: the equivalence suite demands bit-identical reports,
+/// and float associativity makes even a re-parenthesisation observable.
 #[derive(Debug, Clone)]
-struct LaneState {
+struct Lane {
     workload: usize,
     name: String,
     /// SLA weight of the placement (drives [`DispatchPolicy::SlaWeighted`]).
@@ -439,17 +453,17 @@ struct LaneState {
     /// Absolute deadline budget for *newly enqueued* requests, seconds after
     /// arrival.
     sla_seconds: f64,
-    /// The accelerators currently backing the lane (for busy attribution).
-    accels: Vec<AccelId>,
-    /// The full arrival stream (immutable).
-    arrivals: Vec<f64>,
-    /// Deadline of request `i`, assigned when the request is enqueued (so a
-    /// re-placement changes budgets for *future* arrivals only); always
-    /// `deadlines.len() == next`.
-    deadlines: Vec<f64>,
-    queue: VecDeque<usize>,
-    /// First request not yet enqueued.
-    next: usize,
+    /// The accelerators currently backing the lane (for busy attribution);
+    /// shared with every snapshot taken while this placement is in force.
+    accels: Arc<[AccelId]>,
+    /// Indices of this lane's accelerators in the state's sorted
+    /// `accel_busy` vector (parallel to `accels`), so busy attribution on
+    /// the dispatch hot path is two array adds instead of map lookups.
+    /// Recomputed whenever a placement swap can grow the accelerator set.
+    busy_slots: Vec<u32>,
+    /// Struct-of-arrays request state (arrivals, deadlines, queue and
+    /// in-flight spans, latency samples).
+    arena: RequestArena,
     /// When the partition finishes its current batch.
     free: f64,
     busy: f64,
@@ -457,80 +471,77 @@ struct LaneState {
     dispatched: usize,
     completed: usize,
     met_sla: usize,
-    latencies: Vec<f64>,
-    /// Members of the most recent dispatch, kept until its finish instant
-    /// passes so an accelerator failure can revoke the batch mid-flight.
-    inflight: Vec<usize>,
-    /// Finish instant of the most recent dispatch (`0` before the first);
-    /// the batch is in flight exactly while this lies past the clock.
+    /// Finish instant of the most recent dispatch (`0` before the first).
     inflight_finish: f64,
+    /// Generation counter: a queued wake event whose `seq` is older than
+    /// this is stale and discarded on pop (mutations bump it instead of
+    /// searching the queue).
+    seq: u32,
+    /// `true` while exactly one live (current-`seq`) event for this lane is
+    /// queued.
+    armed: bool,
+    /// `true` when the live event's time is the lane's *exact* next dispatch
+    /// instant (the `decide(horizon)` fixpoint), not just a lower bound.
+    exact: bool,
+    /// `true` when a mutation invalidated the lane's event since it was last
+    /// advanced.
+    dirty: bool,
 }
 
-impl LaneState {
-    fn enqueue_next(&mut self) {
-        self.deadlines
-            .push(self.arrivals[self.next] + self.sla_seconds);
-        self.queue.push_back(self.next);
-        self.next += 1;
-    }
-
+impl Lane {
     /// Computes the next batch's launch instant, pulling every arrival that
     /// joins before it (and strictly before `bound`) into the queue first.
     ///
-    /// Returns `None` when nothing can launch before `bound`: the stream is
-    /// exhausted, or the next arrival is at or past `bound`.  The decision
-    /// is a fixpoint of (queue, next, free): calling it again — in a later
-    /// segment, with a larger bound — resumes the identical computation, so
-    /// segmented runs reproduce the uninterrupted run bit for bit.
+    /// Returns `None` when nothing can launch before `bound`.  The decision
+    /// is a fixpoint of the arena spans and `free`: calling it again — in a
+    /// later segment, with a larger bound — resumes the identical
+    /// computation, so segmented runs reproduce the uninterrupted run bit
+    /// for bit.  (Identical arithmetic to the reference loop.)
     fn decide(&mut self, config: &ServeConfig, bound: f64) -> Option<f64> {
-        if self.queue.is_empty() {
-            if self.next >= self.arrivals.len() || self.arrivals[self.next] >= bound {
-                return None;
+        if self.arena.queue_len() == 0 {
+            match self.arena.next_arrival() {
+                Some(a) if a < bound => self.arena.enqueue_next(self.sla_seconds),
+                _ => return None,
             }
-            self.enqueue_next();
         }
         let overhead = config.dispatch_overhead_factor * self.latency;
         loop {
-            let head = self.queue[0];
-            let head_arrival = self.arrivals[head];
-            let b_now = self.queue.len().min(config.max_batch);
+            let head = self.arena.head().expect("queue non-empty");
+            let head_arrival = self.arena.arrival(head);
+            let q_len = self.arena.queue_len();
+            let b_now = q_len.min(config.max_batch);
             // `cost(b_now)`: what launching right now would take.
             let cost_now = overhead + b_now as f64 * self.latency;
             // Instant the batch fills from arrivals already known to come.
-            let fill = if self.queue.len() >= config.max_batch {
+            let fill = if q_len >= config.max_batch {
                 // Full already: ready the moment its newest member arrived.
-                self.arrivals[self.queue[config.max_batch - 1]]
+                self.arena.arrival(self.arena.queued(config.max_batch - 1))
             } else {
-                // need >= 1 here, and huge max_batch values (an effectively
-                // unbounded batch) must saturate, not overflow the index.
-                let need = config.max_batch - self.queue.len();
-                match self.arrivals.get(self.next.saturating_add(need - 1)) {
-                    Some(&a) => a,
-                    None => f64::INFINITY,
-                }
+                // need >= 1 here, and huge max_batch values must saturate.
+                let need = config.max_batch - q_len;
+                self.arena
+                    .lookahead_arrival(need - 1)
+                    .unwrap_or(f64::INFINITY)
             };
             // With zero slack the margin reduces exactly to the original
-            // `cost(b)` / `cost(b) × weight` last-safe-instant expressions
-            // (the multiplication by 1.0 is a bit-exact identity).
+            // `cost(b)` / `cost(b) × weight` last-safe-instant expressions.
             let slack = 1.0 + config.deadline_slack_factor;
             let policy_t = match config.policy {
                 DispatchPolicy::Fifo => head_arrival + config.batch_timeout_seconds,
-                DispatchPolicy::EarliestDeadline => self.deadlines[head] - cost_now * slack,
+                DispatchPolicy::EarliestDeadline => self.arena.deadline(head) - cost_now * slack,
                 // Heavier SLA weight → larger margin before the deadline.
                 DispatchPolicy::SlaWeighted => {
-                    self.deadlines[head] - cost_now * (self.weight.max(1.0) * slack)
+                    self.arena.deadline(head) - cost_now * (self.weight.max(1.0) * slack)
                 }
             };
             let start = fill.min(policy_t).max(self.free).max(head_arrival);
             // Requests arriving by the launch instant join the queue first
             // (and may move the launch decision — recompute).  Arrivals at
-            // or past `bound` stay un-enqueued: if `start < bound` they can
-            // never be `<= start`, and otherwise the dispatch belongs to a
-            // later segment, whose own `decide` will pull them (with the
-            // service parameters in force *then*).
-            if let Some(&a) = self.arrivals.get(self.next) {
+            // or past `bound` stay un-enqueued; a later segment's own
+            // `decide` pulls them with the service parameters in force then.
+            if let Some(a) = self.arena.next_arrival() {
                 if a <= start && a < bound {
-                    self.enqueue_next();
+                    self.arena.enqueue_next(self.sla_seconds);
                     continue;
                 }
             }
@@ -539,28 +550,23 @@ impl LaneState {
     }
 
     /// Launches the batch decided at `start`, updating all lane accounting.
+    /// Allocation-free: the batch is the arena's in-flight span.
     fn dispatch(&mut self, config: &ServeConfig, horizon: f64, start: f64) -> BatchEvent {
         let overhead = config.dispatch_overhead_factor * self.latency;
-        let mut batch: Vec<usize> = Vec::new();
-        while batch.len() < config.max_batch
-            && self
-                .queue
-                .front()
-                .is_some_and(|&i| self.arrivals[i] <= start)
-        {
-            batch.push(self.queue.pop_front().expect("front checked"));
-        }
+        let size = self.arena.take_batch(start, config.max_batch);
         // Parenthesised as cost-then-add: bit-compatible with the original
-        // run-to-completion loop's `start + cost(b)` (associativity changes
-        // here would flip borderline deadline comparisons).
-        let finish = start + (overhead + batch.len() as f64 * self.latency);
+        // loop's `start + cost(b)` (associativity changes here would flip
+        // borderline deadline comparisons).
+        let finish = start + (overhead + size as f64 * self.latency);
         if finish <= horizon {
             // In-flight-at-horizon batches never complete inside the
             // simulation, so only finished batches contribute samples.
-            for &i in &batch {
+            let first = self.arena.inflight_start();
+            for i in first..first + size {
                 self.completed += 1;
-                self.latencies.push(finish - self.arrivals[i]);
-                if finish <= self.deadlines[i] {
+                let sample = finish - self.arena.arrival(i);
+                self.arena.push_latency(sample);
+                if finish <= self.arena.deadline(i) {
                     self.met_sla += 1;
                 }
             }
@@ -568,9 +574,7 @@ impl LaneState {
         self.busy += finish.min(horizon) - start;
         self.free = finish;
         self.batches += 1;
-        self.dispatched += batch.len();
-        let size = batch.len();
-        self.inflight = batch;
+        self.dispatched += size;
         self.inflight_finish = finish;
         BatchEvent {
             workload: self.workload,
@@ -581,47 +585,45 @@ impl LaneState {
     }
 
     /// Undoes the most recent dispatch because its accelerator died at
-    /// `clock` (strictly before the batch's finish): completion/SLA/latency
-    /// accounting is reverted, the partition's busy time is cut back to the
-    /// failure instant, and the batch's members are requeued or lost per
-    /// `policy`.  Returns the busy-seconds delta (non-positive) so the
-    /// caller can fix per-accelerator attribution.
+    /// `clock` (strictly before the batch's finish).  Returns the
+    /// busy-seconds delta (non-positive) so the caller can fix per-
+    /// accelerator attribution.  With contiguous spans the requeue is an
+    /// integer rewind instead of front-pushing ids.
     fn revoke_inflight(&mut self, clock: f64, horizon: f64, policy: FaultPolicy) -> f64 {
         let finish = self.inflight_finish;
         debug_assert!(finish > clock);
+        let len = self.arena.inflight_len();
         if finish <= horizon {
             // `dispatch` counted these at launch; the batch never finishes.
-            for &i in &self.inflight {
+            let first = self.arena.inflight_start();
+            for i in first..first + len {
                 self.completed -= 1;
-                if finish <= self.deadlines[i] {
+                if finish <= self.arena.deadline(i) {
                     self.met_sla -= 1;
                 }
             }
-            self.latencies
-                .truncate(self.latencies.len() - self.inflight.len());
+            self.arena.truncate_latencies(len);
         }
         let delta = clock.min(horizon) - finish.min(horizon);
         self.busy += delta;
         self.batches -= 1;
-        self.dispatched -= self.inflight.len();
+        self.dispatched -= len;
         self.free = clock;
         self.inflight_finish = clock;
-        let members = std::mem::take(&mut self.inflight);
         if policy == FaultPolicy::RequeueInflight {
-            // They were popped from the queue front in order; restore it.
-            for &i in members.iter().rev() {
-                self.queue.push_front(i);
-            }
+            self.arena.requeue_inflight();
+        } else {
+            self.arena.drop_inflight();
         }
         delta
     }
 
     fn stats(&self) -> WorkloadServeStats {
-        let mut sample = self.latencies.clone();
+        let mut sample = self.arena.latencies().to_vec();
         WorkloadServeStats {
             workload: self.workload,
             name: self.name.clone(),
-            requests: self.arrivals.len(),
+            requests: self.arena.total_requests(),
             completed: self.completed,
             met_sla: self.met_sla,
             batches: self.batches,
@@ -641,13 +643,13 @@ impl LaneState {
     fn snapshot(&self) -> LaneSnapshot {
         LaneSnapshot {
             workload: self.workload,
-            enqueued: self.next,
-            queued: self.queue.len(),
+            enqueued: self.arena.enqueued(),
+            queued: self.arena.queue_len(),
             completed: self.completed,
             met_sla: self.met_sla,
             busy_seconds: self.busy,
             free_at: self.free,
-            accels: self.accels.clone(),
+            accels: Arc::clone(&self.accels),
         }
     }
 }
@@ -661,6 +663,25 @@ impl LaneState {
 /// state is plain data, **checkpoint/restore is `Clone`**: cloning at any
 /// event boundary and resuming both copies reproduces the uninterrupted
 /// run's [`ServeReport`] bit for bit (pinned by this crate's tests).
+///
+/// # Fleet-scale engine
+///
+/// Since the fleet rewrite this state is event-driven rather than
+/// scan-driven: a bucketed [`CalendarQueue`] holds one *wake hint* per lane
+/// — a proven lower bound on the lane's next dispatch instant — so
+/// `run_until` touches only the lanes that can actually act before the
+/// bound, and `step` pops the globally-earliest dispatch instead of
+/// re-deciding every lane.  Request bookkeeping is a struct-of-arrays
+/// [`RequestArena`] per lane (no per-batch allocations).  The retired
+/// linear-scan loop survives verbatim in [`crate::reference`] as the
+/// differential oracle; `tests/fleet_sim_equivalence.rs` pins the two
+/// engines bit-identical across every bundled mix, policy and fault
+/// scenario.
+///
+/// Like the legacy loop, the engine assumes the co-schedule's partitions are
+/// **disjoint** (each accelerator backs at most one lane at a time) — the
+/// invariant the co-scheduler guarantees — so lanes never interact except
+/// through explicit faults and re-placements.
 ///
 /// The elastic runtime (`mars-runtime`) builds directly on the resumable
 /// surface: it interleaves `run_until` with [`snapshot`](SimState::snapshot)
@@ -689,14 +710,24 @@ pub struct SimState {
     config: ServeConfig,
     horizon: f64,
     clock: f64,
-    lanes: Vec<LaneState>,
-    /// Cumulative busy seconds per accelerator (keyed so re-placements keep
-    /// attributing to whichever accelerators were backing the lane at
-    /// dispatch time).
-    accel_busy: BTreeMap<AccelId, f64>,
-    /// The accelerators currently failed; a lane whose subset intersects
-    /// this set cannot dispatch.
-    down: BTreeSet<AccelId>,
+    lanes: Vec<Lane>,
+    /// Cumulative busy seconds per accelerator, sorted by id (so
+    /// re-placements keep attributing to whichever accelerators were backing
+    /// the lane at dispatch time).  A sorted `Vec` rather than an ordered
+    /// map: lanes cache their accelerators' slots (`Lane::busy_slots`) and
+    /// the dispatch hot path indexes straight into it.
+    accel_busy: Vec<(AccelId, f64)>,
+    /// The accelerators currently failed, kept sorted — the cached state
+    /// [`down`](SimState::down) borrows (no per-call allocation).
+    down: Vec<AccelId>,
+    /// The calendar of per-lane wake events.
+    events: CalendarQueue,
+    /// Lanes mutated since their last advance (deduplicated via
+    /// `Lane::dirty`), processed before the calendar on the next advance.
+    dirty: Vec<u32>,
+    /// `true` when some lane's event is a hint (or missing after a
+    /// mutation), so [`step`](SimState::step) must refine before popping.
+    needs_refine: bool,
 }
 
 impl SimState {
@@ -753,36 +784,39 @@ impl SimState {
             }
         }
 
-        let mut accel_busy = BTreeMap::new();
-        let lanes = co
+        let ids: std::collections::BTreeSet<AccelId> = co
+            .placements
+            .iter()
+            .flat_map(|p| p.accels.iter().copied())
+            .collect();
+        let accel_busy: Vec<(AccelId, f64)> = ids.into_iter().map(|a| (a, 0.0)).collect();
+        let lanes: Vec<Lane> = co
             .placements
             .iter()
             .enumerate()
             .map(|(w, placement)| {
-                for &a in &placement.accels {
-                    accel_busy.entry(a).or_insert(0.0);
-                }
                 let latency = placement.result.mapping.latency_seconds;
-                LaneState {
+                Lane {
                     workload: w,
                     name: placement.name.clone(),
                     weight: placement.weight,
                     latency,
                     sla_seconds: profiles[w].sla_factor * latency,
-                    accels: placement.accels.clone(),
-                    arrivals: trace.arrivals[w].clone(),
-                    deadlines: Vec::new(),
-                    queue: VecDeque::new(),
-                    next: 0,
+                    accels: placement.accels.clone().into(),
+                    busy_slots: busy_slots_of(&accel_busy, &placement.accels),
+                    arena: RequestArena::new(trace.arrivals[w].clone().into()),
                     free: 0.0,
                     busy: 0.0,
                     batches: 0,
                     dispatched: 0,
                     completed: 0,
                     met_sla: 0,
-                    latencies: Vec::new(),
-                    inflight: Vec::new(),
                     inflight_finish: 0.0,
+                    seq: 0,
+                    armed: false,
+                    exact: false,
+                    // Every lane starts dirty: the first advance arms it.
+                    dirty: true,
                 }
             })
             .collect();
@@ -790,9 +824,12 @@ impl SimState {
             config: *config,
             horizon,
             clock: 0.0,
+            events: CalendarQueue::for_horizon(horizon, k, 8),
+            dirty: (0..k as u32).collect(),
+            needs_refine: true,
             lanes,
             accel_busy,
-            down: BTreeSet::new(),
+            down: Vec::new(),
         })
     }
 
@@ -810,20 +847,79 @@ impl SimState {
     /// strictly before `min(t, horizon)`.  Idempotent for non-increasing
     /// `t`; a sequence of `run_until` calls with increasing bounds is bit-
     /// identical to one call with the final bound.
+    ///
+    /// Cost is proportional to the lanes that actually act before the bound
+    /// (plus lanes touched by mutations since the last advance) — idle lanes
+    /// sleep in the calendar instead of being re-scanned.
     pub fn run_until(&mut self, t: f64) {
         let bound = t.min(self.horizon).max(self.clock);
-        for w in 0..self.lanes.len() {
+        // Mutated lanes first: their events were invalidated, so they are
+        // advanced directly (the legacy scan also re-decided them here).
+        let dirty = std::mem::take(&mut self.dirty);
+        for w in dirty {
+            let w = w as usize;
+            if !self.lanes[w].dirty {
+                continue;
+            }
+            self.lanes[w].dirty = false;
             if self.lane_blocked(w) {
                 continue;
             }
-            while let Some(start) = self.lanes[w].decide(&self.config, bound) {
-                if start >= bound {
-                    break;
-                }
-                self.dispatch_lane(w, start);
+            self.advance_lane(w, bound);
+        }
+        // Then the calendar: every wake hint strictly before the bound.  A
+        // hint is a proven lower bound on the lane's next dispatch, so a
+        // lane whose event lies at or past `bound` provably does nothing in
+        // this segment — including pulling arrivals — exactly like the
+        // legacy scan's no-op `decide` on it.
+        while let Some(ev) = self.events.peek_min() {
+            if ev.time >= bound {
+                break;
             }
+            self.events.pop_min();
+            let w = ev.lane as usize;
+            if ev.seq != self.lanes[w].seq {
+                continue; // stale: superseded by a mutation
+            }
+            self.lanes[w].armed = false;
+            if self.lane_blocked(w) {
+                continue; // re-armed by the restore / re-placement
+            }
+            self.advance_lane(w, bound);
         }
         self.clock = bound;
+        self.needs_refine = true;
+    }
+
+    /// Runs lane `w`'s decide/dispatch loop up to `bound` (the legacy
+    /// per-lane inner loop, verbatim), then re-arms its wake event.
+    fn advance_lane(&mut self, w: usize, bound: f64) {
+        let last = loop {
+            match self.lanes[w].decide(&self.config, bound) {
+                Some(start) if start < bound => {
+                    self.dispatch_lane(w, start);
+                }
+                other => break other,
+            }
+        };
+        // Wake hint: the lane cannot dispatch before `min(start, next
+        // arrival)` — pulling future arrivals can only move the decision
+        // earlier via arrivals at or past this segment's bound, and with no
+        // new pulls the decision is exactly `start`.  `None` means an empty
+        // queue: nothing happens before the next arrival.  Streams whose
+        // hint reaches the horizon can never dispatch again (arrivals all
+        // lie inside the horizon), so they stay un-armed.
+        let next_arrival = self.lanes[w].arena.next_arrival().unwrap_or(f64::INFINITY);
+        let hint = match last {
+            Some(start) => start.min(next_arrival),
+            None => next_arrival,
+        };
+        if hint < self.horizon {
+            let lane = &mut self.lanes[w];
+            lane.armed = true;
+            lane.exact = false;
+            self.events.insert(hint, w as u32, lane.seq);
+        }
     }
 
     /// Dispatches the single globally-earliest pending batch (ties resolve
@@ -831,20 +927,69 @@ impl SimState {
     /// it; `None` when no batch can ever launch inside the horizon.  This
     /// is the finest event granularity — the boundary the checkpoint test
     /// clones at.
+    ///
+    /// The first `step` after construction, a `run_until`, or a mutation
+    /// refines every candidate lane's wake hint into its exact next
+    /// dispatch instant (one `decide` per lane); subsequent steps pop the
+    /// calendar's minimum and re-decide only the lane that dispatched,
+    /// instead of the legacy loop's full re-scan on every event.
     pub fn step(&mut self) -> Option<BatchEvent> {
-        let mut earliest: Option<(usize, f64)> = None;
+        if self.needs_refine {
+            self.refine_all();
+            self.needs_refine = false;
+        }
+        loop {
+            let ev = self.events.pop_min()?;
+            let w = ev.lane as usize;
+            if ev.seq != self.lanes[w].seq {
+                continue; // stale
+            }
+            self.lanes[w].armed = false;
+            debug_assert!(self.lanes[w].exact, "refined queue holds exact events");
+            debug_assert!(!self.lane_blocked(w), "blocked lanes are never armed exact");
+            // The event's time *is* the dispatch instant: `refine_all` /
+            // `arm_exact` computed it as the lane's `decide(horizon)`
+            // fixpoint, and nothing that invalidates it (mutations, a
+            // `run_until` advance) leaves the event live.
+            let event = self.dispatch_lane(w, ev.time);
+            self.arm_exact(w);
+            return Some(event);
+        }
+    }
+
+    /// Replaces every hint (and every dirtied lane's missing event) with the
+    /// lane's exact next dispatch instant, so the calendar's minimum is the
+    /// true global minimum with the legacy `(time, lane)` tie-break.
+    fn refine_all(&mut self) {
         for w in 0..self.lanes.len() {
+            let lane = &mut self.lanes[w];
+            if lane.dirty {
+                lane.dirty = false; // mutations already un-armed the lane
+            } else if lane.armed && !lane.exact {
+                lane.seq = lane.seq.wrapping_add(1); // stale the hint
+                lane.armed = false;
+            } else {
+                continue; // exact already, or provably inactive
+            }
             if self.lane_blocked(w) {
                 continue;
             }
-            if let Some(start) = self.lanes[w].decide(&self.config, self.horizon) {
-                if start < self.horizon && earliest.is_none_or(|(_, s)| start < s) {
-                    earliest = Some((w, start));
-                }
+            self.arm_exact(w);
+        }
+        self.dirty.clear();
+    }
+
+    /// Arms lane `w` with its exact next dispatch instant (the
+    /// `decide(horizon)` fixpoint), if one exists inside the horizon.
+    fn arm_exact(&mut self, w: usize) {
+        if let Some(start) = self.lanes[w].decide(&self.config, self.horizon) {
+            if start < self.horizon {
+                let lane = &mut self.lanes[w];
+                lane.armed = true;
+                lane.exact = true;
+                self.events.insert(start, w as u32, lane.seq);
             }
         }
-        let (w, start) = earliest?;
-        Some(self.dispatch_lane(w, start))
     }
 
     fn dispatch_lane(&mut self, w: usize, start: f64) -> BatchEvent {
@@ -852,20 +997,21 @@ impl SimState {
         let before = lane.busy;
         let event = lane.dispatch(&self.config, self.horizon, start);
         let delta = lane.busy - before;
-        for &a in &lane.accels {
-            *self.accel_busy.entry(a).or_insert(0.0) += delta;
+        for &slot in &lane.busy_slots {
+            self.accel_busy[slot as usize].1 += delta;
         }
         event
     }
 
     /// Observes the current state (see [`SimSnapshot`]); does not advance
-    /// the simulation.
+    /// the simulation.  Cheap at fleet scale: per-lane accelerator lists are
+    /// shared (`Arc`), not copied.
     pub fn snapshot(&self) -> SimSnapshot {
         SimSnapshot {
             clock: self.clock,
-            lanes: self.lanes.iter().map(LaneState::snapshot).collect(),
-            accel_busy: self.accel_busy.iter().map(|(&a, &b)| (a, b)).collect(),
-            down: self.down.iter().copied().collect(),
+            lanes: self.lanes.iter().map(Lane::snapshot).collect(),
+            accel_busy: self.accel_busy.clone(),
+            down: self.down.clone(),
         }
     }
 
@@ -873,7 +1019,26 @@ impl SimState {
     /// failed set — the lane cannot dispatch until it is re-placed onto
     /// survivors or its accelerators are restored.
     fn lane_blocked(&self, w: usize) -> bool {
-        self.lanes[w].accels.iter().any(|a| self.down.contains(a))
+        self.lanes[w]
+            .accels
+            .iter()
+            .any(|a| self.down.binary_search(a).is_ok())
+    }
+
+    /// Marks lane `w` mutated: its queued event (if any) is staled and the
+    /// lane joins the dirty set processed by the next advance.
+    fn mark_dirty(&mut self, w: usize) {
+        let lane = &mut self.lanes[w];
+        if lane.armed {
+            lane.seq = lane.seq.wrapping_add(1);
+            lane.armed = false;
+            lane.exact = false;
+        }
+        if !lane.dirty {
+            lane.dirty = true;
+            self.dirty.push(w as u32);
+        }
+        self.needs_refine = true;
     }
 
     /// Fails accelerator `accel` at the current clock.  Any batch in flight
@@ -890,29 +1055,31 @@ impl SimState {
     /// calling this, so exactly the batches launched before the failure are
     /// affected.
     pub fn fail_accel(&mut self, accel: AccelId, policy: FaultPolicy) -> usize {
-        if !self.down.insert(accel) {
-            return 0;
+        match self.down.binary_search(&accel) {
+            Ok(_) => return 0,
+            Err(idx) => self.down.insert(idx, accel),
         }
         let clock = self.clock;
         let horizon = self.horizon;
         let mut interrupted = 0;
         for w in 0..self.lanes.len() {
-            let lane = &self.lanes[w];
-            // Only a genuinely running batch (launched before the failure,
-            // finishing after it) on a lane backed by the dead accelerator
-            // is revoked; `free` alone can sit in the future for other
-            // reasons (migration blocking).
-            if !lane.accels.contains(&accel)
-                || lane.inflight.is_empty()
-                || lane.inflight_finish <= clock
-            {
+            if !self.lanes[w].accels.contains(&accel) {
                 continue;
             }
-            interrupted += self.lanes[w].inflight.len();
+            // The lane just became blocked: silence its wake event.
+            self.mark_dirty(w);
+            let lane = &self.lanes[w];
+            // Only a genuinely running batch (launched before the failure,
+            // finishing after it) is revoked; `free` alone can sit in the
+            // future for other reasons (migration blocking).
+            if lane.arena.inflight_len() == 0 || lane.inflight_finish <= clock {
+                continue;
+            }
+            interrupted += self.lanes[w].arena.inflight_len();
             let delta = self.lanes[w].revoke_inflight(clock, horizon, policy);
             let lane = &self.lanes[w];
-            for &a in &lane.accels {
-                *self.accel_busy.entry(a).or_insert(0.0) += delta;
+            for &slot in &lane.busy_slots {
+                self.accel_busy[slot as usize].1 += delta;
             }
         }
         interrupted
@@ -922,21 +1089,27 @@ impl SimState {
     /// it unblocks resume dispatching from now (never retroactively inside
     /// the outage window).  Restoring a healthy accelerator is a no-op.
     pub fn restore_accel(&mut self, accel: AccelId) {
-        if !self.down.remove(&accel) {
-            return;
+        match self.down.binary_search(&accel) {
+            Ok(idx) => {
+                self.down.remove(idx);
+            }
+            Err(_) => return,
         }
         let clock = self.clock;
         for w in 0..self.lanes.len() {
             if self.lanes[w].accels.contains(&accel) && !self.lane_blocked(w) {
                 let lane = &mut self.lanes[w];
                 lane.free = lane.free.max(clock);
+                self.mark_dirty(w);
             }
         }
     }
 
-    /// The accelerators currently failed, sorted by id.
-    pub fn down(&self) -> Vec<AccelId> {
-        self.down.iter().copied().collect()
+    /// The accelerators currently failed, sorted by id — borrowed from the
+    /// cached down set (the drift monitor polls this every window; the
+    /// legacy `Vec`-building accessor allocated on every call).
+    pub fn down(&self) -> &[AccelId] {
+        &self.down
     }
 
     /// When every in-flight batch has finished: the latest lane `free`
@@ -984,11 +1157,21 @@ impl SimState {
         for (lane, placement) in self.lanes.iter_mut().zip(&co.placements) {
             lane.latency = placement.result.mapping.latency_seconds;
             lane.sla_seconds = sla_factors[lane.workload] * lane.latency;
-            lane.accels = placement.accels.clone();
+            lane.accels = placement.accels.clone().into();
             lane.free = lane.free.max(activate_at);
             for &a in &placement.accels {
-                self.accel_busy.entry(a).or_insert(0.0);
+                if let Err(idx) = self.accel_busy.binary_search_by_key(&a, |&(id, _)| id) {
+                    self.accel_busy.insert(idx, (a, 0.0));
+                }
             }
+        }
+        // New entries shift the sorted vector, so every lane's cached slots
+        // are recomputed (placement swaps are rare; dispatches are not).
+        for lane in &mut self.lanes {
+            lane.busy_slots = busy_slots_of(&self.accel_busy, &lane.accels);
+        }
+        for w in 0..self.lanes.len() {
+            self.mark_dirty(w);
         }
         Ok(())
     }
@@ -1019,6 +1202,9 @@ impl SimState {
         for (lane, &f) in self.lanes.iter_mut().zip(sla_factors) {
             lane.sla_seconds = f * lane.latency;
         }
+        for w in 0..self.lanes.len() {
+            self.mark_dirty(w);
+        }
         Ok(())
     }
 
@@ -1027,17 +1213,16 @@ impl SimState {
     /// [`run_until`](SimState::run_until)`(horizon)` — or use
     /// [`finish`](SimState::finish) — for the complete-run report.
     pub fn report(&self) -> ServeReport {
-        let per_workload: Vec<WorkloadServeStats> =
-            self.lanes.iter().map(LaneState::stats).collect();
+        let per_workload: Vec<WorkloadServeStats> = self.lanes.iter().map(Lane::stats).collect();
         let mut all: Vec<f64> = self
             .lanes
             .iter()
-            .flat_map(|l| l.latencies.iter().copied())
+            .flat_map(|l| l.arena.latencies().iter().copied())
             .collect();
         let utilization: Vec<(AccelId, f64)> = self
             .accel_busy
             .iter()
-            .map(|(&a, &busy)| (a, busy / self.horizon))
+            .map(|&(a, busy)| (a, busy / self.horizon))
             .collect();
         ServeReport {
             policy: self.config.policy,
@@ -1058,11 +1243,47 @@ impl SimState {
         self.run_until(self.horizon);
         self.report()
     }
+
+    /// Decomposes a *finished* shard into merge parts for the partition-
+    /// sharded simulation (`crate::fleet`): per-lane stats, the raw latency
+    /// samples behind the aggregate percentiles, and the accelerator busy
+    /// pairs.  A [`ServeReport`] alone cannot be merged bit-identically —
+    /// the aggregate percentiles need every shard's raw samples.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_shard_parts(
+        self,
+    ) -> (Vec<WorkloadServeStats>, Vec<Vec<f64>>, Vec<(AccelId, f64)>) {
+        (
+            self.lanes.iter().map(Lane::stats).collect(),
+            self.lanes
+                .iter()
+                .map(|l| l.arena.latencies().to_vec())
+                .collect(),
+            self.accel_busy,
+        )
+    }
+}
+
+/// The sorted-`accel_busy` slot of each of `accels`, in order.  Every lane
+/// accelerator is guaranteed an entry: construction and placement swaps
+/// insert them before slots are (re)computed.
+fn busy_slots_of(accel_busy: &[(AccelId, f64)], accels: &[AccelId]) -> Vec<u32> {
+    accels
+        .iter()
+        .map(|a| {
+            accel_busy
+                .binary_search_by_key(a, |&(id, _)| id)
+                .expect("lane accelerators always have busy entries") as u32
+        })
+        .collect()
 }
 
 /// The per-placement service-parameter checks shared by [`SimState::new`]
-/// and [`SimState::apply_placements`].
-fn validate_service(co: &CoScheduleResult, profiles: &[TrafficProfile]) -> Result<(), ServeError> {
+/// and [`SimState::apply_placements`] (and their reference-oracle twins).
+pub(crate) fn validate_service(
+    co: &CoScheduleResult,
+    profiles: &[TrafficProfile],
+) -> Result<(), ServeError> {
     for (w, p) in profiles.iter().enumerate() {
         if !(p.sla_factor > 0.0 && p.sla_factor.is_finite()) {
             return Err(ServeError::InvalidSla {
@@ -1490,6 +1711,45 @@ mod tests {
         );
     }
 
+    /// Snapshots share the lane accelerator lists with the live state
+    /// (`Arc`, not a per-call copy) and `down()` borrows the cached down
+    /// set; neither may ever reflect mutations made *after* the observation.
+    #[test]
+    fn mid_run_snapshots_stay_frozen_as_the_sim_mutates_on() {
+        let co = synthetic_co(&[1.0 * MS, 2.0 * MS], &[1.0, 1.0]);
+        let profiles = [
+            TrafficProfile::new(300.0, 5.0),
+            TrafficProfile::new(150.0, 5.0),
+        ];
+        let trace = Trace::poisson(&profiles, 1.0, 23);
+        let config = ServeConfig::default();
+        let mut sim = SimState::new(&co, &profiles, &trace, &config).unwrap();
+
+        sim.run_until(0.3);
+        sim.fail_accel(AccelId(0), FaultPolicy::RequeueInflight);
+        let snap = sim.snapshot();
+        let frozen = snap.clone();
+        let down_then = sim.down().to_vec();
+        assert_eq!(down_then, vec![AccelId(0)]);
+
+        // Mutate everything observable: restore, advance, fail the *other*
+        // lane, re-place both lanes (fresh `Arc`s behind `accels`).
+        sim.restore_accel(AccelId(0));
+        sim.run_until(0.6);
+        sim.fail_accel(AccelId(3), FaultPolicy::LoseInflight);
+        let swapped = synthetic_co(&[1.5 * MS, 2.0 * MS], &[1.0, 1.0]);
+        sim.apply_placements(&swapped, &[5.0, 5.0], 0.6).unwrap();
+
+        // The earlier observation is bit-for-bit untouched.
+        assert_eq!(snap, frozen);
+        assert_eq!(&snap.lanes[0].accels[..], [AccelId(0), AccelId(1)]);
+        assert_eq!(snap.down, vec![AccelId(0)]);
+        // The cached down set tracks the *current* state, and repeated
+        // calls agree without rebuilding.
+        assert_eq!(sim.down(), vec![AccelId(3)]);
+        assert_eq!(sim.down(), sim.snapshot().down);
+    }
+
     /// Zero deadline slack finishes singleton EDF batches *exactly at* the
     /// deadline (metastable by a ulp); a small positive slack turns those
     /// coin-flips into robust hits without rescheduling anything else.
@@ -1553,7 +1813,7 @@ mod tests {
         sim.run_until(0.5);
         sim.apply_placements(&co_fast, &[3.0], 0.55).unwrap();
         let snap = sim.snapshot();
-        assert_eq!(snap.lanes[0].accels, vec![AccelId(2), AccelId(3)]);
+        assert_eq!(&snap.lanes[0].accels[..], [AccelId(2), AccelId(3)]);
         assert!(snap.lanes[0].free_at >= 0.55, "blocked until activation");
         let elastic_report = sim.finish();
 
