@@ -106,6 +106,23 @@ impl Catalog {
     pub fn design_ids(&self) -> Vec<DesignId> {
         (0..self.len()).map(DesignId).collect()
     }
+
+    /// The smallest on-board memory of any design in the catalog —
+    /// `u64::MAX` for an empty catalog (no design, no constraint).
+    ///
+    /// An *adaptive* platform may configure an accelerator with any design,
+    /// so a placement that must hold regardless of the design choice can
+    /// only rely on this minimum.  The co-scheduler uses it as the
+    /// design-independent part of its per-accelerator memory capacity, which
+    /// keeps its memoised inner searches pure (the cache key has no design
+    /// dimension).
+    pub fn min_memory_bytes(&self) -> u64 {
+        self.models
+            .iter()
+            .map(|m| m.design().memory_bytes)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
 }
 
 impl Default for Catalog {

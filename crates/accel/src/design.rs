@@ -15,6 +15,10 @@ impl std::fmt::Display for DesignId {
     }
 }
 
+/// Default on-board memory of a design when the catalog does not override
+/// it: 4 GiB, a typical FPGA accelerator card's DDR bank.
+pub const DEFAULT_MEMORY_BYTES: u64 = 4 << 30;
+
 /// Static description of an accelerator design (one row of Table II).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AccelDesign {
@@ -26,6 +30,10 @@ pub struct AccelDesign {
     pub frequency_mhz: u32,
     /// Number of processing elements (multipliers) in the design.
     pub num_pes: u32,
+    /// On-board memory capacity in bytes.  A hard placement constraint for
+    /// memory-bound workloads (LLM weights + KV cache): the co-scheduler
+    /// rejects any placement whose per-accelerator footprint exceeds it.
+    pub memory_bytes: u64,
     /// Free-form description of the design parameters (the last column of
     /// Table II).
     pub parameters: String,
@@ -152,6 +160,7 @@ mod tests {
                 name: "ideal".into(),
                 frequency_mhz: 200,
                 num_pes: 512,
+                memory_bytes: DEFAULT_MEMORY_BYTES,
                 parameters: "n/a".into(),
             },
         }

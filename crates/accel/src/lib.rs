@@ -49,7 +49,7 @@ mod systolic;
 mod winograd;
 
 pub use catalog::Catalog;
-pub use design::{AccelDesign, DesignId, PerformanceModel};
+pub use design::{AccelDesign, DesignId, PerformanceModel, DEFAULT_MEMORY_BYTES};
 pub use profile::ProfileTable;
 pub use superlip::SuperLipModel;
 pub use systolic::SystolicModel;

@@ -53,6 +53,7 @@ impl SuperLipModel {
                 name: "SuperLIP".into(),
                 frequency_mhz,
                 num_pes,
+                memory_bytes: crate::design::DEFAULT_MEMORY_BYTES,
                 parameters: format!("Tm, Tn, Tr, Tc: {tm}, {tn}, {tr}, {tc}"),
             },
             tm,

@@ -43,6 +43,7 @@ impl SystolicModel {
                 name: "Systolic".into(),
                 frequency_mhz,
                 num_pes,
+                memory_bytes: crate::design::DEFAULT_MEMORY_BYTES,
                 parameters: format!("row, col, vec: {rows}, {cols}, {vec}"),
             },
             rows,

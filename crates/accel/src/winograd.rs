@@ -41,6 +41,7 @@ impl WinogradModel {
                 name: "Winograd".into(),
                 frequency_mhz,
                 num_pes,
+                memory_bytes: crate::design::DEFAULT_MEMORY_BYTES,
                 parameters: format!("n, Pn, Pm: {tile}, {pn}, {pm}"),
             },
             tile,

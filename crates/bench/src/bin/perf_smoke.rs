@@ -17,8 +17,8 @@
 
 use mars_accel::{Catalog, ProfileTable};
 use mars_bench::{
-    smoke, table3_row, table_elastic_row, table_failover_row, table_fleet_row, table_multi_row,
-    table_serve_row_on, Budget,
+    smoke, table3_row, table_elastic_row, table_failover_row, table_fleet_row, table_llm_row,
+    table_multi_row, table_serve_row_on, Budget,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
 use std::time::Instant;
@@ -124,6 +124,15 @@ fn main() {
     let fleet_engine_speedup = fleet_row.engine_speedup();
     let table_fleet_s = t.elapsed().as_secs_f64();
 
+    // table_llm: continuous batching vs one-shot on the bundled LLM mix
+    // (seed 42).  The headline is the continuous goodput itself — an
+    // absolute count, pinned as a floor: iteration-level scheduling must
+    // keep meeting at least as many deadlines as the committed baseline.
+    let t = Instant::now();
+    let llm_row = table_llm_row(42);
+    let llm_goodput = llm_row.report(mars_serve::BatchingMode::Continuous).goodput as f64;
+    let table_llm_s = t.elapsed().as_secs_f64();
+
     let wall_clock = [
         ("table2", table2_s),
         ("table3", table3_s),
@@ -132,6 +141,7 @@ fn main() {
         ("table_elastic", table_elastic_s),
         ("table_failover", table_failover_s),
         ("table_fleet", table_fleet_s),
+        ("table_llm", table_llm_s),
     ];
     let headlines = [
         ("table3_min_search_speedup", table3_min_speedup),
@@ -141,6 +151,7 @@ fn main() {
         ("recovery_goodput_ratio", recovery_min_ratio),
         ("events_per_second", events_per_second),
         ("fleet_engine_speedup", fleet_engine_speedup),
+        ("llm_goodput", llm_goodput),
     ];
 
     let summary = smoke::render_summary("fast", threads, &wall_clock, &headlines);

@@ -23,8 +23,9 @@ use mars_model::zoo::{Benchmark, MixZoo};
 use mars_model::{Network, PhasedTraffic, TrafficProfile};
 use mars_runtime::{run_elastic_with_cache, ElasticReport, RuntimeConfig, RuntimePolicy};
 use mars_serve::{
-    compare_policies, fleet_co_schedule, reference, simulate_sharded_with_faults, DispatchPolicy,
-    FaultPolicy, ServeConfig, ServeReport, SimState, Trace,
+    compare_policies, fleet_co_schedule, reference, simulate_llm_sharded,
+    simulate_sharded_with_faults, BatchingMode, DispatchPolicy, FaultPolicy, LlmServeReport,
+    LlmTrace, ServeConfig, ServeReport, SimState, Trace,
 };
 use mars_topology::{presets, Topology};
 use std::time::Instant;
@@ -437,6 +438,74 @@ pub fn table_fleet_row(seed: u64) -> FleetRow {
         batches,
         calendar_seconds,
         legacy_seconds,
+    }
+}
+
+/// One row of the LLM serving comparison (`table_llm`): the bundled
+/// [`llm_mix`](mars_model::zoo::llm_mix) scenario — autoregressive
+/// transformer workloads with compute-bound prefill and bandwidth-bound
+/// decode phases — replayed under both [`BatchingMode`]s on the lane-sharded
+/// runner, with each run timed.
+///
+/// Continuous batching is the treatment, one-shot static batching the
+/// control: same trace, same KV budgets, same slots.  The gap is pure
+/// scheduling — iteration-level re-forming of the batch keeps decode slots
+/// full and admits waiting requests the moment memory frees up.
+#[derive(Debug, Clone)]
+pub struct LlmRow {
+    /// Number of LLM workloads (= serving lanes).
+    pub workloads: usize,
+    /// The replayed trace (shared by both modes).
+    pub trace: LlmTrace,
+    /// One report per mode, in [`BatchingMode::ALL`] order (one-shot first).
+    pub reports: Vec<LlmServeReport>,
+    /// Wall-clock seconds per mode, same order.
+    pub wall_seconds: Vec<f64>,
+}
+
+impl LlmRow {
+    /// The report of `mode`.
+    ///
+    /// # Panics
+    /// Panics if `mode` is somehow missing from the row (it never is: rows
+    /// always carry all of [`BatchingMode::ALL`]).
+    pub fn report(&self, mode: BatchingMode) -> &LlmServeReport {
+        self.reports
+            .iter()
+            .find(|r| r.mode == mode)
+            .expect("rows carry every mode")
+    }
+
+    /// Continuous-batching goodput over one-shot goodput — the acceptance
+    /// figure (must exceed 1 on the bundled mix).
+    pub fn continuous_goodput_gain(&self) -> f64 {
+        let one_shot = self.report(BatchingMode::OneShot).goodput.max(1);
+        self.report(BatchingMode::Continuous).goodput as f64 / one_shot as f64
+    }
+}
+
+/// Runs one `table_llm` row at `seed`: draws the
+/// [`llm_mix`](mars_model::zoo::llm_mix) trace (arrivals, token shapes,
+/// phase-stamped deadlines) and replays it under one-shot and continuous
+/// batching on the lane-sharded runner, timing each replay.
+pub fn table_llm_row(seed: u64) -> LlmRow {
+    let spec = mars_model::zoo::llm_mix();
+    let trace = LlmTrace::draw(&spec, seed).expect("bundled LLM mix is valid");
+
+    let mut reports = Vec::with_capacity(BatchingMode::ALL.len());
+    let mut wall_seconds = Vec::with_capacity(BatchingMode::ALL.len());
+    for mode in BatchingMode::ALL {
+        let t = Instant::now();
+        let report = simulate_llm_sharded(&spec, &trace, mode).expect("valid LLM inputs");
+        wall_seconds.push(t.elapsed().as_secs_f64());
+        reports.push(report);
+    }
+
+    LlmRow {
+        workloads: spec.workloads.len(),
+        trace,
+        reports,
+        wall_seconds,
     }
 }
 

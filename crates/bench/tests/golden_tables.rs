@@ -16,12 +16,12 @@
 
 use mars_accel::{Catalog, ProfileTable};
 use mars_bench::{
-    table3_row, table_elastic_row, table_failover_row, table_fleet_row, table_multi_row,
-    table_serve_row, Budget,
+    table3_row, table_elastic_row, table_failover_row, table_fleet_row, table_llm_row,
+    table_multi_row, table_serve_row, Budget,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
 use mars_runtime::RuntimePolicy;
-use mars_serve::DispatchPolicy;
+use mars_serve::{BatchingMode, DispatchPolicy};
 
 /// Tolerance in milliseconds: the pins are recorded at 1e-9 ms precision and
 /// the searches are bit-deterministic, so the only slack needed is decimal
@@ -332,6 +332,55 @@ fn golden_table_fleet_goodput() {
         "fleet: calendar engine fell behind the legacy oracle ({:.2}x)",
         row.engine_speedup()
     );
+}
+
+/// The `table_llm` seed-42 headline figures: total requests, then
+/// `(completed, goodput)` per batching mode in [`BatchingMode::ALL`] order
+/// (one-shot first).  No search behind this row either — the trace draw and
+/// both replays are bit-deterministic, so the golden runs in milliseconds.
+const LLM_GOLDEN: (usize, [(usize, usize); 2]) = (213, [(147, 61), (200, 171)]);
+
+#[test]
+#[ignore = "golden LLM replay; run via --include-ignored (CI nightly)"]
+fn golden_table_llm_goodput() {
+    let (requests, outcomes) = LLM_GOLDEN;
+    let row = table_llm_row(42);
+    assert_eq!(
+        row.trace.total_requests(),
+        requests,
+        "LLM request count drifted (intentional change? re-pin)"
+    );
+    for (mode, (completed, goodput)) in BatchingMode::ALL.into_iter().zip(outcomes) {
+        let report = row.report(mode);
+        assert_eq!(
+            report.completed, completed,
+            "llm/{mode} completion count drifted (intentional change? re-pin)"
+        );
+        assert_eq!(
+            report.goodput, goodput,
+            "llm/{mode} goodput drifted (intentional change? re-pin)"
+        );
+    }
+    // The acceptance relationship: iteration-level batch re-forming beats
+    // holding every slot until the slowest member finishes — on the same
+    // trace, under the same KV budgets.
+    let one_shot = row.report(BatchingMode::OneShot).goodput;
+    let continuous = row.report(BatchingMode::Continuous).goodput;
+    assert!(
+        continuous > one_shot,
+        "llm: continuous goodput {continuous} must beat one-shot {one_shot}"
+    );
+    // And the batches never outgrow their lanes' KV budgets.
+    for report in &row.reports {
+        for s in &report.per_workload {
+            assert!(
+                s.peak_kv_bytes <= s.kv_budget_bytes,
+                "llm/{}: {} peaked over its KV budget",
+                report.mode,
+                s.name
+            );
+        }
+    }
 }
 
 #[test]

@@ -62,6 +62,13 @@ impl WorstOfModel {
             name: format!("worst-of({})", names.join(", ")),
             frequency_mhz: freq,
             num_pes: models.iter().map(|m| m.design().num_pes).min().unwrap_or(1),
+            // Conservative, like the cycle counts: the tightest member bounds
+            // what the set can hold.
+            memory_bytes: models
+                .iter()
+                .map(|m| m.design().memory_bytes)
+                .min()
+                .unwrap_or(0),
             parameters: "heterogeneous set".into(),
         };
         Self { design, models }

@@ -73,6 +73,19 @@ pub enum CoScheduleError {
         /// Index of the offending workload.
         workload: usize,
     },
+    /// A workload's resident-memory footprint cannot be satisfied: no
+    /// accelerator (or, for the final placement, no accelerator of its
+    /// partition) offers `demand_bytes` of memory.  Memory is a **hard**
+    /// constraint — infeasible placements are rejected, never penalised —
+    /// so a demand the platform cannot meet anywhere is an input error.
+    MemoryInfeasible {
+        /// Index of the offending workload.
+        workload: usize,
+        /// The workload's per-accelerator resident footprint, bytes.
+        demand_bytes: u64,
+        /// The largest per-accelerator capacity the platform offers, bytes.
+        capacity_bytes: u64,
+    },
 }
 
 impl std::fmt::Display for CoScheduleError {
@@ -92,6 +105,15 @@ impl std::fmt::Display for CoScheduleError {
             CoScheduleError::InvalidBatch { workload } => {
                 write!(f, "workload {workload} has batch size 0")
             }
+            CoScheduleError::MemoryInfeasible {
+                workload,
+                demand_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "workload {workload} needs {demand_bytes} B resident memory per accelerator, \
+                 but the tightest usable accelerator offers only {capacity_bytes} B"
+            ),
         }
     }
 }
@@ -632,6 +654,31 @@ pub fn co_schedule_cached(
     }
 
     let ids: Vec<AccelId> = topo.accelerators().collect();
+
+    // Per-accelerator memory capacity, as a *hard* placement constraint.  An
+    // adaptive platform may configure any accelerator with any catalog
+    // design, so the usable capacity is the accelerator's DRAM clamped by the
+    // tightest design's on-board memory — design-choice-independent, which
+    // keeps the memoised inner searches pure (their cache key carries no
+    // design dimension).  A workload's `memory_bytes` must fit on **every**
+    // accelerator of its partition (weights stay resident wherever its
+    // shards run); zero means unconstrained.
+    let catalog_min = catalog.min_memory_bytes();
+    let capacity_of = |a: AccelId| topo.dram_bytes(a).min(catalog_min);
+    let memory_fits = |w: usize, subset: &[AccelId]| -> bool {
+        let demand = workloads[w].memory_bytes;
+        demand == 0 || subset.iter().all(|&a| capacity_of(a) >= demand)
+    };
+    for (i, w) in workloads.iter().enumerate() {
+        let best = ids.iter().map(|&a| capacity_of(a)).max().unwrap_or(0);
+        if w.memory_bytes > 0 && w.memory_bytes > best {
+            return Err(CoScheduleError::MemoryInfeasible {
+                workload: i,
+                demand_bytes: w.memory_bytes,
+                capacity_bytes: best,
+            });
+        }
+    }
     let demands: Vec<u64> = workloads.iter().map(Workload::demand_macs).collect();
     let layout = OuterGenome {
         workloads: k,
@@ -667,6 +714,15 @@ pub fn co_schedule_cached(
     let weighted_makespan_of = |genes: &[f64]| -> f64 {
         let subsets = layout.decode_subsets(genes, &ids);
         let order = layout.decode_order(genes);
+        // Memory infeasibility rejects the whole genome before any inner
+        // search runs: infinite fitness, never a finite penalty.
+        if subsets
+            .iter()
+            .zip(&order)
+            .any(|(subset, &w)| !memory_fits(w, subset))
+        {
+            return f64::INFINITY;
+        }
         let mut worst = 0.0f64;
         for (subset, &w) in subsets.iter().zip(&order) {
             let result = inner(w, subset);
@@ -710,6 +766,20 @@ pub fn co_schedule_cached(
     };
     let subsets = layout.decode_subsets(&best_genes, &ids);
     let order = layout.decode_order(&best_genes);
+
+    // The final partition must satisfy the memory constraint outright — if
+    // even the greedy fallback violates it (every GA genome was infeasible),
+    // the placement is rejected, not returned with a penalty attached.
+    for (subset, &w) in subsets.iter().zip(&order) {
+        if !memory_fits(w, subset) {
+            let tightest = subset.iter().map(|&a| capacity_of(a)).min().unwrap_or(0);
+            return Err(CoScheduleError::MemoryInfeasible {
+                workload: w,
+                demand_bytes: workloads[w].memory_bytes,
+                capacity_bytes: tightest,
+            });
+        }
+    }
 
     let mut placements: Vec<Placement> = subsets
         .iter()
@@ -938,6 +1008,71 @@ mod tests {
             co_schedule(&bad_batch, &topo, &catalog, &cfg).unwrap_err(),
             CoScheduleError::InvalidBatch { workload: 0 }
         );
+    }
+
+    #[test]
+    fn memory_demand_no_accelerator_can_hold_is_rejected_up_front() {
+        let topo = presets::f1_16xlarge(); // every accelerator holds 1 GiB
+        let catalog = Catalog::standard_three();
+        let demand = 2u64 << 30; // 2 GiB: larger than any single accelerator
+        let hog = vec![Workload::new(zoo::alexnet(10)).with_memory_bytes(demand)];
+        let err = co_schedule(&hog, &topo, &catalog, &tiny_config(3)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoScheduleError::MemoryInfeasible {
+                    workload: 0,
+                    demand_bytes,
+                    ..
+                } if demand_bytes == demand
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn feasible_memory_demand_schedules_and_every_partition_holds_it() {
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let capacity = catalog.min_memory_bytes();
+        let workloads: Vec<Workload> = two_small_workloads()
+            .into_iter()
+            .map(|w| w.with_memory_bytes(512 << 20))
+            .collect();
+        let result = co_schedule(&workloads, &topo, &catalog, &tiny_config(5)).unwrap();
+        assert!(result.is_valid());
+        for p in &result.placements {
+            let demand = workloads[p.workload].memory_bytes;
+            for &a in &p.accels {
+                assert!(
+                    demand <= topo.dram_bytes(a).min(capacity),
+                    "workload {} overcommits accelerator {a:?}",
+                    p.workload
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_memory_workloads_schedule_identically_to_before_the_constraint() {
+        // memory_bytes = 0 must be a pure no-op: same seed, same placements
+        // as an identical run (the constraint adds only a guard branch).
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let plain = co_schedule(&two_small_workloads(), &topo, &catalog, &tiny_config(7)).unwrap();
+        let zeroed: Vec<Workload> = two_small_workloads()
+            .into_iter()
+            .map(|w| w.with_memory_bytes(0))
+            .collect();
+        let again = co_schedule(&zeroed, &topo, &catalog, &tiny_config(7)).unwrap();
+        assert_eq!(plain.placements.len(), again.placements.len());
+        for (a, b) in plain.placements.iter().zip(&again.placements) {
+            assert_eq!(a.accels, b.accels);
+            assert_eq!(
+                a.result.mapping.latency_seconds.to_bits(),
+                b.result.mapping.latency_seconds.to_bits()
+            );
+        }
     }
 
     #[test]

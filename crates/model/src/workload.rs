@@ -17,15 +17,25 @@ pub struct Workload {
     /// Inferences per scheduling round; the workload occupies its partition
     /// for `batch` back-to-back inferences.
     pub batch: usize,
+    /// Resident memory the workload needs on **every** accelerator of its
+    /// partition, in bytes (model weights plus peak KV cache for
+    /// autoregressive workloads).  Zero — the default, and the right value
+    /// for the CNN zoo whose activations stream through on-chip buffers —
+    /// means "no memory constraint".  The co-scheduler treats a non-zero
+    /// footprint as a *hard* placement constraint: a partition whose
+    /// tightest accelerator cannot hold it is rejected, not penalised.
+    pub memory_bytes: u64,
 }
 
 impl Workload {
-    /// Creates a workload with an SLA weight of 1 and a batch of 1.
+    /// Creates a workload with an SLA weight of 1, a batch of 1 and no
+    /// memory footprint.
     pub fn new(network: Network) -> Self {
         Self {
             network,
             weight: 1.0,
             batch: 1,
+            memory_bytes: 0,
         }
     }
 
@@ -38,6 +48,12 @@ impl Workload {
     /// Sets the batch size.
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Sets the per-accelerator resident-memory footprint.
+    pub fn with_memory_bytes(mut self, memory_bytes: u64) -> Self {
+        self.memory_bytes = memory_bytes;
         self
     }
 
@@ -318,6 +334,19 @@ impl TrafficPhase {
             start_seconds,
             profiles,
         }
+    }
+
+    /// The per-workload SLA factors of this phase, in workload order — the
+    /// vector runtime consumers feed to the serving engine's
+    /// `set_sla_factors` at each phase boundary.
+    pub fn sla_factors(&self) -> Vec<f64> {
+        self.profiles.iter().map(|p| p.sla_factor).collect()
+    }
+
+    /// The per-workload offered rates of this phase, clamped to `>= 0` qps
+    /// (silent profiles encode absence as zero, never negative demand).
+    pub fn rates_qps(&self) -> Vec<f64> {
+        self.profiles.iter().map(|p| p.qps.max(0.0)).collect()
     }
 }
 

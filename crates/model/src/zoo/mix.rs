@@ -522,6 +522,13 @@ impl MixZoo {
             traffic,
         }
     }
+
+    /// The autoregressive LLM serving scenario — prefill/decode workloads,
+    /// memory-constrained lanes, phase-aware SLA factors.  Delegates to
+    /// [`crate::zoo::llm_mix`] so all bundled scenarios hang off `MixZoo`.
+    pub fn llm_mix() -> crate::zoo::LlmSpec {
+        crate::zoo::llm_mix()
+    }
 }
 
 /// The fleet-scale serving scenario built by [`MixZoo::fleet`]: per-workload

@@ -17,11 +17,13 @@
 
 mod classic;
 mod hetero;
+mod llm;
 mod mix;
 mod resnet;
 
 pub use classic::{alexnet, vgg16};
 pub use hetero::{casia_surf_like, facebagnet_like};
+pub use llm::{llm_mix, LlmSpec, LlmWorkload};
 pub use mix::{bert_ish, FleetSpec, MixZoo};
 pub use resnet::{
     resnet101, resnet18, resnet34, resnet50, wide_resnet50_2, BasicBlockConfig, BottleneckConfig,

@@ -460,11 +460,7 @@ pub fn run_elastic_with_cache(
     let mut events: Vec<ReconfigureEvent> = Vec::new();
     let mut last_obs = 0.0f64;
     let mut last_reconfig = f64::NEG_INFINITY;
-    let mut sla_factors: Vec<f64> = scenario.phases[0]
-        .profiles
-        .iter()
-        .map(|p| p.sla_factor)
-        .collect();
+    let mut sla_factors: Vec<f64> = scenario.phases[0].sla_factors();
 
     // Fault bookkeeping: the next unprocessed fault, the current host-link
     // health (scales migration transfer time), the configuration epoch, and
@@ -502,11 +498,7 @@ pub fn run_elastic_with_cache(
         let phase = scenario.phase_index_at(t);
         let is_phase_start = scenario.phases[phase].start_seconds.to_bits() == t.to_bits();
         if is_phase_start {
-            sla_factors = scenario.phases[phase]
-                .profiles
-                .iter()
-                .map(|p| p.sla_factor)
-                .collect();
+            sla_factors = scenario.phases[phase].sla_factors();
             sim.set_sla_factors(&sla_factors)?;
         }
 
@@ -514,11 +506,7 @@ pub fn run_elastic_with_cache(
         // from the phase's true rates, with zero detection lag.  A pool
         // change that coincides with a phase start is one decision, not two.
         if policy == RuntimePolicy::Oracle && (pool_changed || is_phase_start) {
-            let rates: Vec<f64> = scenario.phases[phase]
-                .profiles
-                .iter()
-                .map(|p| p.qps.max(0.0))
-                .collect();
+            let rates: Vec<f64> = scenario.phases[phase].rates_qps();
             let reason = if pool_changed {
                 TriggerReason::TopologyChanged {
                     down: sim.down().to_vec(),

@@ -146,17 +146,32 @@ impl CalendarQueue {
     /// The bucket index `time` falls into (clamped into the array).
     fn bucket_of(&self, time: f64) -> usize {
         let raw = (time / self.width).floor();
-        if raw.is_finite() && raw > 0.0 {
+        if raw > 0.0 {
+            // Float→int `as` casts saturate, so any time at or past the
+            // bucketed span — `+∞` included — lands in the final catch-all
+            // bucket, never wraps or truncates into an early one.
             (raw as usize).min(self.buckets.len() - 1)
         } else {
+            // Times before `width` — `-∞` included — clamp into bucket 0.
             0
         }
     }
 
-    /// Inserts an event; `time` must be finite (NaN is rejected by debug
-    /// assertion and clamps into bucket 0 in release builds).
+    /// Inserts an event.
+    ///
+    /// `time` must not be NaN: NaN has no defined place in the
+    /// `(time, lane, seq)` pop order, so it is **rejected by a panic in
+    /// every build** (a release-mode NaN silently bucketed at 0 would
+    /// corrupt the pop order undetectably).  `±∞` are accepted with
+    /// saturating bucket placement — `+∞` joins the final catch-all bucket
+    /// and pops after every finite event, `-∞` clamps into bucket 0 and
+    /// pops before them ([`f64::total_cmp`] orders both correctly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
     pub fn insert(&mut self, time: f64, lane: u32, seq: u32) {
-        debug_assert!(!time.is_nan(), "NaN event time");
+        assert!(!time.is_nan(), "CalendarQueue::insert: NaN event time");
         let b = self.bucket_of(time);
         self.buckets[b].push(Event { time, lane, seq });
         self.len += 1;
@@ -231,6 +246,24 @@ mod tests {
         assert_eq!(q.pop_min().unwrap().lane, 2);
         assert_eq!(q.pop_min().unwrap().lane, 1);
         assert_eq!(q.pop_min().unwrap().lane, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN event time")]
+    fn nan_event_time_is_rejected_in_every_build() {
+        let mut q = CalendarQueue::new(1.0, 4);
+        q.insert(f64::NAN, 0, 0);
+    }
+
+    #[test]
+    fn infinite_times_saturate_to_the_correct_end_buckets() {
+        let mut q = CalendarQueue::new(1.0, 4);
+        q.insert(f64::INFINITY, 0, 0); // catch-all bucket, pops last
+        q.insert(2.0, 1, 0);
+        q.insert(f64::NEG_INFINITY, 2, 0); // bucket 0, pops first
+        q.insert(0.5, 3, 0);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_min()).map(|e| e.lane).collect();
+        assert_eq!(order, vec![2, 3, 1, 0]);
     }
 
     #[test]

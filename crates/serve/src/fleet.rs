@@ -15,7 +15,8 @@
 //! (`tests/fleet_sim_equivalence.rs`) pins.
 
 use crate::sim::{
-    percentile_ms, FaultPolicy, ServeConfig, ServeError, ServeReport, SimState, WorkloadServeStats,
+    percentile_triple_ms, FaultPolicy, ServeConfig, ServeError, ServeReport, SimState,
+    WorkloadServeStats,
 };
 use crate::trace::Trace;
 use mars_core::{CoScheduleResult, Mapping, Placement, SearchResult};
@@ -199,15 +200,16 @@ pub fn simulate_sharded_with_faults(
     let horizon = trace.horizon_seconds;
     let utilization: Vec<(AccelId, f64)> =
         busy.into_iter().map(|(a, b)| (a, b / horizon)).collect();
+    let (p50_ms, p95_ms, p99_ms) = percentile_triple_ms(&mut all);
     Ok(ServeReport {
         policy: config.policy,
         horizon_seconds: horizon,
         total_requests: per_workload.iter().map(|s| s.requests).sum(),
         completed: per_workload.iter().map(|s| s.completed).sum(),
         goodput: per_workload.iter().map(|s| s.met_sla).sum(),
-        p50_ms: percentile_ms(&mut all, 0.50),
-        p95_ms: percentile_ms(&mut all, 0.95),
-        p99_ms: percentile_ms(&mut all, 0.99),
+        p50_ms,
+        p95_ms,
+        p99_ms,
         per_workload,
         utilization,
     })

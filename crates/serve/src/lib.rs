@@ -53,12 +53,17 @@
 pub mod arena;
 pub mod calendar;
 mod fleet;
+mod llm;
 pub mod reference;
 mod report;
 mod sim;
 mod trace;
 
 pub use fleet::{fleet_co_schedule, simulate_sharded, simulate_sharded_with_faults};
+pub use llm::{
+    compare_batching, simulate_llm, simulate_llm_sharded, BatchingMode, LlmLaneStats, LlmRequest,
+    LlmServeError, LlmServeReport, LlmSimState, LlmTrace,
+};
 pub use report::render_serve;
 pub use sim::{
     simulate, BatchEvent, DispatchPolicy, FaultPolicy, LaneSnapshot, ServeConfig, ServeError,

@@ -2,13 +2,13 @@
 //! oracle for the calendar-queue engine.
 //!
 //! This module is the pre-fleet event loop moved here verbatim: one
-//! [`LaneState`] per placement with `VecDeque` queues and per-batch `Vec`
+//! `LaneState` per placement with `VecDeque` queues and per-batch `Vec`
 //! allocations, advanced by a *linear scan* over every lane on every
 //! [`run_until`](SimState::run_until) call and every
 //! [`step`](SimState::step).  It is `O(lanes)` per event and allocation-happy
-//! — exactly the costs the arena + calendar engine in [`crate::sim`] was
-//! built to remove — but it is also small, battle-tested, and obviously
-//! faithful to the simulator's documented semantics.
+//! — exactly the costs the arena + calendar engine in the crate's `sim`
+//! module was built to remove — but it is also small, battle-tested, and
+//! obviously faithful to the simulator's documented semantics.
 //!
 //! It therefore stays in the tree as the **oracle**: the equivalence suite
 //! (`tests/fleet_sim_equivalence.rs`) runs both engines over every bundled
@@ -19,7 +19,7 @@
 //! use [`crate::simulate`] / [`crate::SimState`] for real work.
 
 use crate::sim::{
-    percentile_ms, validate_service, BatchEvent, DispatchPolicy, FaultPolicy, LaneSnapshot,
+    percentile_triple_ms, validate_service, BatchEvent, DispatchPolicy, FaultPolicy, LaneSnapshot,
     ServeConfig, ServeError, ServeReport, SimSnapshot, WorkloadServeStats,
 };
 use crate::trace::Trace;
@@ -170,6 +170,7 @@ impl LaneState {
 
     fn stats(&self) -> WorkloadServeStats {
         let mut sample = self.latencies.clone();
+        let (p50_ms, p95_ms, p99_ms) = percentile_triple_ms(&mut sample);
         WorkloadServeStats {
             workload: self.workload,
             name: self.name.clone(),
@@ -182,9 +183,9 @@ impl LaneState {
             } else {
                 0.0
             },
-            p50_ms: percentile_ms(&mut sample, 0.50),
-            p95_ms: percentile_ms(&mut sample, 0.95),
-            p99_ms: percentile_ms(&mut sample, 0.99),
+            p50_ms,
+            p95_ms,
+            p99_ms,
             sla_seconds: self.sla_seconds,
             busy_seconds: self.busy,
         }
@@ -508,15 +509,16 @@ impl SimState {
             .iter()
             .map(|(&a, &busy)| (a, busy / self.horizon))
             .collect();
+        let (p50_ms, p95_ms, p99_ms) = percentile_triple_ms(&mut all);
         ServeReport {
             policy: self.config.policy,
             horizon_seconds: self.horizon,
             total_requests: per_workload.iter().map(|s| s.requests).sum(),
             completed: per_workload.iter().map(|s| s.completed).sum(),
             goodput: per_workload.iter().map(|s| s.met_sla).sum(),
-            p50_ms: percentile_ms(&mut all, 0.50),
-            p95_ms: percentile_ms(&mut all, 0.95),
-            p99_ms: percentile_ms(&mut all, 0.99),
+            p50_ms,
+            p95_ms,
+            p99_ms,
             per_workload,
             utilization,
         }

@@ -363,16 +363,36 @@ impl ServeReport {
 ///
 /// `q` is clamped into `[0, 1]`; `q = 0` means "the smallest sample" (rank
 /// is floored at 1).
+#[cfg_attr(not(test), allow(dead_code))] // hot paths use percentile_triple_ms
 pub(crate) fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
-    match latencies.len() {
+    latencies.sort_by(f64::total_cmp);
+    sorted_percentile_ms(latencies, q)
+}
+
+/// [`percentile_ms`] for a sample that is **already sorted** by
+/// [`f64::total_cmp`]: pure rank arithmetic and an index, no sort.
+pub(crate) fn sorted_percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
         0 => 0.0,
-        1 => latencies[0] * 1e3,
+        1 => sorted[0] * 1e3,
         n => {
-            latencies.sort_by(f64::total_cmp);
             let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
-            latencies[rank - 1] * 1e3
+            sorted[rank - 1] * 1e3
         }
     }
+}
+
+/// The (p50, p95, p99) triple of an unsorted sample, sorting **once** and
+/// indexing three times.  Bit-identical to three [`percentile_ms`] calls
+/// (re-sorting sorted data is the identity), but ~3x cheaper on the ~100k+
+/// sample vectors the fleet reports aggregate.
+pub(crate) fn percentile_triple_ms(latencies: &mut [f64]) -> (f64, f64, f64) {
+    latencies.sort_by(f64::total_cmp);
+    (
+        sorted_percentile_ms(latencies, 0.50),
+        sorted_percentile_ms(latencies, 0.95),
+        sorted_percentile_ms(latencies, 0.99),
+    )
 }
 
 /// One dispatched batch, as reported by [`SimState::step`].
@@ -620,6 +640,7 @@ impl Lane {
 
     fn stats(&self) -> WorkloadServeStats {
         let mut sample = self.arena.latencies().to_vec();
+        let (p50_ms, p95_ms, p99_ms) = percentile_triple_ms(&mut sample);
         WorkloadServeStats {
             workload: self.workload,
             name: self.name.clone(),
@@ -632,9 +653,9 @@ impl Lane {
             } else {
                 0.0
             },
-            p50_ms: percentile_ms(&mut sample, 0.50),
-            p95_ms: percentile_ms(&mut sample, 0.95),
-            p99_ms: percentile_ms(&mut sample, 0.99),
+            p50_ms,
+            p95_ms,
+            p99_ms,
             sla_seconds: self.sla_seconds,
             busy_seconds: self.busy,
         }
@@ -1224,15 +1245,16 @@ impl SimState {
             .iter()
             .map(|&(a, busy)| (a, busy / self.horizon))
             .collect();
+        let (p50_ms, p95_ms, p99_ms) = percentile_triple_ms(&mut all);
         ServeReport {
             policy: self.config.policy,
             horizon_seconds: self.horizon,
             total_requests: per_workload.iter().map(|s| s.requests).sum(),
             completed: per_workload.iter().map(|s| s.completed).sum(),
             goodput: per_workload.iter().map(|s| s.met_sla).sum(),
-            p50_ms: percentile_ms(&mut all, 0.50),
-            p95_ms: percentile_ms(&mut all, 0.95),
-            p99_ms: percentile_ms(&mut all, 0.99),
+            p50_ms,
+            p95_ms,
+            p99_ms,
             per_workload,
             utilization,
         }
@@ -1594,6 +1616,34 @@ mod tests {
         let mut many = [0.001, 0.002, 0.003];
         assert_eq!(percentile_ms(&mut many, -1.0), 1.0);
         assert_eq!(percentile_ms(&mut many, 2.0), 3.0);
+    }
+
+    /// The sort-once triple is bit-identical to three independent
+    /// [`percentile_ms`] calls, for every sample size the degenerate-case
+    /// contract distinguishes (0, 1, 2, many).
+    #[test]
+    fn percentile_triple_matches_three_individual_calls() {
+        let samples: [&[f64]; 4] = [
+            &[],
+            &[0.0075],
+            &[0.004, 0.002],
+            &[
+                0.009, 0.001, 0.005, 0.003, 0.007, 0.002, 0.008, 0.006, 0.004,
+            ],
+        ];
+        for sample in samples {
+            let mut triple_input = sample.to_vec();
+            let (p50, p95, p99) = percentile_triple_ms(&mut triple_input);
+            for (q, got) in [(0.50, p50), (0.95, p95), (0.99, p99)] {
+                let mut fresh = sample.to_vec();
+                assert_eq!(
+                    got.to_bits(),
+                    percentile_ms(&mut fresh, q).to_bits(),
+                    "q={q} n={}",
+                    sample.len()
+                );
+            }
+        }
     }
 
     /// A one-completion simulation reports that completion's latency as its

@@ -131,11 +131,18 @@ impl Trace {
 
     /// Requests of workload `w` arriving inside `[from, to)` — the windowed
     /// arrival count the elastic runtime's drift monitor consumes.
+    ///
+    /// Arrival streams are sorted (a [`Trace`] invariant), so the window is
+    /// two `partition_point` binary searches instead of a linear scan — the
+    /// drift monitor calls this per window per workload, against streams
+    /// that reach ~10^5 arrivals at fleet scale.  Boundary semantics are
+    /// unchanged: an arrival exactly at `from` counts, one exactly at `to`
+    /// does not, and an inverted window (`from > to`) counts zero.
     pub fn arrivals_in(&self, w: usize, from: f64, to: f64) -> usize {
-        self.arrivals[w]
-            .iter()
-            .filter(|&&t| from <= t && t < to)
-            .count()
+        let stream = &self.arrivals[w];
+        let lo = stream.partition_point(|&t| t < from);
+        let hi = stream.partition_point(|&t| t < to);
+        hi.saturating_sub(lo)
     }
 }
 
@@ -225,6 +232,52 @@ mod tests {
         // Validation errors propagate.
         let bad = PhasedTraffic::new(0.0, Vec::new());
         assert_eq!(Trace::phased(&bad, 7), Err(TrafficError::NoPhases));
+    }
+
+    /// The binary-searched window count keeps the linear scan's exact
+    /// boundary semantics: `from` is inclusive, `to` exclusive, arrivals
+    /// *exactly at* either instant land on the documented side, and the
+    /// result always equals the reference filter.
+    #[test]
+    fn arrivals_in_pins_boundary_instants_and_matches_linear_scan() {
+        let trace = Trace {
+            horizon_seconds: 10.0,
+            arrivals: vec![vec![1.0, 2.0, 2.0, 3.5, 7.0], Vec::new()],
+        };
+        // An arrival exactly at `from` counts; exactly at `to` does not.
+        assert_eq!(trace.arrivals_in(0, 1.0, 3.5), 3);
+        assert_eq!(trace.arrivals_in(0, 2.0, 7.0), 3);
+        // Duplicated instants all count when inside the window.
+        assert_eq!(trace.arrivals_in(0, 2.0, 2.5), 2);
+        // Degenerate and inverted windows count zero.
+        assert_eq!(trace.arrivals_in(0, 2.0, 2.0), 0);
+        assert_eq!(trace.arrivals_in(0, 7.0, 1.0), 0);
+        // Empty stream, and windows outside the data.
+        assert_eq!(trace.arrivals_in(1, 0.0, 10.0), 0);
+        assert_eq!(trace.arrivals_in(0, 8.0, 10.0), 0);
+        assert_eq!(trace.arrivals_in(0, -5.0, 0.5), 0);
+
+        // Exhaustive equivalence with the reference linear filter on a real
+        // seeded trace, over a grid of window edges that includes exact
+        // arrival instants.
+        let drawn = Trace::poisson(&profiles(), 1.0, 42);
+        let mut edges: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+        edges.extend(drawn.arrivals[0].iter().take(8).copied());
+        for &from in &edges {
+            for &to in &edges {
+                for w in 0..drawn.arrivals.len() {
+                    let linear = drawn.arrivals[w]
+                        .iter()
+                        .filter(|&&t| from <= t && t < to)
+                        .count();
+                    assert_eq!(
+                        drawn.arrivals_in(w, from, to),
+                        linear,
+                        "w={w} from={from} to={to}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

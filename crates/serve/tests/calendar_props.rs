@@ -131,4 +131,74 @@ proptest! {
         }
         prop_assert_eq!(model.len, 0);
     }
+
+    /// Extreme-but-finite times clustered around the bucketed span
+    /// `buckets × width` — the catch-all boundary, where a mis-clamped
+    /// bucket index would scramble pop order — interleaved with in-span
+    /// times, must still pop in exact `(time, lane, seq)` order.
+    #[test]
+    fn extreme_times_near_the_catch_all_boundary_pop_in_order(
+        width in 0.01f64..2.0,
+        buckets in 1usize..48,
+        ops in proptest::collection::vec(
+            (0u8..100, -4.0f64..4.0, 0u32..16, 0u32..4),
+            1..120,
+        ),
+    ) {
+        let mut queue = CalendarQueue::new(width, buckets);
+        let mut model = Model::default();
+        let span = buckets as f64 * width;
+
+        for (sel, t, lane, seq) in ops {
+            match sel {
+                // Hug the catch-all boundary: span ± a few bucket widths.
+                0..=39 => {
+                    let time = span + t * width;
+                    queue.insert(time, lane, seq);
+                    model.insert(time, lane, seq);
+                }
+                // Huge but finite times, deep inside the catch-all bucket.
+                40..=54 => {
+                    let time = span * (2.0 + t.abs()) + f64::MAX * 1e-300 * t.abs();
+                    queue.insert(time, lane, seq);
+                    model.insert(time, lane, seq);
+                }
+                // Exactly at the span boundary (ties exercise the
+                // lane/seq order inside the catch-all bucket).
+                55..=64 => {
+                    queue.insert(span, lane, seq);
+                    model.insert(span, lane, seq);
+                }
+                // Ordinary in-span times, so cross-bucket order against the
+                // extremes is exercised too.
+                65..=79 => {
+                    let time = (t.abs() / 4.0) * span;
+                    queue.insert(time, lane, seq);
+                    model.insert(time, lane, seq);
+                }
+                _ => {
+                    let popped = queue.pop_min();
+                    let expected = model.pop_min();
+                    match (popped, expected) {
+                        (None, None) => {}
+                        (Some(ev), Some((bits, l, s))) => {
+                            prop_assert_eq!(order_bits(ev.time), bits);
+                            prop_assert_eq!((ev.lane, ev.seq), (l, s));
+                        }
+                        (got, want) => {
+                            prop_assert!(false, "pop mismatch: queue {got:?}, model {want:?}");
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len);
+        }
+
+        while let Some(ev) = queue.pop_min() {
+            let (bits, l, s) = model.pop_min().expect("model drains with queue");
+            prop_assert_eq!(order_bits(ev.time), bits);
+            prop_assert_eq!((ev.lane, ev.seq), (l, s));
+        }
+        prop_assert_eq!(model.len, 0);
+    }
 }
