@@ -1,0 +1,50 @@
+//! Criterion bench for the rebuilt search core: the flat engine against the
+//! retained reference engine on the Table III benchmarks, plus the headline
+//! evals/s throughput of the flat engine.  Nightly CI runs this to track the
+//! engine speedup trend between the hard `perf_smoke` floor checks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mars_accel::Catalog;
+use mars_bench::Budget;
+use mars_core::{Mars, SearchEngine};
+use mars_model::zoo::Benchmark;
+use mars_topology::presets;
+
+/// One full first-level search at the fast budget with a fixed seed, serial
+/// workers — the same workload `perf_smoke` gates on, so the bench numbers
+/// and the floor numbers are directly comparable.
+fn run_search(benchmark: Benchmark, engine: SearchEngine) -> f64 {
+    let net = benchmark.build();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let result = Mars::new(&net, &topo, &catalog)
+        .with_config(
+            Budget::Fast
+                .search_config(40)
+                .with_threads(1)
+                .with_engine(engine),
+        )
+        .search();
+    result.mapping.latency_seconds
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_core/engine");
+    group.sample_size(10);
+    for benchmark in Benchmark::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("flat", format!("{benchmark:?}")),
+            &benchmark,
+            |b, &bm| b.iter(|| run_search(black_box(bm), SearchEngine::Flat)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{benchmark:?}")),
+            &benchmark,
+            |b, &bm| b.iter(|| run_search(black_box(bm), SearchEngine::Reference)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -6,23 +6,20 @@
 //! ```
 
 use mars_accel::Catalog;
-use mars_bench::Budget;
+use mars_bench::{BinContext, Budget};
 use mars_core::{ablation, baseline, GaConfig, Mars};
 use mars_model::zoo;
 use mars_topology::presets;
 
 fn main() {
-    let budget = Budget::from_env();
+    let ctx = BinContext::from_env();
+    let budget = ctx.budget;
     let net = zoo::resnet34(1000);
     let topo = presets::f1_16xlarge();
     let catalog = Catalog::standard_three();
     let seed = 17;
 
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!(
-        "Ablation on {} ({budget:?} budget, {threads} search threads)",
-        net.summary()
-    );
+    ctx.print_header(&format!("Ablation on {}", net.summary()));
 
     let baseline_mapping = baseline::computation_prioritized(&net, &topo, &catalog);
     println!("{:<34} {:>12}", "mapper", "latency/ms");
@@ -37,12 +34,10 @@ fn main() {
         .with_config(budget.search_config(seed))
         .search();
     println!(
-        "{:<34} {:>12.3}   ({} first-level evaluations in {:.2} s, {:.1} evals/s)",
+        "{:<34} {:>12.3}   {}",
         "MARS two-level GA",
         two_level.latency_ms(),
-        two_level.evaluations,
-        two_level.elapsed.as_secs_f64(),
-        two_level.evals_per_second()
+        BinContext::throughput_suffix(two_level.evaluations, two_level.elapsed.as_secs_f64())
     );
 
     // Flat single-level GA with a comparable evaluation budget, on the same

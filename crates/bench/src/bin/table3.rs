@@ -7,16 +7,14 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table3
 //! ```
 
-use mars_bench::{table3_row, Budget};
+use mars_bench::{table3_row, BinContext};
 use mars_core::report;
 use mars_model::zoo::Benchmark;
 
 fn main() {
-    let budget = Budget::from_env();
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!(
-        "TABLE III: LATENCY COMPARISON BETWEEN BASELINE AND MARS ({budget:?} budget, {threads} search threads)"
-    );
+    let ctx = BinContext::from_env();
+    let budget = ctx.budget;
+    ctx.print_header("TABLE III: LATENCY COMPARISON BETWEEN BASELINE AND MARS");
     println!(
         "{:<12} {:>7} {:>9} {:>8} {:>13} {:>18} {:>10} {:>9}",
         "Model", "#Convs", "#Params", "FLOPs", "Baseline/ms", "MARS/ms", "Search/s", "Evals/s"

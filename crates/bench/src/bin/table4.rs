@@ -6,15 +6,13 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table4
 //! ```
 
-use mars_bench::{table4_rows, Budget};
+use mars_bench::{table4_rows, BinContext};
 use mars_model::zoo;
 
 fn main() {
-    let budget = Budget::from_env();
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!(
-        "TABLE IV: COMPARISON OF LATENCY (ms) WITH THE H2H-LIKE MAPPER ({budget:?} budget, {threads} search threads)"
-    );
+    let ctx = BinContext::from_env();
+    let budget = ctx.budget;
+    ctx.print_header("TABLE IV: COMPARISON OF LATENCY (ms) WITH THE H2H-LIKE MAPPER");
 
     let models = [zoo::casia_surf_like(), zoo::facebagnet_like()];
     let mut all_reductions = Vec::new();

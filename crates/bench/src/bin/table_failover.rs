@@ -11,15 +11,13 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table_failover
 //! ```
 
-use mars_bench::{table_failover_row, Budget};
+use mars_bench::{table_failover_row, BinContext};
 use mars_model::zoo::MixZoo;
 
 fn main() {
-    let budget = Budget::from_env();
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!(
-        "TABLE FAILOVER: EPOCH-STYLE RECOVERY FROM ACCELERATOR FAILURES ({budget:?} budget, {threads} search threads)"
-    );
+    let ctx = BinContext::from_env();
+    let budget = ctx.budget;
+    ctx.print_header("TABLE FAILOVER: EPOCH-STYLE RECOVERY FROM ACCELERATOR FAILURES");
     println!(
         "{:<14} {:<9} {:>6} {:>8} {:>7} {:>8} {:>6} {:>8} {:>8} {:>9}",
         "Mix",

@@ -12,12 +12,11 @@
 //! MARS_THREADS=8 cargo run --release -p mars-bench --bin table_fleet
 //! ```
 
-use mars_bench::table_fleet_row;
+use mars_bench::{table_fleet_row, BinContext};
 use mars_model::zoo::MixZoo;
 
 fn main() {
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!("TABLE FLEET: CALENDAR-QUEUE ENGINE AT FLEET SCALE ({threads} shard threads)");
+    BinContext::from_env().print_shard_header("TABLE FLEET: CALENDAR-QUEUE ENGINE AT FLEET SCALE");
 
     let row = table_fleet_row(42);
     println!(

@@ -10,12 +10,11 @@
 //! MARS_THREADS=8 cargo run --release -p mars-bench --bin table_llm
 //! ```
 
-use mars_bench::table_llm_row;
+use mars_bench::{table_llm_row, BinContext};
 use mars_serve::BatchingMode;
 
 fn main() {
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!("TABLE LLM: CONTINUOUS BATCHING VS ONE-SHOT ({threads} shard threads)");
+    BinContext::from_env().print_shard_header("TABLE LLM: CONTINUOUS BATCHING VS ONE-SHOT");
 
     let row = table_llm_row(42);
     println!(

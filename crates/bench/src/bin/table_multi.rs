@@ -10,16 +10,14 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table_multi
 //! ```
 
-use mars_bench::{table_multi_row, Budget};
+use mars_bench::{table_multi_row, BinContext};
 use mars_core::report;
 use mars_model::zoo::MixZoo;
 
 fn main() {
-    let budget = Budget::from_env();
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!(
-        "TABLE MULTI: CO-SCHEDULED VS SEQUENTIAL-EXCLUSIVE EXECUTION ({budget:?} budget, {threads} search threads)"
-    );
+    let ctx = BinContext::from_env();
+    let budget = ctx.budget;
+    ctx.print_header("TABLE MULTI: CO-SCHEDULED VS SEQUENTIAL-EXCLUSIVE EXECUTION");
     println!(
         "{:<14} {:>5} {:>12} {:>14} {:>9} {:>10} {:>8}",
         "Mix", "#DNNs", "CoSched/ms", "Sequential/ms", "Speedup", "Thruput/s", "Inner"

@@ -10,16 +10,14 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table_serve
 //! ```
 
-use mars_bench::{table_serve_row, Budget};
+use mars_bench::{table_serve_row, BinContext};
 use mars_model::zoo::MixZoo;
 use mars_serve::render_serve;
 
 fn main() {
-    let budget = Budget::from_env();
-    let threads = mars_parallel::resolve_threads(mars_bench::threads_from_env());
-    println!(
-        "TABLE SERVE: SLA-AWARE DYNAMIC BATCHING OVER CO-SCHEDULE PLACEMENTS ({budget:?} budget, {threads} search threads)"
-    );
+    let ctx = BinContext::from_env();
+    let budget = ctx.budget;
+    ctx.print_header("TABLE SERVE: SLA-AWARE DYNAMIC BATCHING OVER CO-SCHEDULE PLACEMENTS");
     println!(
         "{:<14} {:<6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6}",
         "Mix",

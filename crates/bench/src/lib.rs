@@ -17,7 +17,7 @@
 use mars_accel::Catalog;
 use mars_core::{
     baseline, co_schedule, CoScheduleConfig, CoScheduleResult, InnerSearchCache, Mapping, Mars,
-    SearchConfig, SearchResult, Workload,
+    SearchConfig, SearchEngine, SearchResult, Workload,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
 use mars_model::{Network, PhasedTraffic, TrafficProfile};
@@ -643,6 +643,114 @@ pub fn run_mars(
     Mars::new(net, topo, &catalog)
         .with_config(budget.search_config(seed).with_threads(threads))
         .search()
+}
+
+/// Environment-resolved context shared by every table binary: the search
+/// budget, the resolved worker-thread count, and the uniform header and
+/// throughput lines — so the `MARS_THREADS` parsing and evals/s reporting
+/// are written once instead of per binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BinContext {
+    /// Search budget from `MARS_BUDGET`.
+    pub budget: Budget,
+    /// Resolved worker-thread count from `MARS_THREADS` (`0` already mapped
+    /// to the machine's available parallelism).
+    pub threads: usize,
+}
+
+impl BinContext {
+    /// Reads `MARS_BUDGET` and `MARS_THREADS`.
+    pub fn from_env() -> Self {
+        Self {
+            budget: Budget::from_env(),
+            threads: mars_parallel::resolve_threads(threads_from_env()),
+        }
+    }
+
+    /// Prints the standard table header:
+    /// `TITLE (Fast budget, N search threads)`.
+    pub fn print_header(&self, title: &str) {
+        println!(
+            "{title} ({:?} budget, {} search threads)",
+            self.budget, self.threads
+        );
+    }
+
+    /// Prints a header for binaries whose workers are simulation shards, not
+    /// search threads: `TITLE (N shard threads)`.
+    pub fn print_shard_header(&self, title: &str) {
+        println!("{title} ({} shard threads)", self.threads);
+    }
+
+    /// The uniform evaluation-throughput suffix, e.g.
+    /// `(48 evaluations in 0.12 s, 400.0 evals/s)`.
+    pub fn throughput_suffix(evaluations: usize, seconds: f64) -> String {
+        format!(
+            "({evaluations} evaluations in {seconds:.2} s, {:.1} evals/s)",
+            evaluations as f64 / seconds.max(1e-12)
+        )
+    }
+}
+
+/// Head-to-head of the flat search engine against the retained reference
+/// engine on one benchmark: identical workload, seed and thread count, both
+/// outcomes asserted bit-identical before any timing is reported.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// Benchmark network.
+    pub benchmark: Benchmark,
+    /// Wall-clock seconds of the flat (rebuilt) engine's search.
+    pub flat_seconds: f64,
+    /// Wall-clock seconds of the reference engine's search.
+    pub reference_seconds: f64,
+    /// First-level fitness evaluations (identical for both engines).
+    pub evaluations: usize,
+}
+
+impl EngineRow {
+    /// Reference wall clock over flat wall clock — the `perf_smoke`
+    /// `table3_min_search_speedup` headline.
+    pub fn engine_speedup(&self) -> f64 {
+        self.reference_seconds / self.flat_seconds.max(1e-12)
+    }
+
+    /// First-level evaluations per second of the flat engine.
+    pub fn flat_evals_per_second(&self) -> f64 {
+        self.evaluations as f64 / self.flat_seconds.max(1e-12)
+    }
+}
+
+/// Runs one engine head-to-head row on the F1 platform.  Panics if the two
+/// engines disagree on any part of the outcome (mapping, history or
+/// evaluation count) — the bench refuses to print a speedup over an oracle
+/// it diverges from.  Cache/timing stats are the one field allowed to
+/// differ, so the comparison is field-wise.
+pub fn search_engine_row(benchmark: Benchmark, budget: Budget, seed: u64) -> EngineRow {
+    let net = benchmark.build();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let run = |engine| {
+        Mars::new(&net, &topo, &catalog)
+            .with_config(budget.search_config(seed).with_engine(engine))
+            .search()
+    };
+    let flat = run(SearchEngine::Flat);
+    let reference = run(SearchEngine::Reference);
+    assert_eq!(
+        flat.mapping.latency_seconds.to_bits(),
+        reference.mapping.latency_seconds.to_bits(),
+        "{benchmark:?}: search engines diverged on latency"
+    );
+    assert_eq!(flat.mapping.assignments, reference.mapping.assignments);
+    assert_eq!(flat.mapping.strategies, reference.mapping.strategies);
+    assert_eq!(flat.history, reference.history);
+    assert_eq!(flat.evaluations, reference.evaluations);
+    EngineRow {
+        benchmark,
+        flat_seconds: flat.elapsed.as_secs_f64(),
+        reference_seconds: reference.elapsed.as_secs_f64(),
+        evaluations: flat.evaluations,
+    }
 }
 
 /// Formats a latency-and-reduction pair the way the paper's tables do, e.g.

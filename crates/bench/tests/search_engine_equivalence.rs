@@ -1,0 +1,92 @@
+//! Differential harness for the rebuilt search core: the flat engine must be
+//! *bit-identical* to the retained reference engine — same mappings, same
+//! fitness histories, same evaluation counts — on every bundled workload, at
+//! every worker-thread count.
+//!
+//! Two layers of coverage:
+//!
+//! - single-model searches on all five Table III benchmarks
+//!   ([`search_engine_row`] asserts field-wise equality internally);
+//! - full co-schedules on all bundled MixZoo mixes, where the engines run as
+//!   the *inner* per-workload search under the outer partition GA.
+//!
+//! Wall-clock stats (`elapsed`, cache hit/miss counters) are the only fields
+//! allowed to differ: the engines share the trajectory, not the timing.
+
+use mars_accel::Catalog;
+use mars_bench::{search_engine_row, Budget};
+use mars_core::{co_schedule, CoScheduleResult, SearchEngine};
+use mars_model::zoo::{Benchmark, MixZoo};
+use mars_topology::presets;
+
+/// Runs the mix's co-schedule with the given inner search engine.
+fn co_schedule_with_engine(mix: MixZoo, threads: usize, engine: SearchEngine) -> CoScheduleResult {
+    let workloads = mix.entries();
+    let topo = presets::f1_16xlarge();
+    let catalog = Catalog::standard_three();
+    let mut config = Budget::Fast.co_schedule_config(77).with_threads(threads);
+    config.inner = config.inner.with_engine(engine);
+    co_schedule(&workloads, &topo, &catalog, &config).expect("bundled mixes fit the F1 platform")
+}
+
+/// Field-wise equality of two co-schedule outcomes, `elapsed` excluded.
+fn assert_co_schedules_identical(mix: MixZoo, a: &CoScheduleResult, b: &CoScheduleResult) {
+    assert_eq!(
+        a.makespan_seconds.to_bits(),
+        b.makespan_seconds.to_bits(),
+        "{mix:?}: makespans diverged"
+    );
+    assert_eq!(
+        a.weighted_makespan_seconds.to_bits(),
+        b.weighted_makespan_seconds.to_bits()
+    );
+    assert_eq!(a.outer_history, b.outer_history, "{mix:?}");
+    assert_eq!(a.outer_evaluations, b.outer_evaluations);
+    assert_eq!(a.inner_searches, b.inner_searches);
+    assert_eq!(a.placements.len(), b.placements.len());
+    for (pa, pb) in a.placements.iter().zip(&b.placements) {
+        assert_eq!(pa.workload, pb.workload);
+        assert_eq!(pa.accels, pb.accels, "{mix:?} workload {}", pa.workload);
+        assert_eq!(
+            pa.result.mapping.latency_seconds.to_bits(),
+            pb.result.mapping.latency_seconds.to_bits(),
+            "{mix:?} workload {}: inner engines diverged on latency",
+            pa.workload
+        );
+        assert_eq!(pa.result.mapping.assignments, pb.result.mapping.assignments);
+        assert_eq!(pa.result.mapping.strategies, pb.result.mapping.strategies);
+        assert_eq!(pa.result.history, pb.result.history);
+        assert_eq!(pa.result.evaluations, pb.result.evaluations);
+    }
+}
+
+/// Every Table III benchmark, both engines, serial workers.
+/// `search_engine_row` panics internally on any mapping/history/evaluation
+/// divergence before returning timings.
+#[test]
+fn engines_agree_on_all_benchmarks_serial() {
+    for (i, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+        let row = search_engine_row(benchmark, Budget::Fast, 40 + i as u64);
+        assert!(row.evaluations > 0);
+    }
+}
+
+/// The engine contract is thread-count invariant: the same benchmark at 1
+/// and 4 workers produces one identical trajectory for both engines.
+#[test]
+fn engines_agree_on_all_mixes_at_one_and_four_threads() {
+    for mix in MixZoo::ALL {
+        let mut serial_flat: Option<CoScheduleResult> = None;
+        for threads in [1usize, 4] {
+            let flat = co_schedule_with_engine(mix, threads, SearchEngine::Flat);
+            let reference = co_schedule_with_engine(mix, threads, SearchEngine::Reference);
+            assert_co_schedules_identical(mix, &flat, &reference);
+            // Thread count changes nothing either — one trajectory total.
+            if let Some(serial) = &serial_flat {
+                assert_co_schedules_identical(mix, serial, &flat);
+            } else {
+                serial_flat = Some(flat);
+            }
+        }
+    }
+}

@@ -65,6 +65,64 @@ fn ring_chunk(cfg: &CommConfig, bytes: u64, p: usize) -> u64 {
     (bytes / p.max(1) as u64).max(cfg.min_chunk_bytes.min(bytes.max(1)))
 }
 
+/// Makespan of `steps` barrier-separated ring steps over `set`, each step
+/// sending `chunk_bytes` from every member to its ring successor — the exact
+/// fast path of `engine.simulate(&ring_steps(set, steps, chunk_bytes))`.
+///
+/// In that DAG every step is a full barrier and each directional link (or
+/// host up/down link) is occupied exactly once per step, so list scheduling
+/// degenerates to the recurrence `M_k = max_i((M_{k-1} + up_i) + down_i)`.
+/// The float operations below replay the engine's per-hop additions in the
+/// same order, so the result is bit-identical — the ring collectives sit on
+/// the search's per-layer miss path, where skipping the DAG construction,
+/// per-transfer allocations and resource hashing is worth ~20x.
+fn ring_makespan(engine: &Engine<'_>, set: &[AccelId], steps: usize, chunk_bytes: u64) -> f64 {
+    let topo = engine.topology();
+    let cfg = engine.config();
+    let p = set.len();
+    // Per ring edge: the one or two hop durations the engine would price.
+    let edges: Vec<(f64, f64, bool)> = (0..p)
+        .map(|i| {
+            let a = set[i];
+            let b = set[(i + 1) % p];
+            if topo.requires_host_staging(a, b) {
+                (
+                    cfg.host_latency + transfer_seconds(chunk_bytes, topo.host_bandwidth(a)),
+                    cfg.host_latency + transfer_seconds(chunk_bytes, topo.host_bandwidth(b)),
+                    true,
+                )
+            } else {
+                (
+                    cfg.link_latency + transfer_seconds(chunk_bytes, topo.bandwidth(a, b)),
+                    0.0,
+                    false,
+                )
+            }
+        })
+        .collect();
+
+    let mut makespan = 0.0_f64;
+    for _ in 0..steps {
+        let barrier = makespan;
+        for &(up, down, staged) in &edges {
+            let completion = if staged {
+                (barrier + up) + down
+            } else {
+                barrier + up
+            };
+            makespan = makespan.max(completion);
+        }
+    }
+    debug_assert_eq!(
+        makespan.to_bits(),
+        engine
+            .simulate(&ring_steps(set, steps, chunk_bytes))
+            .to_bits(),
+        "ring fast path diverged from the event engine"
+    );
+    makespan
+}
+
 /// Ring All-Reduce of a tensor of `bytes` replicated on every member of `set`.
 ///
 /// Used to combine the partial sums produced when a reduction dimension
@@ -76,7 +134,7 @@ pub fn all_reduce(engine: &Engine<'_>, cfg: &CommConfig, set: &[AccelId], bytes:
     }
     let chunk = ring_chunk(cfg, bytes, p);
     // Reduce-scatter (p-1 steps) followed by all-gather (p-1 steps).
-    engine.simulate(&ring_steps(set, 2 * (p - 1), chunk))
+    ring_makespan(engine, set, 2 * (p - 1), chunk)
 }
 
 /// Closed-form estimate of [`all_reduce`].
@@ -96,7 +154,7 @@ pub fn all_gather(engine: &Engine<'_>, set: &[AccelId], shard_bytes: u64) -> f64
     if p < 2 || shard_bytes == 0 {
         return 0.0;
     }
-    engine.simulate(&ring_steps(set, p - 1, shard_bytes))
+    ring_makespan(engine, set, p - 1, shard_bytes)
 }
 
 /// Closed-form estimate of [`all_gather`].
@@ -120,7 +178,7 @@ pub fn reduce_scatter(engine: &Engine<'_>, cfg: &CommConfig, set: &[AccelId], by
         return 0.0;
     }
     let chunk = ring_chunk(cfg, bytes, p);
-    engine.simulate(&ring_steps(set, p - 1, chunk))
+    ring_makespan(engine, set, p - 1, chunk)
 }
 
 /// One ring-shift step: every member sends a shard of `shard_bytes` to its ring
@@ -131,7 +189,7 @@ pub fn ring_shift(engine: &Engine<'_>, set: &[AccelId], shard_bytes: u64) -> f64
     if p < 2 || shard_bytes == 0 {
         return 0.0;
     }
-    engine.simulate(&ring_steps(set, 1, shard_bytes))
+    ring_makespan(engine, set, 1, shard_bytes)
 }
 
 /// Closed-form estimate of [`ring_shift`].
@@ -233,6 +291,28 @@ mod tests {
 
     fn group(topo: &Topology) -> Vec<AccelId> {
         topo.group_members(0)
+    }
+
+    #[test]
+    fn ring_fast_path_matches_event_engine_bitwise() {
+        // The recurrence in `ring_makespan` must replay the event engine's
+        // float ops exactly — including on host-staged (cross-group) rings
+        // where every transfer expands to two hops.
+        let topo = presets::f1_16xlarge();
+        let intra = group(&topo);
+        let cross: Vec<AccelId> = vec![AccelId(0), AccelId(1), AccelId(4), AccelId(5)];
+        for cfg in [CommConfig::new(), CommConfig::zero_latency()] {
+            let engine = Engine::new(&topo, cfg);
+            for set in [&intra, &cross] {
+                for steps in [1usize, 3, 6] {
+                    for bytes in [1u64, 4096, 1 << 20] {
+                        let fast = ring_makespan(&engine, set, steps, bytes);
+                        let dag = engine.simulate(&ring_steps(set, steps, bytes));
+                        assert_eq!(fast.to_bits(), dag.to_bits(), "{set:?} {steps} {bytes}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -96,6 +96,11 @@ impl<'a> Engine<'a> {
         self.topo
     }
 
+    /// The configuration the engine prices hops with.
+    pub fn config(&self) -> CommConfig {
+        self.cfg
+    }
+
     /// Expands a transfer into its sequence of hops (1 for direct or
     /// host-terminated transfers, 2 for host-staged accelerator pairs).
     fn hops(&self, t: &Transfer) -> Vec<Hop> {

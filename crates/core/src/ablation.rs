@@ -116,6 +116,11 @@ fn result_from(
         history,
         evaluations: evals,
         elapsed,
+        stats: crate::EvalStats {
+            evaluations: evals,
+            elapsed,
+            ..Default::default()
+        },
     }
 }
 

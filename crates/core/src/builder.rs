@@ -1,0 +1,350 @@
+//! One fluent entry point for every MARS search.
+//!
+//! [`SearchBuilder`] unifies the seed / budget / thread / engine knobs that
+//! used to be spread over [`SearchConfig`], [`GaConfig`] and
+//! [`CoScheduleConfig`], and drives both the single-workload search
+//! ([`SearchBuilder::search`]) and the multi-workload co-schedule
+//! ([`SearchBuilder::co_schedule`]) from the same configured state.  The old
+//! constructors remain as thin wrappers — see the migration examples below.
+
+use crate::evaluator::DesignPolicy;
+use crate::ga::GaConfig;
+use crate::mapper::{Mars, SearchConfig, SearchEngine, SearchResult};
+use crate::scheduler::{
+    self, CoScheduleConfig, CoScheduleError, CoScheduleResult, InnerSearchCache, WarmStart,
+    Workload,
+};
+use mars_accel::{Catalog, DesignId};
+use mars_model::Network;
+use mars_topology::{AccelId, Topology};
+use std::collections::BTreeMap;
+
+/// Search budget preset underlying a [`SearchBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Budget {
+    /// Paper-scale populations and generation counts.
+    #[default]
+    Standard,
+    /// The reduced budget used by tests, examples and quick runs.
+    Fast,
+}
+
+/// Fluent builder for MARS searches — the recommended way to configure and
+/// run both the single-workload two-level search and the multi-workload
+/// co-schedule.
+///
+/// ```
+/// use mars_accel::Catalog;
+/// use mars_core::SearchBuilder;
+/// use mars_model::zoo;
+/// use mars_topology::presets;
+///
+/// let net = zoo::alexnet(1000);
+/// let topo = presets::f1_16xlarge();
+/// let catalog = Catalog::standard_three();
+///
+/// let result = SearchBuilder::new(42)
+///     .fast()
+///     .threads(2)
+///     .search(&net, &topo, &catalog);
+/// assert!(result.mapping.is_valid());
+/// assert!(result.stats.evals_per_second() > 0.0);
+/// ```
+///
+/// # Migration
+///
+/// The pre-builder constructors still work but are deprecated in favour of
+/// the equivalent builder chain:
+///
+/// ```
+/// use mars_core::{CoScheduleConfig, SearchBuilder, SearchConfig};
+///
+/// // Before: SearchConfig::fast(42).with_threads(4)
+/// let new = SearchBuilder::new(42).fast().threads(4).search_config();
+/// assert_eq!(new, SearchConfig::fast(42).with_threads(4));
+///
+/// // Before: CoScheduleConfig::standard(7).with_threads(2)
+/// let new = SearchBuilder::new(7).threads(2).co_schedule_config();
+/// assert_eq!(new, CoScheduleConfig::standard(7).with_threads(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SearchBuilder {
+    seed: u64,
+    budget: Budget,
+    threads: Option<usize>,
+    max_sets: Option<usize>,
+    engine: SearchEngine,
+    early_termination: bool,
+    first_level: Option<GaConfig>,
+    second_level: Option<GaConfig>,
+    outer: Option<GaConfig>,
+    warm: Option<WarmStart>,
+    fixed_designs: Option<BTreeMap<AccelId, DesignId>>,
+}
+
+impl SearchBuilder {
+    /// Starts a builder with the given master seed, the standard
+    /// (paper-scale) budget and the default (flat) engine.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Selects the reduced budget used by tests, examples and quick runs
+    /// (the former [`SearchConfig::fast`] / [`CoScheduleConfig::fast`]).
+    pub fn fast(mut self) -> Self {
+        self.budget = Budget::Fast;
+        self
+    }
+
+    /// Selects the paper-scale budget (the former [`SearchConfig::standard`]
+    /// / [`CoScheduleConfig::standard`]); this is the default.
+    pub fn standard(mut self) -> Self {
+        self.budget = Budget::Standard;
+        self
+    }
+
+    /// Worker threads for the outermost fitness loop (`0` = ask the OS,
+    /// `1` = serial).  Outcomes are bit-identical for every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Caps the number of accelerator sets the first level may form
+    /// (`0` = one per accelerator, the default).
+    pub fn max_sets(mut self, max_sets: usize) -> Self {
+        self.max_sets = Some(max_sets);
+        self
+    }
+
+    /// Selects the search engine ([`SearchEngine::Flat`] by default).
+    pub fn engine(mut self, engine: SearchEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables early termination of dominated second-level genomes (flat
+    /// engine only) — see [`SearchConfig::early_termination`] for the
+    /// determinism trade-off.
+    pub fn early_termination(mut self, on: bool) -> Self {
+        self.early_termination = on;
+        self
+    }
+
+    /// Overrides the first-level GA hyper-parameters (its `seed`/`threads`
+    /// fields are taken as given — combine with [`SearchBuilder::threads`]
+    /// deliberately).
+    pub fn first_level(mut self, ga: GaConfig) -> Self {
+        self.first_level = Some(ga);
+        self
+    }
+
+    /// Overrides the second-level GA hyper-parameters.
+    pub fn second_level(mut self, ga: GaConfig) -> Self {
+        self.second_level = Some(ga);
+        self
+    }
+
+    /// Overrides the outer (partition) GA hyper-parameters of the
+    /// co-schedule.
+    pub fn outer(mut self, ga: GaConfig) -> Self {
+        self.outer = Some(ga);
+        self
+    }
+
+    /// Warm-starts the co-schedule from an incumbent placement — see
+    /// [`CoScheduleConfig::warm_start`].  Ignored by the single-workload
+    /// search.
+    pub fn warm_start(mut self, incumbent: &CoScheduleResult) -> Self {
+        self.warm = Some(WarmStart::from_result(incumbent));
+        self
+    }
+
+    /// Uses the fixed heterogeneous-design policy for the single-workload
+    /// search (see [`Mars::with_fixed_designs`]).  Ignored by the
+    /// co-schedule.
+    pub fn fixed_designs(mut self, designs: BTreeMap<AccelId, DesignId>) -> Self {
+        self.fixed_designs = Some(designs);
+        self
+    }
+
+    /// The [`SearchConfig`] this builder resolves to.
+    pub fn search_config(&self) -> SearchConfig {
+        let mut cfg = match self.budget {
+            Budget::Standard => SearchConfig::standard(self.seed),
+            Budget::Fast => SearchConfig::fast(self.seed),
+        };
+        if let Some(fl) = self.first_level {
+            cfg.first_level = fl;
+        }
+        if let Some(sl) = self.second_level {
+            cfg.second_level = sl;
+        }
+        if let Some(max_sets) = self.max_sets {
+            cfg.max_sets = max_sets;
+        }
+        cfg.engine = self.engine;
+        cfg.early_termination = self.early_termination;
+        if let Some(threads) = self.threads {
+            cfg = cfg.with_threads(threads);
+        }
+        cfg
+    }
+
+    /// The [`CoScheduleConfig`] this builder resolves to.  The inner
+    /// per-workload searches always use the fast budget (matching the former
+    /// constructors); engine and early-termination choices carry through to
+    /// them.
+    pub fn co_schedule_config(&self) -> CoScheduleConfig {
+        let mut cfg = match self.budget {
+            Budget::Standard => CoScheduleConfig::standard(self.seed),
+            Budget::Fast => CoScheduleConfig::fast(self.seed),
+        };
+        if let Some(outer) = self.outer {
+            cfg.outer = outer;
+        }
+        cfg.inner.engine = self.engine;
+        cfg.inner.early_termination = self.early_termination;
+        if let Some(max_sets) = self.max_sets {
+            cfg.inner.max_sets = max_sets;
+        }
+        if let Some(threads) = self.threads {
+            cfg = cfg.with_threads(threads);
+        }
+        cfg.warm = self.warm.clone();
+        cfg
+    }
+
+    /// Runs the single-workload two-level search.
+    pub fn search(&self, net: &Network, topo: &Topology, catalog: &Catalog) -> SearchResult {
+        let mut mars = Mars::new(net, topo, catalog).with_config(self.search_config());
+        if let Some(designs) = &self.fixed_designs {
+            mars = mars.with_fixed_designs(designs.clone());
+        }
+        mars.search()
+    }
+
+    /// Runs the multi-workload co-schedule.
+    ///
+    /// # Errors
+    ///
+    /// As for [`scheduler::co_schedule`]: rejects empty workload lists, more
+    /// workloads than accelerators, and non-positive weights or batches.
+    pub fn co_schedule(
+        &self,
+        workloads: &[Workload],
+        topo: &Topology,
+        catalog: &Catalog,
+    ) -> Result<CoScheduleResult, CoScheduleError> {
+        scheduler::co_schedule(workloads, topo, catalog, &self.co_schedule_config())
+    }
+
+    /// Runs the multi-workload co-schedule against a shared inner-search
+    /// cache (for online re-scheduling flows).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SearchBuilder::co_schedule`].
+    pub fn co_schedule_cached(
+        &self,
+        workloads: &[Workload],
+        topo: &Topology,
+        catalog: &Catalog,
+        shared: &InnerSearchCache,
+    ) -> Result<CoScheduleResult, CoScheduleError> {
+        scheduler::co_schedule_cached(workloads, topo, catalog, &self.co_schedule_config(), shared)
+    }
+
+    /// The design policy the single-workload search will run with.
+    pub fn policy(&self) -> DesignPolicy {
+        match &self.fixed_designs {
+            Some(designs) => DesignPolicy::Fixed(designs.clone()),
+            None => DesignPolicy::Adaptive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mars_model::zoo;
+    use mars_topology::presets;
+
+    #[test]
+    fn builder_matches_the_legacy_constructors() {
+        assert_eq!(
+            SearchBuilder::new(42).fast().threads(4).search_config(),
+            SearchConfig::fast(42).with_threads(4)
+        );
+        assert_eq!(
+            SearchBuilder::new(9).search_config(),
+            SearchConfig::standard(9)
+        );
+        assert_eq!(
+            SearchBuilder::new(7).threads(2).co_schedule_config(),
+            CoScheduleConfig::standard(7).with_threads(2)
+        );
+        assert_eq!(
+            SearchBuilder::new(3).fast().co_schedule_config(),
+            CoScheduleConfig::fast(3)
+        );
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let ga = GaConfig::tiny(5);
+        let cfg = SearchBuilder::new(5)
+            .fast()
+            .first_level(ga)
+            .second_level(ga)
+            .max_sets(2)
+            .engine(SearchEngine::Reference)
+            .early_termination(true)
+            .search_config();
+        assert_eq!(cfg.first_level, ga);
+        assert_eq!(cfg.second_level, ga);
+        assert_eq!(cfg.max_sets, 2);
+        assert_eq!(cfg.engine, SearchEngine::Reference);
+        assert!(cfg.early_termination);
+
+        let co = SearchBuilder::new(5)
+            .engine(SearchEngine::Reference)
+            .outer(ga)
+            .co_schedule_config();
+        assert_eq!(co.outer, ga);
+        assert_eq!(co.inner.engine, SearchEngine::Reference);
+    }
+
+    #[test]
+    fn builder_search_equals_direct_mars_search() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let via_builder = SearchBuilder::new(11).fast().search(&net, &topo, &catalog);
+        let direct = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(11))
+            .search();
+        assert_eq!(
+            via_builder.mapping.latency_seconds.to_bits(),
+            direct.mapping.latency_seconds.to_bits()
+        );
+        assert_eq!(via_builder.mapping.assignments, direct.mapping.assignments);
+    }
+
+    #[test]
+    fn builder_co_schedule_runs_and_warm_start_sticks() {
+        let workloads: Vec<Workload> = zoo::MixZoo::ResNetSurf.entries();
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let builder = SearchBuilder::new(21).fast();
+        let first = builder
+            .co_schedule(&workloads, &topo, &catalog)
+            .expect("valid co-schedule");
+        assert!(first.placements.len() == workloads.len());
+        let warmed = builder.warm_start(&first).co_schedule_config();
+        assert!(warmed.warm.is_some());
+    }
+}

@@ -11,13 +11,16 @@
 use crate::mapping::Assignment;
 use mars_accel::{AccelDesign, Catalog, DesignId, PerformanceModel};
 use mars_comm::CommSim;
-use mars_model::{DimSet, Network};
-use mars_parallel::{evaluate_layer, evaluate_non_conv, EvalContext, ShardedCache, Strategy};
+use mars_model::{ConvParams, DimSet, Network};
+use mars_parallel::{
+    evaluate_layer, evaluate_non_conv, CacheStats, EvalContext, ShardedCache, Strategy,
+};
 use mars_topology::{AccelId, Topology};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8};
+use std::sync::{Arc, Mutex};
 
 /// How accelerator designs are decided.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,13 +112,13 @@ pub struct AssignmentCost {
     pub memory_ok: bool,
 }
 
-enum ModelHandle {
+pub(crate) enum ModelHandle {
     Shared(Arc<dyn PerformanceModel>),
     Worst(Box<WorstOfModel>),
 }
 
 impl ModelHandle {
-    fn as_dyn(&self) -> &dyn PerformanceModel {
+    pub(crate) fn as_dyn(&self) -> &dyn PerformanceModel {
         match self {
             ModelHandle::Shared(m) => m.as_ref(),
             ModelHandle::Worst(m) => m.as_ref(),
@@ -123,8 +126,50 @@ impl ModelHandle {
     }
 }
 
-type LayerCacheKey = (usize, u64, Strategy);
+// Keyed by the layer's *shape* (exact `ConvParams` contents, not an index or
+// a hash of them), the accelerator-context signature, a layer tag and the
+// strategy.  With shape keying (the default) the tag is a constant, so every
+// layer of every generation — and every repeated shape within a network,
+// which CNNs have in abundance — that resolves to the same shape/context/
+// strategy triple shares one memoised entry across the whole search.  With
+// per-layer keying (the pre-rebuild behaviour, kept for the reference search
+// engine) the tag is the layer index, so repeated shapes do not share.
+type LayerCacheKey = (ConvParams, u64, u32, Strategy);
 type LayerCacheValue = (f64, u64, bool);
+
+/// Size of the dense strategy axis of a [`TermTable`]: a [`Strategy`] packs
+/// into nine bits (a six-bit ES dimension mask — at most two bits set — and
+/// a three-bit shared-dimension code), so every decodable strategy has a
+/// slot.
+pub(crate) const STRATEGY_CODES: usize = 512;
+
+/// Dense index of a strategy in a [`STRATEGY_CODES`]-entry table row.
+fn strategy_code(s: Strategy) -> usize {
+    let es_bits: usize = s.es().iter().map(|d| 1usize << d.index()).sum();
+    let ss = s.ss().map_or(0, |d| d.index() + 1);
+    (es_bits << 3) | ss
+}
+
+/// One lock-free slot of a [`TermTable`].  `state` is `0` while empty and
+/// `1` (memory fits) or `2` (memory exceeded) once filled; the release store
+/// on `state` publishes the relaxed `seconds`/`weight` stores to any thread
+/// whose acquire load observes it.  Concurrent fills recompute the same pure
+/// value, so the race is benign.
+#[derive(Default)]
+struct MemoSlot {
+    state: AtomicU8,
+    seconds: AtomicU64,
+    weight: AtomicU64,
+}
+
+/// Dense per-layer term memo of one evaluation context, shared across every
+/// second-level search with the same context signature: one lock-free slot
+/// per `(layer shape class, strategy code)`.  Repeated shapes collapse onto
+/// one row, so a term is computed once per search run rather than once per
+/// search — the flat engine's cross-generation (and cross-search) cache.
+pub(crate) struct TermTable {
+    slots: Vec<MemoSlot>,
+}
 
 /// Evaluates mappings of one network onto one topology with one design
 /// catalogue.
@@ -159,6 +204,18 @@ pub struct Evaluator<'a> {
     sim: CommSim<'a>,
     policy: DesignPolicy,
     cache: ShardedCache<LayerCacheKey, LayerCacheValue>,
+    /// Greedy per-layer winners, keyed by shape + context signature: the
+    /// arg-min over the paper's candidate strategies is a pure function of
+    /// the layer shape and evaluation context, so the flat engine's greedy
+    /// seeding reuses it across repeated shapes, assignments and searches.
+    greedy_cache: ShardedCache<(ConvParams, u64), Strategy>,
+    /// Per-context-signature [`TermTable`]s (flat engine only).
+    term_tables: Mutex<HashMap<u64, Arc<TermTable>>>,
+    /// Shape class of every layer: layers with identical [`ConvParams`] share
+    /// a class (and a [`TermTable`] row); non-compute layers get `u32::MAX`.
+    shape_class: Vec<u32>,
+    n_shape_classes: usize,
+    per_layer_keys: bool,
 }
 
 impl<'a> Evaluator<'a> {
@@ -174,6 +231,21 @@ impl<'a> Evaluator<'a> {
         catalog: &'a Catalog,
         policy: DesignPolicy,
     ) -> Self {
+        let mut shapes: Vec<ConvParams> = Vec::new();
+        let shape_class: Vec<u32> = net
+            .layers()
+            .iter()
+            .map(|layer| match layer.as_conv() {
+                Some(conv) => match shapes.iter().position(|s| *s == conv) {
+                    Some(i) => i as u32,
+                    None => {
+                        shapes.push(conv);
+                        (shapes.len() - 1) as u32
+                    }
+                },
+                None => u32::MAX,
+            })
+            .collect();
         Self {
             net,
             topo,
@@ -181,7 +253,25 @@ impl<'a> Evaluator<'a> {
             sim: CommSim::new(topo),
             policy,
             cache: ShardedCache::new(),
+            greedy_cache: ShardedCache::new(),
+            term_tables: Mutex::new(HashMap::new()),
+            n_shape_classes: shapes.len(),
+            shape_class,
+            per_layer_keys: false,
         }
+    }
+
+    /// Switches the per-layer memo cache from shape keys to per-layer-index
+    /// keys — the keying the search used before repeated shapes were
+    /// deduplicated.  Cached values are a pure function of shape, context and
+    /// strategy, so every latency is bit-identical either way; only reuse
+    /// across repeated shapes changes.  The retained reference search engine
+    /// runs with this keying so engine head-to-heads measure the rebuilt
+    /// pipeline rather than crediting the shared shape cache to both sides.
+    #[must_use]
+    pub fn with_per_layer_cache_keys(mut self) -> Self {
+        self.per_layer_keys = true;
+        self
     }
 
     /// The network being mapped.
@@ -209,7 +299,17 @@ impl<'a> Evaluator<'a> {
         self.cache.len()
     }
 
-    fn model_for(&self, assignment: &Assignment) -> ModelHandle {
+    /// Hit/miss counters of the per-layer memo cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The communication simulator the evaluator prices collectives with.
+    pub(crate) fn comm(&self) -> &CommSim<'a> {
+        &self.sim
+    }
+
+    pub(crate) fn model_for(&self, assignment: &Assignment) -> ModelHandle {
         match &self.policy {
             DesignPolicy::Adaptive => ModelHandle::Shared(
                 self.catalog
@@ -241,7 +341,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn context_signature(&self, assignment: &Assignment) -> u64 {
+    pub(crate) fn context_signature(&self, assignment: &Assignment) -> u64 {
         let mut h = DefaultHasher::new();
         assignment.accels.hash(&mut h);
         match &self.policy {
@@ -255,18 +355,23 @@ impl<'a> Evaluator<'a> {
         h.finish()
     }
 
-    fn cached_conv_eval(
+    pub(crate) fn cached_conv_eval(
         &self,
         layer_index: usize,
         strategy: Strategy,
         signature: u64,
         ctx: &EvalContext<'_>,
     ) -> LayerCacheValue {
-        let key = (layer_index, signature, strategy);
+        let conv = self.net.layers()[layer_index]
+            .as_conv()
+            .expect("compute layer");
+        let tag = if self.per_layer_keys {
+            layer_index as u32
+        } else {
+            u32::MAX
+        };
+        let key = (conv, signature, tag, strategy);
         self.cache.get_or_insert_with(key, || {
-            let conv = self.net.layers()[layer_index]
-                .as_conv()
-                .expect("compute layer");
             let eval = evaluate_layer(&conv, &strategy, ctx);
             (
                 eval.total_seconds(),
@@ -274,6 +379,100 @@ impl<'a> Evaluator<'a> {
                 eval.memory_ok,
             )
         })
+    }
+
+    /// The best strategy for one compute layer in one evaluation context:
+    /// the latency arg-min over [`mars_parallel::paper_strategies`] with the
+    /// default (unpartitioned) strategy as the initial incumbent and ties
+    /// resolved to the earlier candidate.  The winner is a pure function of
+    /// the layer shape and the context signature, so it is memoised across
+    /// repeated shapes, assignments and searches; the flat search engine
+    /// seeds its per-layer genes from it without rescanning the candidate
+    /// space.
+    pub(crate) fn greedy_paper_strategy(
+        &self,
+        table: &TermTable,
+        layer_index: usize,
+        signature: u64,
+        ctx: &EvalContext<'_>,
+    ) -> Strategy {
+        let conv = self.net.layers()[layer_index]
+            .as_conv()
+            .expect("compute layer");
+        self.greedy_cache.get_or_insert_with((conv, signature), || {
+            let mut best = Strategy::default();
+            let mut best_latency = {
+                let (latency, _, ok) = self.fast_term(table, layer_index, best, ctx);
+                if ok {
+                    latency
+                } else {
+                    f64::INFINITY
+                }
+            };
+            for s in mars_parallel::paper_strategies() {
+                let (latency, _, ok) = self.fast_term(table, layer_index, s, ctx);
+                let latency = if ok { latency } else { f64::INFINITY };
+                if latency < best_latency {
+                    best_latency = latency;
+                    best = s;
+                }
+            }
+            best
+        })
+    }
+
+    /// The [`TermTable`] of one evaluation context (created zeroed on first
+    /// use).  One map lookup per second-level search; term lookups inside
+    /// the search are plain indexed atomic loads.
+    pub(crate) fn term_table(&self, signature: u64) -> Arc<TermTable> {
+        let mut tables = self.term_tables.lock().expect("term table map poisoned");
+        Arc::clone(tables.entry(signature).or_insert_with(|| {
+            Arc::new(TermTable {
+                slots: (0..self.n_shape_classes * STRATEGY_CODES)
+                    .map(|_| MemoSlot::default())
+                    .collect(),
+            })
+        }))
+    }
+
+    /// Per-layer term of `strategy` through a [`TermTable`]: a dense indexed
+    /// load on a hit, a direct [`evaluate_layer`] call (then a table fill) on
+    /// a miss.  The table already deduplicates by shape class and context,
+    /// so misses skip the sharded cache's hashing entirely; like the hit
+    /// path, they are not counted in [`Evaluator::cache_stats`].  `table`
+    /// must come from [`Evaluator::term_table`] for the context `ctx`
+    /// evaluates in.
+    pub(crate) fn fast_term(
+        &self,
+        table: &TermTable,
+        layer_index: usize,
+        strategy: Strategy,
+        ctx: &EvalContext<'_>,
+    ) -> LayerCacheValue {
+        use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+        let class = self.shape_class[layer_index] as usize;
+        let slot = &table.slots[class * STRATEGY_CODES + strategy_code(strategy)];
+        let state = slot.state.load(Acquire);
+        if state != 0 {
+            return (
+                f64::from_bits(slot.seconds.load(Relaxed)),
+                slot.weight.load(Relaxed),
+                state == 1,
+            );
+        }
+        let conv = self.net.layers()[layer_index]
+            .as_conv()
+            .expect("compute layer");
+        let eval = evaluate_layer(&conv, &strategy, ctx);
+        let v = (
+            eval.total_seconds(),
+            eval.plan.weight_shard_bytes,
+            eval.memory_ok,
+        );
+        slot.seconds.store(v.0.to_bits(), Relaxed);
+        slot.weight.store(v.1, Relaxed);
+        slot.state.store(if v.2 { 1 } else { 2 }, Release);
+        v
     }
 
     /// Latency of one compute layer of `assignment` under `strategy`
@@ -392,6 +591,64 @@ impl<'a> Evaluator<'a> {
         let mut total = 0.0;
         for a in assignments {
             let cost = self.evaluate_assignment(a, strategies);
+            if !cost.memory_ok {
+                return f64::INFINITY;
+            }
+            total += cost.seconds;
+        }
+
+        // Inter-set activation transfers along every cut edge of the graph.
+        for (u, v) in self.net.edges() {
+            let (au, av) = (owner[u.0].expect("covered"), owner[v.0].expect("covered"));
+            if au != av {
+                let bytes = self.net.layers()[u.0].output_bytes();
+                total +=
+                    self.sim
+                        .redistribute(&assignments[au].accels, &assignments[av].accels, bytes);
+            }
+        }
+
+        // Host staging of the network input and output.
+        if let Some(first) = assignments.iter().find(|a| !a.is_idle()) {
+            let bytes = self.net.layers()[first.layers.start].input_bytes()
+                / first.set_size().max(1) as u64;
+            total += self.sim.host_scatter(&first.accels, bytes);
+        }
+        if let Some(last) = assignments.iter().rev().find(|a| !a.is_idle()) {
+            let idx = last.layers.end - 1;
+            let bytes = self.net.layers()[idx].output_bytes() / last.set_size().max(1) as u64;
+            total += self.sim.host_gather(&last.accels, bytes);
+        }
+
+        total
+    }
+
+    /// Like [`Evaluator::evaluate`], but sources each assignment's intra-set
+    /// cost from `costs` instead of recomputing it — the fast path for
+    /// callers (the flat search engine) that already hold memoised
+    /// [`AssignmentCost`]s.  `costs` must be index-aligned with
+    /// `assignments` and each entry equal to
+    /// `evaluate_assignment(&assignments[i], strategies)` for the strategies
+    /// the cost was computed under; the result is then bit-identical to
+    /// [`Evaluator::evaluate`].
+    pub fn evaluate_with_costs(&self, assignments: &[Assignment], costs: &[AssignmentCost]) -> f64 {
+        debug_assert_eq!(assignments.len(), costs.len());
+        // Coverage check: every layer belongs to exactly one assignment.
+        let mut owner: Vec<Option<usize>> = vec![None; self.net.len()];
+        for (ai, a) in assignments.iter().enumerate() {
+            for idx in a.layers.clone() {
+                if idx >= owner.len() || owner[idx].is_some() {
+                    return f64::INFINITY;
+                }
+                owner[idx] = Some(ai);
+            }
+        }
+        if owner.iter().any(Option::is_none) {
+            return f64::INFINITY;
+        }
+
+        let mut total = 0.0;
+        for cost in costs {
             if !cost.memory_ok {
                 return f64::INFINITY;
             }
@@ -561,6 +818,57 @@ mod tests {
             }
         });
         assert!(eval.cache_entries() > 0);
+    }
+
+    #[test]
+    fn evaluate_with_costs_matches_evaluate_bitwise() {
+        let (net, topo, catalog) = fixture();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let assignments = two_group_assignments(&net, &topo);
+        let strategies = BTreeMap::new();
+        let costs: Vec<AssignmentCost> = assignments
+            .iter()
+            .map(|a| eval.evaluate_assignment(a, &strategies))
+            .collect();
+        let direct = eval.evaluate(&assignments, &strategies);
+        let from_costs = eval.evaluate_with_costs(&assignments, &costs);
+        assert_eq!(direct.to_bits(), from_costs.to_bits());
+
+        // Invalid coverage is rejected the same way.
+        let gap = vec![
+            Assignment::new(topo.group_members(0), DesignId(0), 0..3),
+            Assignment::new(topo.group_members(1), DesignId(0), 4..net.len()),
+        ];
+        let gap_costs: Vec<AssignmentCost> = gap
+            .iter()
+            .map(|a| eval.evaluate_assignment(a, &strategies))
+            .collect();
+        assert!(eval.evaluate_with_costs(&gap, &gap_costs).is_infinite());
+    }
+
+    #[test]
+    fn repeated_layer_shapes_share_cache_entries() {
+        // VGG-16 repeats convolution shapes (e.g. 3×3 512→512 at 28×28); the
+        // shape-keyed cache must memoise one entry per distinct shape, not
+        // one per layer index.
+        let net = zoo::vgg16(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let eval = Evaluator::new(&net, &topo, &catalog);
+        let all = Assignment::new(topo.group_members(0), DesignId(0), 0..net.len());
+        eval.evaluate(&[all], &BTreeMap::new());
+        let compute_layers = net.compute_layers().count();
+        let distinct_shapes: std::collections::HashSet<_> =
+            net.layers().iter().filter_map(|l| l.as_conv()).collect();
+        assert!(distinct_shapes.len() < compute_layers);
+        assert_eq!(eval.cache_entries(), distinct_shapes.len());
+        // Re-evaluating is all hits.
+        let before = eval.cache_stats();
+        let all = Assignment::new(topo.group_members(0), DesignId(0), 0..net.len());
+        eval.evaluate(&[all], &BTreeMap::new());
+        let after = eval.cache_stats();
+        assert_eq!(after.misses, before.misses);
+        assert!(after.hits > before.hits);
     }
 
     #[test]

@@ -17,6 +17,27 @@
 //! `(master seed, generation, genome index)` via [`genome_stream_seed`], so no
 //! random stream ever depends on the order in which workers finish, and the
 //! fitness function is required to be a pure `Fn` (same genes → same score).
+//!
+//! ## Flat populations and incremental fitness
+//!
+//! [`GeneticAlgorithm::run`] stores each generation in a single flat arena
+//! (`population × genome_len` gene values in one allocation, double-buffered
+//! across generations) instead of one heap `Vec` per genome, so breeding
+//! writes offspring straight into the next generation's buffer.  The RNG
+//! call sequence is identical to the historical per-genome-`Vec` engine,
+//! which is retained verbatim as [`GeneticAlgorithm::run_reference`]; a test
+//! pins the two bit-identical.
+//!
+//! [`GeneticAlgorithm::run_blocks`] extends the flat engine with
+//! *incremental (delta) fitness* for block-structured genomes: the fitness
+//! is `combine(block_eval(block 0), …, block_eval(block n-1))`, and an
+//! offspring re-evaluates only the blocks whose genes differ from its
+//! breeding parent, reusing the parent's remaining block terms (with a
+//! debug-build cross-check that every reused term matches a fresh
+//! evaluation).  It also supports opt-in *early termination*: with a sound
+//! lower-bound hook, a genome whose partial cost already exceeds the
+//! best-ever incumbent is abandoned mid-evaluation (see the method docs for
+//! the exact determinism guarantees).
 
 use mars_parallel::scoped_map;
 use rand::rngs::StdRng;
@@ -166,6 +187,11 @@ impl GaOutcome {
     }
 }
 
+/// Lower-bound callback for [`GeneticAlgorithm::run_blocks`] early
+/// termination: maps the leading block terms computed so far to a score that
+/// never exceeds the genome's full combined fitness.
+pub type BlockBound<'a, B> = &'a (dyn Fn(&[B]) -> f64 + Sync);
+
 /// The genetic-algorithm engine (fitness is minimised).
 #[derive(Debug, Clone)]
 pub struct GeneticAlgorithm {
@@ -209,6 +235,107 @@ impl GeneticAlgorithm {
     /// assert!(out.evals_per_second() > 0.0);
     /// ```
     pub fn run<I, F>(&self, genome_len: usize, mut init: I, fitness: F) -> GaOutcome
+    where
+        I: FnMut(&mut StdRng, usize) -> Vec<f64>,
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        let start = Instant::now();
+        let cfg = self.cfg;
+        let pop_size = cfg.population.max(2);
+
+        // Flat arena: all genomes of a generation live in one allocation,
+        // double-buffered with `next` so breeding never allocates.
+        let mut genes = vec![0.0f64; pop_size * genome_len];
+        for i in 0..pop_size {
+            let mut rng = StdRng::seed_from_u64(genome_stream_seed(cfg.seed, 0, i as u64));
+            let mut g = init(&mut rng, i);
+            g.resize(genome_len, 0.5);
+            let dst = &mut genes[i * genome_len..(i + 1) * genome_len];
+            for (d, x) in dst.iter_mut().zip(&g) {
+                *d = x.clamp(0.0, 1.0);
+            }
+        }
+        let mut scores = self.evaluate_flat(&genes, genome_len, pop_size, &fitness);
+        let mut evaluations = pop_size;
+
+        // Best-ever individual, updated in index order after each (possibly
+        // parallel) evaluation so ties always resolve to the lowest index.
+        let mut best_genes = genes[..genome_len].to_vec();
+        let mut best_fitness = scores[0];
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s < best_fitness {
+                best_fitness = s;
+                best_genes.copy_from_slice(&genes[i * genome_len..(i + 1) * genome_len]);
+            }
+        }
+
+        let mut history = Vec::with_capacity(cfg.generations + 1);
+        history.push(best_of(&scores));
+
+        let mut next = vec![0.0f64; pop_size * genome_len];
+        for generation in 1..=cfg.generations {
+            let mut order: Vec<usize> = (0..pop_size).collect();
+            order.sort_by(|a, b| scores[*a].partial_cmp(&scores[*b]).expect("finite or inf"));
+
+            let elites = cfg.elitism.min(pop_size);
+            for (slot, &i) in order.iter().take(elites).enumerate() {
+                let (src, dst) = (i * genome_len, slot * genome_len);
+                next[dst..dst + genome_len].copy_from_slice(&genes[src..src + genome_len]);
+            }
+
+            for slot in elites..pop_size {
+                let mut rng = StdRng::seed_from_u64(genome_stream_seed(
+                    cfg.seed,
+                    generation as u64,
+                    slot as u64,
+                ));
+                let a = self.tournament(&mut rng, &scores);
+                let dst = slot * genome_len;
+                if rng.gen_bool(cfg.crossover_rate) {
+                    let b = self.tournament(&mut rng, &scores);
+                    for g in 0..genome_len {
+                        next[dst + g] = if rng.gen_bool(0.5) {
+                            genes[a * genome_len + g]
+                        } else {
+                            genes[b * genome_len + g]
+                        };
+                    }
+                } else {
+                    next[dst..dst + genome_len]
+                        .copy_from_slice(&genes[a * genome_len..(a + 1) * genome_len]);
+                }
+                self.mutate_slice(&mut rng, &mut next[dst..dst + genome_len]);
+            }
+
+            std::mem::swap(&mut genes, &mut next);
+            scores = self.evaluate_flat(&genes, genome_len, pop_size, &fitness);
+            evaluations += pop_size;
+            history.push(best_of(&scores));
+
+            for (i, &s) in scores.iter().enumerate() {
+                if s < best_fitness {
+                    best_fitness = s;
+                    best_genes.copy_from_slice(&genes[i * genome_len..(i + 1) * genome_len]);
+                }
+            }
+        }
+
+        GaOutcome {
+            best_genes,
+            best_fitness,
+            history,
+            evaluations,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// The historical per-genome-`Vec` engine, retained verbatim as the
+    /// reference oracle for the flat-arena [`GeneticAlgorithm::run`].
+    ///
+    /// Same trajectory, genome by genome and bit by bit — the differential
+    /// tests (and `SearchEngine::Reference`) run both and assert equality.
+    /// New code should call [`GeneticAlgorithm::run`].
+    pub fn run_reference<I, F>(&self, genome_len: usize, mut init: I, fitness: F) -> GaOutcome
     where
         I: FnMut(&mut StdRng, usize) -> Vec<f64>,
         F: Fn(&[f64]) -> f64 + Sync,
@@ -291,6 +418,257 @@ impl GeneticAlgorithm {
         }
     }
 
+    /// Runs the search with *incremental (block-structured) fitness* and
+    /// optional early termination of dominated genomes.
+    ///
+    /// The genome is `n_blocks` consecutive blocks of `block_len` genes, and
+    /// the fitness of a genome factors through per-block *terms*:
+    /// `fitness(genes) == combine(&[block_eval(0, block 0), …])`, where
+    /// `block_eval` is a pure function of `(block index, block genes)`.
+    /// Under that contract the run's trajectory — genomes bred, scores,
+    /// history, returned best — is bit-identical to
+    /// [`GeneticAlgorithm::run`] with the composed fitness, but offspring
+    /// only re-evaluate the blocks whose genes differ from their breeding
+    /// parent; unchanged blocks reuse the parent's memoised term.  Debug
+    /// builds cross-check every reused term against a fresh evaluation.
+    ///
+    /// `lower_bound`, when given, enables successive-halving-style early
+    /// termination: after each block, `lower_bound(&terms so far)` is
+    /// compared against the best-ever incumbent, and the genome is abandoned
+    /// (score = `INFINITY`) once the bound exceeds it.  The hook must be
+    /// *sound*: `lower_bound(prefix) <= combine(full terms)` for every
+    /// prefix.  Pruning is applied only from generation 1 on and only when
+    /// [`GaConfig::elitism`] ≥ 1, which makes the incumbent an elite of
+    /// every later generation; a sound bound then guarantees — determinism
+    /// ties broken by genome index, as everywhere in this engine — that the
+    /// per-generation best (`history`) and the returned best individual are
+    /// unchanged by pruning.  Selection *pressure among dominated genomes*
+    /// does change (they all score `INFINITY`), so a pruned run may explore
+    /// a different trajectory after generation 1; pass `None` when
+    /// bit-identity with [`GeneticAlgorithm::run`] is required.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_blocks<B, I, E, C>(
+        &self,
+        n_blocks: usize,
+        block_len: usize,
+        mut init: I,
+        block_eval: E,
+        combine: C,
+        lower_bound: Option<BlockBound<'_, B>>,
+    ) -> GaOutcome
+    where
+        B: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        I: FnMut(&mut StdRng, usize) -> Vec<f64>,
+        E: Fn(usize, &[f64]) -> B + Sync,
+        C: Fn(&[B]) -> f64 + Sync,
+    {
+        let start = Instant::now();
+        let cfg = self.cfg;
+        let pop_size = cfg.population.max(2);
+        let genome_len = n_blocks * block_len;
+        // Pruning requires the incumbent to survive as an elite (see docs).
+        let prune = lower_bound.filter(|_| cfg.elitism >= 1);
+
+        let mut genes = vec![0.0f64; pop_size * genome_len];
+        for i in 0..pop_size {
+            let mut rng = StdRng::seed_from_u64(genome_stream_seed(cfg.seed, 0, i as u64));
+            let mut g = init(&mut rng, i);
+            g.resize(genome_len, 0.5);
+            let dst = &mut genes[i * genome_len..(i + 1) * genome_len];
+            for (d, x) in dst.iter_mut().zip(&g) {
+                *d = x.clamp(0.0, 1.0);
+            }
+        }
+
+        // Per-slot block terms of the current generation, plus how many
+        // leading blocks are valid (a pruned genome stops early) and which
+        // previous-generation slot each genome was bred from.
+        let mut parents: Vec<Option<usize>> = vec![None; pop_size];
+        let (mut terms, mut valid, mut scores) = self.evaluate_blocks(
+            &genes,
+            &[],
+            genome_len,
+            pop_size,
+            n_blocks,
+            block_len,
+            &[],
+            &[],
+            &parents,
+            f64::INFINITY,
+            &block_eval,
+            &combine,
+            prune,
+        );
+        let mut evaluations = pop_size;
+
+        let mut best_genes = genes[..genome_len].to_vec();
+        let mut best_fitness = scores[0];
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s < best_fitness {
+                best_fitness = s;
+                best_genes.copy_from_slice(&genes[i * genome_len..(i + 1) * genome_len]);
+            }
+        }
+
+        let mut history = Vec::with_capacity(cfg.generations + 1);
+        history.push(best_of(&scores));
+
+        let mut next = vec![0.0f64; pop_size * genome_len];
+        for generation in 1..=cfg.generations {
+            let mut order: Vec<usize> = (0..pop_size).collect();
+            order.sort_by(|a, b| scores[*a].partial_cmp(&scores[*b]).expect("finite or inf"));
+
+            let elites = cfg.elitism.min(pop_size);
+            for (slot, &i) in order.iter().take(elites).enumerate() {
+                let (src, dst) = (i * genome_len, slot * genome_len);
+                next[dst..dst + genome_len].copy_from_slice(&genes[src..src + genome_len]);
+                parents[slot] = Some(i);
+            }
+
+            for (slot, parent) in parents.iter_mut().enumerate().skip(elites) {
+                let mut rng = StdRng::seed_from_u64(genome_stream_seed(
+                    cfg.seed,
+                    generation as u64,
+                    slot as u64,
+                ));
+                let a = self.tournament(&mut rng, &scores);
+                let dst = slot * genome_len;
+                if rng.gen_bool(cfg.crossover_rate) {
+                    let b = self.tournament(&mut rng, &scores);
+                    for g in 0..genome_len {
+                        next[dst + g] = if rng.gen_bool(0.5) {
+                            genes[a * genome_len + g]
+                        } else {
+                            genes[b * genome_len + g]
+                        };
+                    }
+                } else {
+                    next[dst..dst + genome_len]
+                        .copy_from_slice(&genes[a * genome_len..(a + 1) * genome_len]);
+                }
+                self.mutate_slice(&mut rng, &mut next[dst..dst + genome_len]);
+                *parent = Some(a);
+            }
+
+            std::mem::swap(&mut genes, &mut next);
+            // After the swap `next` holds the parent generation's genes —
+            // exactly what block reuse compares child blocks against.
+            let incumbent = best_fitness;
+            let (t, v, s) = self.evaluate_blocks(
+                &genes,
+                &next,
+                genome_len,
+                pop_size,
+                n_blocks,
+                block_len,
+                &terms,
+                &valid,
+                &parents,
+                incumbent,
+                &block_eval,
+                &combine,
+                prune,
+            );
+            terms = t;
+            valid = v;
+            scores = s;
+            evaluations += pop_size;
+            history.push(best_of(&scores));
+
+            for (i, &s) in scores.iter().enumerate() {
+                if s < best_fitness {
+                    best_fitness = s;
+                    best_genes.copy_from_slice(&genes[i * genome_len..(i + 1) * genome_len]);
+                }
+            }
+        }
+
+        GaOutcome {
+            best_genes,
+            best_fitness,
+            history,
+            evaluations,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Scores one generation of a [`GeneticAlgorithm::run_blocks`] search:
+    /// per-slot block terms with parent reuse, `combine` for the score, and
+    /// optional incumbent pruning.  Returns `(terms, valid block counts,
+    /// scores)`.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_blocks<B, E, C>(
+        &self,
+        genes: &[f64],
+        prev_genes: &[f64],
+        genome_len: usize,
+        pop_size: usize,
+        n_blocks: usize,
+        block_len: usize,
+        prev_terms: &[Vec<B>],
+        prev_valid: &[usize],
+        parents: &[Option<usize>],
+        incumbent: f64,
+        block_eval: &E,
+        combine: &C,
+        prune: Option<BlockBound<'_, B>>,
+    ) -> (Vec<Vec<B>>, Vec<usize>, Vec<f64>)
+    where
+        B: Clone + PartialEq + std::fmt::Debug + Send + Sync,
+        E: Fn(usize, &[f64]) -> B + Sync,
+        C: Fn(&[B]) -> f64 + Sync,
+    {
+        let slots: Vec<usize> = (0..pop_size).collect();
+        let results = scoped_map(self.cfg.threads, &slots, |_, &slot| {
+            let genome = &genes[slot * genome_len..(slot + 1) * genome_len];
+            let mut terms: Vec<B> = Vec::with_capacity(n_blocks);
+            let parent = parents[slot].filter(|_| !prev_terms.is_empty());
+            for j in 0..n_blocks {
+                let block = &genome[j * block_len..(j + 1) * block_len];
+                let reused = parent.and_then(|p| {
+                    let parent_block = &prev_genes
+                        [p * genome_len + j * block_len..p * genome_len + (j + 1) * block_len];
+                    if j < prev_valid[p] && block == parent_block {
+                        Some(prev_terms[p][j].clone())
+                    } else {
+                        None
+                    }
+                });
+                let term = match reused {
+                    Some(t) => {
+                        #[cfg(debug_assertions)]
+                        {
+                            let fresh = block_eval(j, block);
+                            debug_assert!(
+                                fresh == t,
+                                "delta-fitness reuse mismatch at block {j}: {fresh:?} != {t:?}"
+                            );
+                        }
+                        t
+                    }
+                    None => block_eval(j, block),
+                };
+                terms.push(term);
+                if let Some(bound_fn) = prune {
+                    if j + 1 < n_blocks && bound_fn(&terms) > incumbent {
+                        return (terms, f64::INFINITY);
+                    }
+                }
+            }
+            let score = combine(&terms);
+            (terms, score)
+        });
+        let mut terms = Vec::with_capacity(pop_size);
+        let mut valid = Vec::with_capacity(pop_size);
+        let mut scores = Vec::with_capacity(pop_size);
+        for (t, s) in results {
+            valid.push(t.len());
+            terms.push(t);
+            scores.push(s);
+        }
+        (terms, valid, scores)
+    }
+
     /// Scores one generation, fanning the genomes out over the worker pool
     /// when `threads != 1`.
     fn evaluate<F>(&self, population: &[Vec<f64>], fitness: &F) -> Vec<f64>
@@ -298,6 +676,23 @@ impl GeneticAlgorithm {
         F: Fn(&[f64]) -> f64 + Sync,
     {
         scoped_map(self.cfg.threads, population, |_, genes| fitness(genes))
+    }
+
+    /// Flat-arena counterpart of [`GeneticAlgorithm::evaluate`].
+    fn evaluate_flat<F>(
+        &self,
+        genes: &[f64],
+        genome_len: usize,
+        pop_size: usize,
+        fitness: &F,
+    ) -> Vec<f64>
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        let slices: Vec<&[f64]> = (0..pop_size)
+            .map(|i| &genes[i * genome_len..(i + 1) * genome_len])
+            .collect();
+        scoped_map(self.cfg.threads, &slices, |_, genome| fitness(genome))
     }
 
     fn tournament(&self, rng: &mut StdRng, scores: &[f64]) -> usize {
@@ -319,7 +714,12 @@ impl GeneticAlgorithm {
     }
 
     fn mutate(&self, rng: &mut StdRng, mut genes: Vec<f64>) -> Vec<f64> {
-        for g in &mut genes {
+        self.mutate_slice(rng, &mut genes);
+        genes
+    }
+
+    fn mutate_slice(&self, rng: &mut StdRng, genes: &mut [f64]) {
+        for g in genes {
             if rng.gen_bool(self.cfg.mutation_rate) {
                 // Box-Muller Gaussian step.
                 let u1: f64 = rng.gen_range(1e-9..1.0);
@@ -328,7 +728,6 @@ impl GeneticAlgorithm {
                 *g = (*g + normal * self.cfg.mutation_sigma).clamp(0.0, 1.0);
             }
         }
-        genes
     }
 }
 
@@ -480,6 +879,294 @@ mod tests {
         });
         let out = ga.run(4, |_, _| vec![0.5; 4], sphere);
         assert!(out.best_genes.iter().all(|g| (0.0..=1.0).contains(g)));
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_engine_bitwise() {
+        // The arena-backed `run` must retrace the historical per-genome-Vec
+        // engine exactly: same genomes, same scores, same history.
+        for seed in [3, 11, 21] {
+            let cfg = GaConfig {
+                population: 10,
+                generations: 6,
+                ..GaConfig::first_level(seed)
+            };
+            let init = |rng: &mut StdRng, _: usize| (0..7).map(|_| rng.gen()).collect::<Vec<_>>();
+            let flat = GeneticAlgorithm::new(cfg).run(7, init, sphere);
+            let reference = GeneticAlgorithm::new(cfg).run_reference(7, init, sphere);
+            assert_eq!(flat.best_genes, reference.best_genes, "seed {seed}");
+            assert_eq!(
+                flat.best_fitness.to_bits(),
+                reference.best_fitness.to_bits()
+            );
+            assert_eq!(flat.history, reference.history);
+            assert_eq!(flat.evaluations, reference.evaluations);
+        }
+    }
+
+    /// Block fitness used by the `run_blocks` tests: genome of `n` blocks of
+    /// 3 genes, each block's term is its sphere partial, combined by summing
+    /// in block order — exactly `sphere` factored through blocks.
+    fn block_term(_: usize, block: &[f64]) -> f64 {
+        block.iter().map(|g| (g - 0.7).powi(2)).sum()
+    }
+
+    fn block_sum(terms: &[f64]) -> f64 {
+        let mut total = 0.0;
+        for t in terms {
+            total += t;
+        }
+        total
+    }
+
+    #[test]
+    fn run_blocks_matches_run_bitwise_without_pruning() {
+        for seed in [5, 17] {
+            let cfg = GaConfig {
+                population: 8,
+                generations: 6,
+                ..GaConfig::second_level(seed)
+            };
+            let init = |rng: &mut StdRng, _: usize| (0..12).map(|_| rng.gen()).collect::<Vec<_>>();
+            // The whole-genome oracle must sum through the same block
+            // grouping — float addition is not associative.
+            let blocked_sphere = |genes: &[f64]| {
+                let terms: Vec<f64> = genes
+                    .chunks(3)
+                    .enumerate()
+                    .map(|(j, b)| block_term(j, b))
+                    .collect();
+                block_sum(&terms)
+            };
+            let whole = GeneticAlgorithm::new(cfg).run(12, init, blocked_sphere);
+            let blocks =
+                GeneticAlgorithm::new(cfg).run_blocks(4, 3, init, block_term, block_sum, None);
+            assert_eq!(whole.best_genes, blocks.best_genes, "seed {seed}");
+            assert_eq!(whole.best_fitness.to_bits(), blocks.best_fitness.to_bits());
+            assert_eq!(whole.history, blocks.history);
+            assert_eq!(whole.evaluations, blocks.evaluations);
+        }
+    }
+
+    #[test]
+    fn run_blocks_is_thread_count_invariant() {
+        let run = |threads| {
+            GeneticAlgorithm::new(GaConfig {
+                population: 10,
+                generations: 5,
+                ..GaConfig::second_level(23).with_threads(threads)
+            })
+            .run_blocks(
+                5,
+                3,
+                |rng, _| (0..15).map(|_| rng.gen()).collect(),
+                block_term,
+                block_sum,
+                None,
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            assert_eq!(serial.best_genes, parallel.best_genes, "threads={threads}");
+            assert_eq!(serial.history, parallel.history, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pruned_run_blocks_keeps_a_true_best_and_monotone_history() {
+        // The partial block sum is a sound lower bound for the full sum, so
+        // pruning may abandon dominated genomes but must never corrupt the
+        // returned best: its fitness must equal a full recomputation, and
+        // the history must stay monotone (the incumbent is an elite).
+        let cfg = GaConfig {
+            population: 12,
+            generations: 8,
+            ..GaConfig::second_level(31)
+        };
+        let bound = |terms: &[f64]| block_sum(terms);
+        let out = GeneticAlgorithm::new(cfg).run_blocks(
+            6,
+            3,
+            |rng, _| (0..18).map(|_| rng.gen()).collect(),
+            block_term,
+            block_sum,
+            Some(&bound),
+        );
+        let recomputed: f64 = out
+            .best_genes
+            .chunks(3)
+            .enumerate()
+            .map(|(j, b)| block_term(j, b))
+            .sum();
+        assert_eq!(out.best_fitness.to_bits(), recomputed.to_bits());
+        for w in out.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "history regressed: {:?}", out.history);
+        }
+        // Same seed, same pruned trajectory.
+        let again = GeneticAlgorithm::new(cfg).run_blocks(
+            6,
+            3,
+            |rng, _| (0..18).map(|_| rng.gen()).collect(),
+            block_term,
+            block_sum,
+            Some(&bound),
+        );
+        assert_eq!(out.best_genes, again.best_genes);
+        assert_eq!(out.history, again.history);
+    }
+
+    #[test]
+    fn pruning_never_changes_generation_zero_or_one_bests() {
+        // Pruning starts at generation 1 and the incumbent is an elite, so
+        // the first two history entries must match the unpruned run exactly.
+        let cfg = GaConfig {
+            population: 10,
+            generations: 6,
+            ..GaConfig::second_level(47)
+        };
+        let bound = |terms: &[f64]| block_sum(terms);
+        let init = |rng: &mut StdRng, _: usize| (0..12).map(|_| rng.gen()).collect::<Vec<_>>();
+        let plain = GeneticAlgorithm::new(cfg).run_blocks(4, 3, init, block_term, block_sum, None);
+        let pruned =
+            GeneticAlgorithm::new(cfg).run_blocks(4, 3, init, block_term, block_sum, Some(&bound));
+        assert_eq!(plain.history[0].to_bits(), pruned.history[0].to_bits());
+        assert_eq!(plain.history[1].to_bits(), pruned.history[1].to_bits());
+    }
+
+    /// A block term that remembers which chain step computed it.  Equality
+    /// (and therefore the delta-reuse debug cross-check) compares only the
+    /// value, so the step tag rides along untouched — a term carrying an
+    /// older tag is positive proof the delta path reused it rather than
+    /// recomputing.
+    #[derive(Clone, Debug)]
+    struct TaggedTerm {
+        value: f64,
+        step: usize,
+    }
+
+    impl PartialEq for TaggedTerm {
+        fn eq(&self, other: &Self) -> bool {
+            self.value.to_bits() == other.value.to_bits()
+        }
+    }
+
+    #[test]
+    fn delta_fitness_equals_full_fitness_on_random_mutation_chains() {
+        // Hand-rolled property test (the tree carries no proptest): drive
+        // `evaluate_blocks` through chains of random block mutations —
+        // each child copies a random parent and rewrites a random subset of
+        // its blocks — and check every delta-scored generation against a
+        // from-scratch oracle, bit for bit.  Also proves reuse actually
+        // happens (via the step tags) and is thread-count invariant.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        const POP: usize = 6;
+        const BLOCKS: usize = 5;
+        const BLOCK_LEN: usize = 3;
+        const GENOME: usize = BLOCKS * BLOCK_LEN;
+        const STEPS: usize = 12;
+
+        for seed in [1u64, 42, 977] {
+            for threads in [1usize, 4] {
+                let ga = GeneticAlgorithm::new(GaConfig {
+                    population: POP,
+                    ..GaConfig::second_level(seed).with_threads(threads)
+                });
+                let step = AtomicUsize::new(0);
+                let block_eval = |j: usize, block: &[f64]| TaggedTerm {
+                    value: block_term(j, block),
+                    step: step.load(Ordering::Relaxed),
+                };
+                let combine = |terms: &[TaggedTerm]| {
+                    let mut total = 0.0;
+                    for t in terms {
+                        total += t.value;
+                    }
+                    total
+                };
+
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD1F7);
+                let mut genes: Vec<f64> = (0..POP * GENOME).map(|_| rng.gen()).collect();
+                let mut parents: Vec<Option<usize>> = vec![None; POP];
+                let (mut terms, mut valid, _) = ga.evaluate_blocks(
+                    &genes,
+                    &[],
+                    GENOME,
+                    POP,
+                    BLOCKS,
+                    BLOCK_LEN,
+                    &[],
+                    &[],
+                    &parents,
+                    f64::INFINITY,
+                    &block_eval,
+                    &combine,
+                    None,
+                );
+
+                let mut reused_terms = 0usize;
+                for s in 1..=STEPS {
+                    step.store(s, Ordering::Relaxed);
+                    // Breed: each child copies a random parent genome and
+                    // rewrites a random non-empty subset of its blocks.
+                    let mut next = vec![0.0f64; POP * GENOME];
+                    for slot in 0..POP {
+                        let p = rng.gen_range(0..POP);
+                        parents[slot] = Some(p);
+                        let child = &mut next[slot * GENOME..(slot + 1) * GENOME];
+                        child.copy_from_slice(&genes[p * GENOME..(p + 1) * GENOME]);
+                        let rewrite = rng.gen_range(1..=BLOCKS);
+                        for _ in 0..rewrite {
+                            let j = rng.gen_range(0..BLOCKS);
+                            for g in &mut child[j * BLOCK_LEN..(j + 1) * BLOCK_LEN] {
+                                *g = rng.gen();
+                            }
+                        }
+                    }
+                    let (t, v, scores) = ga.evaluate_blocks(
+                        &next,
+                        &genes,
+                        GENOME,
+                        POP,
+                        BLOCKS,
+                        BLOCK_LEN,
+                        &terms,
+                        &valid,
+                        &parents,
+                        f64::INFINITY,
+                        &block_eval,
+                        &combine,
+                        None,
+                    );
+                    // Oracle: full recomputation of every block, combined in
+                    // the same order.  Delta fitness must match bit for bit.
+                    for slot in 0..POP {
+                        let genome = &next[slot * GENOME..(slot + 1) * GENOME];
+                        let fresh: Vec<f64> = (0..BLOCKS)
+                            .map(|j| block_term(j, &genome[j * BLOCK_LEN..(j + 1) * BLOCK_LEN]))
+                            .collect();
+                        let full = block_sum(&fresh);
+                        assert_eq!(
+                            scores[slot].to_bits(),
+                            full.to_bits(),
+                            "seed {seed} threads {threads} step {s} slot {slot}"
+                        );
+                        for (j, term) in t[slot].iter().enumerate() {
+                            assert_eq!(term.value.to_bits(), fresh[j].to_bits());
+                        }
+                        reused_terms += t[slot].iter().filter(|term| term.step < s).count();
+                    }
+                    genes = next;
+                    terms = t;
+                    valid = v;
+                }
+                assert!(
+                    reused_terms > 0,
+                    "seed {seed} threads {threads}: no term was ever delta-reused"
+                );
+            }
+        }
     }
 
     #[test]

@@ -378,6 +378,51 @@ pub fn decode_strategy(block: &[f64]) -> Strategy {
     Strategy::try_new(es, ss).expect("decoder produces disjoint ES/SS with at most two ES dims")
 }
 
+/// Allocation-free equivalent of [`decode_strategy`], used by the flat search
+/// engine's per-block fitness hot loop (which decodes millions of blocks per
+/// search).  Bit-identical to [`decode_strategy`], including its tie-breaks:
+/// equal ES scores resolve to the lower dimension index (the stable
+/// descending sort) and equal SS scores to the higher (`max_by` keeps the
+/// last maximum).  A test pins the two equal on random blocks.
+pub fn decode_strategy_fast(block: &[f64]) -> Strategy {
+    debug_assert_eq!(block.len(), GENES_PER_LAYER);
+    let es_scores = &block[..6];
+    let ss_scores = &block[6..12];
+
+    let mut first: Option<(usize, f64)> = None;
+    for (i, &s) in es_scores.iter().enumerate() {
+        if s > ES_THRESHOLD && first.is_none_or(|(_, best)| s > best) {
+            first = Some((i, s));
+        }
+    }
+    let mut second: Option<(usize, f64)> = None;
+    if let Some((fi, _)) = first {
+        for (i, &s) in es_scores.iter().enumerate() {
+            if i != fi && s > ES_THRESHOLD && second.is_none_or(|(_, best)| s > best) {
+                second = Some((i, s));
+            }
+        }
+    }
+    let es: DimSet = first
+        .into_iter()
+        .chain(second)
+        .map(|(i, _)| Dim::from_index(i))
+        .collect();
+
+    let mut ss: Option<(usize, f64)> = None;
+    for (i, &s) in ss_scores.iter().enumerate() {
+        if s > SS_THRESHOLD
+            && !es.contains(Dim::from_index(i))
+            && ss.is_none_or(|(_, best)| s >= best)
+        {
+            ss = Some((i, s));
+        }
+    }
+
+    Strategy::try_new(es, ss.map(|(i, _)| Dim::from_index(i)))
+        .expect("decoder produces disjoint ES/SS with at most two ES dims")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +539,31 @@ mod tests {
         block[Dim::W.index()] = 0.7;
         let s = decode_strategy(&block);
         assert_eq!(s.es(), DimSet::from_dims([Dim::Cout, Dim::Cin]));
+    }
+
+    #[test]
+    fn fast_decode_matches_reference_decode() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..2000 {
+            let block: Vec<f64> = (0..GENES_PER_LAYER).map(|_| rng.gen()).collect();
+            assert_eq!(
+                decode_strategy_fast(&block),
+                decode_strategy(&block),
+                "block {block:?}"
+            );
+        }
+        // Tied scores must resolve identically too.
+        let mut block = vec![0.2; GENES_PER_LAYER];
+        block[Dim::Cout.index()] = 0.9;
+        block[Dim::Cin.index()] = 0.9;
+        block[Dim::H.index()] = 0.9;
+        block[6 + Dim::W.index()] = 0.8;
+        block[6 + Dim::Kh.index()] = 0.8;
+        assert_eq!(decode_strategy_fast(&block), decode_strategy(&block));
+        assert_eq!(
+            decode_strategy_fast(&[0.1; GENES_PER_LAYER]),
+            decode_strategy(&[0.1; GENES_PER_LAYER])
+        );
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod ablation;
 pub mod baseline;
+mod builder;
 mod evaluator;
 mod ga;
 mod genome;
@@ -54,10 +55,11 @@ mod mapping;
 pub mod report;
 pub mod scheduler;
 
+pub use builder::SearchBuilder;
 pub use evaluator::{AssignmentCost, DesignPolicy, Evaluator, WorstOfModel};
 pub use ga::{genome_stream_seed, GaConfig, GaOutcome, GeneticAlgorithm};
 pub use genome::{FirstLevelGenome, SecondLevelGenome};
-pub use mapper::{Mars, SearchConfig, SearchResult};
+pub use mapper::{EvalStats, Mars, SearchConfig, SearchEngine, SearchResult};
 pub use mapping::{Assignment, Mapping};
 pub use scheduler::{
     co_schedule, co_schedule_cached, CoScheduleConfig, CoScheduleError, CoScheduleResult,

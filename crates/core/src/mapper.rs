@@ -1,17 +1,48 @@
 //! The MARS two-level genetic mapping search (Fig. 3 of the paper).
+//!
+//! Two engine implementations share this module:
+//!
+//! * [`SearchEngine::Flat`] (the default) — the rebuilt hot path: flat
+//!   arena-backed GA populations, incremental per-layer (delta) fitness in
+//!   the second level via [`GeneticAlgorithm::run_blocks`], a hoisted
+//!   evaluation context, a whole-decision memo on top of the per-assignment
+//!   second-level memo, and optional early termination of dominated
+//!   genomes ([`SearchConfig::early_termination`]).
+//! * [`SearchEngine::Reference`] — the pre-rebuild pipeline, retained
+//!   verbatim as the bit-identity oracle.  The differential tests (and the
+//!   `perf_smoke` speedup headline) run both engines on the same seeds and
+//!   assert the returned [`SearchResult`]s are bit-identical.
+//!
+//! Both engines are deterministic for any thread count; see the `ga` module
+//! docs.  Prefer constructing searches through
+//! [`SearchBuilder`](crate::SearchBuilder).
 
-use crate::evaluator::{DesignPolicy, Evaluator};
-use crate::ga::{GaConfig, GeneticAlgorithm};
-use crate::genome::{FirstLevelGenome, SecondLevelGenome};
+use crate::evaluator::{AssignmentCost, DesignPolicy, Evaluator};
+use crate::ga::{BlockBound, GaConfig, GeneticAlgorithm};
+use crate::genome::{decode_strategy_fast, FirstLevelGenome, SecondLevelGenome, GENES_PER_LAYER};
 use crate::mapping::{Assignment, Mapping};
 use mars_accel::{Catalog, DesignId, ProfileTable};
-use mars_model::{LoopNest, Network};
-use mars_parallel::{OnceCache, Strategy};
+use mars_model::{DimSet, LoopNest, Network};
+use mars_parallel::{evaluate_non_conv, CacheStats, EvalContext, OnceCache, Strategy};
 use mars_topology::{partition, AccelId, Topology};
+use rand::rngs::StdRng;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which implementation of the search hot path to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchEngine {
+    /// The rebuilt engine: flat genome arenas, delta fitness, memoised
+    /// decision caches.  Bit-identical to [`SearchEngine::Reference`] on the
+    /// same seed (unless [`SearchConfig::early_termination`] is enabled).
+    #[default]
+    Flat,
+    /// The pre-rebuild pipeline, kept as the correctness oracle.
+    Reference,
+}
 
 /// Configuration of the complete two-level search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,20 +56,48 @@ pub struct SearchConfig {
     pub max_sets: usize,
     /// Master seed; the per-level seeds are derived from it.
     pub seed: u64,
+    /// Which engine runs the search.
+    pub engine: SearchEngine,
+    /// Abandon second-level genomes whose partial cost already exceeds the
+    /// best-ever incumbent (flat engine only).  The returned best is still a
+    /// genuine, fully evaluated optimum with deterministic index-order
+    /// tie-breaks, but the search explores a (deterministically) different
+    /// trajectory than with the flag off, so leave it off when bit-identity
+    /// with [`SearchEngine::Reference`] matters.
+    pub early_termination: bool,
 }
 
 impl SearchConfig {
     /// The configuration used for the paper-scale experiments.
+    ///
+    /// Deprecated as a direct entry point: prefer
+    /// [`SearchBuilder::new(seed)`](crate::SearchBuilder::new) (standard is
+    /// its default budget), which resolves to exactly this configuration.
+    ///
+    /// ```
+    /// use mars_core::{SearchBuilder, SearchConfig};
+    /// assert_eq!(SearchBuilder::new(42).search_config(), SearchConfig::standard(42));
+    /// ```
     pub fn standard(seed: u64) -> Self {
         Self {
             first_level: GaConfig::first_level(seed),
             second_level: GaConfig::second_level(seed.wrapping_add(1)),
             max_sets: 0,
             seed,
+            engine: SearchEngine::Flat,
+            early_termination: false,
         }
     }
 
     /// A reduced configuration for unit tests, examples and quick runs.
+    ///
+    /// Deprecated as a direct entry point: prefer
+    /// [`SearchBuilder::new(seed).fast()`](crate::SearchBuilder::fast).
+    ///
+    /// ```
+    /// use mars_core::{SearchBuilder, SearchConfig};
+    /// assert_eq!(SearchBuilder::new(42).fast().search_config(), SearchConfig::fast(42));
+    /// ```
     pub fn fast(seed: u64) -> Self {
         Self {
             first_level: GaConfig {
@@ -53,6 +112,8 @@ impl SearchConfig {
             },
             max_sets: 0,
             seed,
+            engine: SearchEngine::Flat,
+            early_termination: false,
         }
     }
 
@@ -63,9 +124,24 @@ impl SearchConfig {
     /// first-level worker threads, so giving them their own pools would only
     /// oversubscribe the machine.  The search outcome is bit-identical for
     /// every thread count.
+    ///
+    /// Prefer [`SearchBuilder::threads`](crate::SearchBuilder::threads).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.first_level.threads = threads;
         self.second_level.threads = 1;
+        self
+    }
+
+    /// Returns the configuration with the given engine selected.
+    pub fn with_engine(mut self, engine: SearchEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns the configuration with early termination toggled (see
+    /// [`SearchConfig::early_termination`]).
+    pub fn with_early_termination(mut self, on: bool) -> Self {
+        self.early_termination = on;
         self
     }
 
@@ -81,6 +157,37 @@ impl Default for SearchConfig {
     }
 }
 
+/// Evaluation-throughput counters of one search.
+///
+/// `search_cache` counts the decision-level memo lookups (second-level
+/// search memo plus, on the flat engine, the whole-decision memo);
+/// `layer_cache` counts the per-layer evaluation memo underneath them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalStats {
+    /// First-level fitness evaluations.
+    pub evaluations: usize,
+    /// Distinct second-level GA searches actually run.
+    pub second_level_searches: usize,
+    /// Hit/miss counters of the per-layer evaluation memo.
+    pub layer_cache: CacheStats,
+    /// Hit/miss counters of the decision-level memo caches.
+    pub search_cache: CacheStats,
+    /// Wall-clock time of the whole search.
+    pub elapsed: Duration,
+}
+
+impl EvalStats {
+    /// Total cache hits across all memo layers.
+    pub fn cache_hits(&self) -> u64 {
+        self.layer_cache.hits + self.search_cache.hits
+    }
+
+    /// First-level fitness evaluations per second of wall-clock time.
+    pub fn evals_per_second(&self) -> f64 {
+        crate::ga::throughput(self.evaluations, self.elapsed)
+    }
+}
+
 /// Outcome of a mapping search.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
@@ -92,6 +199,10 @@ pub struct SearchResult {
     pub evaluations: usize,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
+    /// Evaluation and cache counters.  Engines agree bit-identically on
+    /// every other field, but not on these (the flat engine looks up
+    /// different caches), so differential comparisons skip them.
+    pub stats: EvalStats,
 }
 
 impl SearchResult {
@@ -113,6 +224,46 @@ type SecondLevelValue = (BTreeMap<usize, Strategy>, f64);
 /// re-running the expensive second-level GA.
 type SecondLevelCache = OnceCache<SecondLevelKey, SecondLevelValue>;
 type BestDecision = (f64, Vec<Assignment>, BTreeMap<usize, Strategy>);
+
+/// One memoised second-level outcome of the flat engine: the winning
+/// per-layer strategies plus the assignment's evaluated cost, so first-level
+/// fitness never re-walks the layer range.
+#[derive(Debug, Clone)]
+struct SecondOutcome {
+    strategies: BTreeMap<usize, Strategy>,
+    cost: AssignmentCost,
+}
+type FlatSecondCache = OnceCache<SecondLevelKey, Arc<SecondOutcome>>;
+/// Whole-decision memo of the flat engine: a decoded first-level genome is
+/// fully described by its per-assignment keys, and repeated decisions
+/// (elites, clones, convergent genomes) are answered without touching the
+/// evaluator at all.
+type DecisionCache = OnceCache<Vec<SecondLevelKey>, f64>;
+
+/// Memoised per-layer term of the flat second-level search: everything
+/// `combine` needs from one compute layer under one strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LayerTerm {
+    es: DimSet,
+    seconds: f64,
+    weight_bytes: u64,
+    memory_ok: bool,
+}
+
+/// One step of the precomputed walk over an assignment's layer range:
+/// compute layers carry their position and (static) resharding price, other
+/// layers a fixed latency.
+#[derive(Debug, Clone, Copy)]
+enum RangeStep {
+    Compute { pos: usize, reshard: f64 },
+    Fixed(f64),
+}
+
+const IDLE_COST: AssignmentCost = AssignmentCost {
+    seconds: 0.0,
+    weight_bytes_per_accel: 0,
+    memory_ok: true,
+};
 
 /// The MARS mapping framework: computation-aware accelerator selection and
 /// communication-aware multi-level parallelism search.
@@ -171,6 +322,73 @@ impl<'a> Mars<'a> {
     /// for every thread count because all stochastic state uses per-genome
     /// RNG streams and the shared caches only memoise pure functions.
     pub fn search(&self) -> SearchResult {
+        match self.config.engine {
+            SearchEngine::Flat => self.search_flat(),
+            SearchEngine::Reference => self.search_reference(),
+        }
+    }
+
+    fn resolved_max_sets(&self) -> usize {
+        if self.config.max_sets == 0 {
+            self.topo.len()
+        } else {
+            self.config.max_sets.min(self.topo.len()).max(1)
+        }
+    }
+
+    /// The initial first-level population, shared verbatim by both engines.
+    #[allow(clippy::too_many_arguments)]
+    fn first_level_seed(
+        &self,
+        rng: &mut StdRng,
+        i: usize,
+        layout: &FirstLevelGenome,
+        candidates: &[Vec<AccelId>],
+        profile: &ProfileTable,
+        design_scores: &[f64],
+        max_sets: usize,
+    ) -> Vec<f64> {
+        match i {
+            // The baseline-like seed: the topology groups as sets, evenly
+            // split layers, and the profiling-preferred design *per range*
+            // (not just per network), so the search starts from a point at
+            // least as good as the computation-prioritised baseline.
+            0 => {
+                let mut genes = layout.heuristic_seed(self.topo, candidates, design_scores);
+                let n_groups = self.topo.groups().len().max(1);
+                for slot in 0..n_groups {
+                    let start = slot * self.net.len() / n_groups;
+                    let end = (slot + 1) * self.net.len() / n_groups;
+                    if start < end {
+                        layout.set_preferred_design(
+                            &mut genes,
+                            slot,
+                            profile.best_design_for_range(start, end),
+                        );
+                    }
+                }
+                genes
+            }
+            1 => layout.full_platform_seed(candidates, design_scores),
+            // "One group runs everything": the group-structured seed with
+            // all cut points pushed to the end, so the remaining sets idle.
+            2 => {
+                let mut genes = layout.heuristic_seed(self.topo, candidates, design_scores);
+                let cuts_start = genes.len() - (max_sets - 1);
+                for g in &mut genes[cuts_start..] {
+                    *g = 1.0;
+                }
+                genes
+            }
+            _ => layout.random_init(rng, design_scores),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flat engine
+    // ------------------------------------------------------------------
+
+    fn search_flat(&self) -> SearchResult {
         let start = Instant::now();
         let candidates = partition::accset_candidates(self.topo);
         let profile = ProfileTable::build(self.net, self.catalog);
@@ -178,11 +396,369 @@ impl<'a> Mars<'a> {
         let evaluator =
             Evaluator::with_policy(self.net, self.topo, self.catalog, self.policy.clone());
 
-        let max_sets = if self.config.max_sets == 0 {
-            self.topo.len()
+        let max_sets = self.resolved_max_sets();
+        let layout = FirstLevelGenome::new(
+            candidates.len(),
+            self.catalog.len(),
+            max_sets,
+            self.net.len(),
+        );
+
+        let second_cache: FlatSecondCache = OnceCache::new();
+        let decision_cache: DecisionCache = OnceCache::new();
+
+        let first_ga = GeneticAlgorithm::new(self.config.first_level);
+        let outcome = first_ga.run(
+            layout.len(),
+            |rng, i| {
+                self.first_level_seed(
+                    rng,
+                    i,
+                    &layout,
+                    &candidates,
+                    &profile,
+                    &design_scores,
+                    max_sets,
+                )
+            },
+            |genes| {
+                let assignments = layout.decode(genes, &candidates);
+                self.flat_latency(&assignments, &evaluator, &second_cache, &decision_cache)
+            },
+        );
+
+        // Re-derive the winning decision from the best genome; every
+        // second-level search it needs is a cache hit, so this is cheap.
+        let (latency, assignments, strategies) = if outcome.best_fitness.is_finite() {
+            let assignments = layout.decode(&outcome.best_genes, &candidates);
+            let mut strategies = BTreeMap::new();
+            for a in &assignments {
+                if a.is_idle() {
+                    continue;
+                }
+                let second = self.second_level_flat(a, &evaluator, &second_cache);
+                strategies.extend(second.strategies.iter().map(|(k, v)| (*k, *v)));
+            }
+            let latency =
+                self.flat_latency(&assignments, &evaluator, &second_cache, &decision_cache);
+            (latency, assignments, strategies)
         } else {
-            self.config.max_sets.min(self.topo.len()).max(1)
+            // Every individual was invalid; fall back to the heuristic seed.
+            let genes = layout.heuristic_seed(self.topo, &candidates, &design_scores);
+            let assignments = layout.decode(&genes, &candidates);
+            let latency = evaluator.evaluate(&assignments, &BTreeMap::new());
+            (latency, assignments, BTreeMap::new())
         };
+
+        let elapsed = start.elapsed();
+        let stats = EvalStats {
+            evaluations: outcome.evaluations,
+            second_level_searches: second_cache.len(),
+            layer_cache: evaluator.cache_stats(),
+            search_cache: second_cache.stats().merged(decision_cache.stats()),
+            elapsed,
+        };
+        SearchResult {
+            mapping: Mapping::new(assignments, strategies, latency),
+            history: outcome.history,
+            evaluations: outcome.evaluations,
+            elapsed,
+            stats,
+        }
+    }
+
+    /// First-level fitness of the flat engine: decode-key the decision,
+    /// answer repeats from the whole-decision memo, and on a miss assemble
+    /// the latency from the per-assignment memoised costs.
+    fn flat_latency(
+        &self,
+        assignments: &[Assignment],
+        evaluator: &Evaluator<'_>,
+        second_cache: &FlatSecondCache,
+        decision_cache: &DecisionCache,
+    ) -> f64 {
+        let key: Vec<SecondLevelKey> = assignments
+            .iter()
+            .map(|a| (a.accels.clone(), a.design, a.layers.start, a.layers.end))
+            .collect();
+        decision_cache.get_or_compute(key, || {
+            let costs: Vec<AssignmentCost> = assignments
+                .iter()
+                .map(|a| {
+                    if a.is_idle() {
+                        IDLE_COST
+                    } else {
+                        self.second_level_flat(a, evaluator, second_cache).cost
+                    }
+                })
+                .collect();
+            let latency = evaluator.evaluate_with_costs(assignments, &costs);
+            // Debug cross-check: the memoised fast path must agree with a
+            // full re-evaluation through the reference entry point.
+            #[cfg(debug_assertions)]
+            {
+                let mut strategies = BTreeMap::new();
+                for a in assignments {
+                    if !a.is_idle() {
+                        let second = self.second_level_flat(a, evaluator, second_cache);
+                        strategies.extend(second.strategies.iter().map(|(k, v)| (*k, *v)));
+                    }
+                }
+                let full = evaluator.evaluate(assignments, &strategies);
+                debug_assert_eq!(
+                    latency.to_bits(),
+                    full.to_bits(),
+                    "flat fast path diverged from full evaluation"
+                );
+            }
+            latency
+        })
+    }
+
+    fn second_level_flat(
+        &self,
+        assignment: &Assignment,
+        evaluator: &Evaluator<'_>,
+        cache: &FlatSecondCache,
+    ) -> Arc<SecondOutcome> {
+        let key: SecondLevelKey = (
+            assignment.accels.clone(),
+            assignment.design,
+            assignment.layers.start,
+            assignment.layers.end,
+        );
+        cache.get_or_compute(key.clone(), || {
+            Arc::new(self.search_strategies_flat(assignment, evaluator, &key))
+        })
+    }
+
+    /// The flat second-level GA body: identical decisions to
+    /// [`Mars::search_strategies`], reached through block-incremental
+    /// fitness over a precomputed walk of the layer range.
+    fn search_strategies_flat(
+        &self,
+        assignment: &Assignment,
+        evaluator: &Evaluator<'_>,
+        key: &SecondLevelKey,
+    ) -> SecondOutcome {
+        let compute_layers: Vec<usize> = assignment
+            .layers
+            .clone()
+            .filter(|idx| self.net.layers()[*idx].is_compute())
+            .collect();
+        if compute_layers.is_empty() {
+            let strategies = BTreeMap::new();
+            let cost = evaluator.evaluate_assignment(assignment, &strategies);
+            return SecondOutcome { strategies, cost };
+        }
+
+        let nests: Vec<LoopNest> = compute_layers
+            .iter()
+            .map(|idx| {
+                self.net.layers()[*idx]
+                    .as_conv()
+                    .expect("compute layer")
+                    .loop_nest()
+            })
+            .collect();
+
+        let layout = SecondLevelGenome::new(compute_layers.len());
+        let mut seed_hasher = DefaultHasher::new();
+        key.hash(&mut seed_hasher);
+        let ga = GeneticAlgorithm::new(GaConfig {
+            seed: self.config.second_level.seed ^ seed_hasher.finish(),
+            ..self.config.second_level
+        });
+
+        // Hoisted evaluation context: the reference path rebuilds the model
+        // handle, context and signature on every fitness call.
+        let model = evaluator.model_for(assignment);
+        let ctx = EvalContext::new(model.as_dyn(), evaluator.comm(), &assignment.accels);
+        let signature = evaluator.context_signature(assignment);
+        let set_size = assignment.set_size();
+
+        // Precomputed walk of the layer range: non-compute latencies and
+        // per-position resharding prices are pure functions of the
+        // assignment, so they are evaluated once instead of per genome.
+        // The resharding price of a compute layer is the all-gather of the
+        // *preceding* layer's output shard — applied by `combine` only when
+        // the exclusive sharding actually changes.
+        let mut plan: Vec<RangeStep> = Vec::with_capacity(assignment.layers.len());
+        let mut pos = 0usize;
+        let mut prev_layer: Option<usize> = None;
+        for idx in assignment.layers.clone() {
+            let layer = &self.net.layers()[idx];
+            if layer.is_compute() {
+                let reshard = match prev_layer {
+                    Some(p) if set_size > 1 => evaluator.comm().all_gather(
+                        &assignment.accels,
+                        self.net.layers()[p].output_bytes() / set_size as u64,
+                    ),
+                    _ => 0.0,
+                };
+                plan.push(RangeStep::Compute { pos, reshard });
+                pos += 1;
+            } else {
+                plan.push(RangeStep::Fixed(evaluate_non_conv(layer, &ctx)));
+            }
+            prev_layer = Some(idx);
+        }
+        let dram = self.topo.min_dram_within(&assignment.accels);
+        let activation_headroom = assignment
+            .layers
+            .clone()
+            .map(|idx| self.net.layers()[idx].output_bytes())
+            .max()
+            .unwrap_or(0);
+
+        // Dense term memo shared across every search with this context
+        // signature (see [`Evaluator::term_table`]): an indexed atomic load
+        // per lookup, instead of a hash + shard lock, and terms survive from
+        // one second-level search to the next.
+        let table = evaluator.term_table(signature);
+        let term_for = |pos: usize, strategy: Strategy| -> (f64, u64, bool) {
+            evaluator.fast_term(&table, compute_layers[pos], strategy, &ctx)
+        };
+
+        let block_eval = |pos: usize, block: &[f64]| -> LayerTerm {
+            let strategy = decode_strategy_fast(block);
+            let (seconds, weight_bytes, memory_ok) = term_for(pos, strategy);
+            LayerTerm {
+                es: strategy.es(),
+                seconds,
+                weight_bytes,
+                memory_ok,
+            }
+        };
+
+        // Walks the range in layer order, re-summing exactly like
+        // `Evaluator::evaluate_assignment` (float addition is order
+        // sensitive, so the walk must not be reordered).
+        let combine_cost = |terms: &[LayerTerm]| -> AssignmentCost {
+            let mut seconds = 0.0;
+            let mut weight_bytes = 0u64;
+            let mut memory_ok = true;
+            let mut prev_es: Option<DimSet> = None;
+            for step in &plan {
+                match *step {
+                    RangeStep::Compute { pos, reshard } => {
+                        let t = &terms[pos];
+                        seconds += t.seconds;
+                        weight_bytes += t.weight_bytes;
+                        memory_ok &= t.memory_ok;
+                        if let Some(prev) = prev_es {
+                            if prev != t.es && set_size > 1 {
+                                seconds += reshard;
+                            }
+                        }
+                        prev_es = Some(t.es);
+                    }
+                    RangeStep::Fixed(s) => seconds += s,
+                }
+            }
+            memory_ok &= weight_bytes + activation_headroom <= dram;
+            AssignmentCost {
+                seconds,
+                weight_bytes_per_accel: weight_bytes,
+                memory_ok,
+            }
+        };
+        let fitness = |terms: &[LayerTerm]| -> f64 {
+            let cost = combine_cost(terms);
+            if cost.memory_ok {
+                cost.seconds
+            } else {
+                f64::INFINITY
+            }
+        };
+        // Sound lower bound for early termination: per-layer latencies are a
+        // subset of the full cost's non-negative contributions, and a failed
+        // per-layer memory check can only end in an infinite fitness.
+        let bound = |terms: &[LayerTerm]| -> f64 {
+            let mut s = 0.0;
+            for t in terms {
+                if !t.memory_ok {
+                    return f64::INFINITY;
+                }
+                s += t.seconds;
+            }
+            s
+        };
+        let prune: Option<BlockBound<'_, LayerTerm>> = if self.config.early_termination {
+            Some(&bound)
+        } else {
+            None
+        };
+
+        // Greedy per-layer seed: for every layer, the best strategy from the
+        // paper's candidate space when evaluated in isolation.  The GA then
+        // only has to repair the (usually few) places where neighbouring
+        // layers should align their sharding to avoid re-distribution.
+        let greedy: Vec<Strategy> = (0..compute_layers.len())
+            .map(|pos| {
+                evaluator.greedy_paper_strategy(&table, compute_layers[pos], signature, &ctx)
+            })
+            .collect();
+
+        let outcome = ga.run_blocks(
+            compute_layers.len(),
+            GENES_PER_LAYER,
+            |rng, i| match i {
+                0 => layout.heuristic_seed(&nests),
+                1 => layout.genes_for(&greedy),
+                _ => layout.random_init(rng),
+            },
+            block_eval,
+            fitness,
+            prune,
+        );
+
+        let strategies: BTreeMap<usize, Strategy> = layout
+            .decode(&outcome.best_genes)
+            .into_iter()
+            .zip(compute_layers.iter())
+            .map(|(s, idx)| (*idx, s))
+            .collect();
+        // Re-derive the winner's cost through the same memoised terms (all
+        // hits), so first-level fitness can reuse it without re-walking.
+        let terms: Vec<LayerTerm> = (0..compute_layers.len())
+            .map(|p| {
+                block_eval(
+                    p,
+                    &outcome.best_genes[p * GENES_PER_LAYER..(p + 1) * GENES_PER_LAYER],
+                )
+            })
+            .collect();
+        let cost = combine_cost(&terms);
+        #[cfg(debug_assertions)]
+        {
+            let full = evaluator.evaluate_assignment(assignment, &strategies);
+            debug_assert_eq!(
+                cost, full,
+                "flat second-level cost diverged from evaluate_assignment"
+            );
+        }
+        SecondOutcome { strategies, cost }
+    }
+
+    // ------------------------------------------------------------------
+    // Reference engine (pre-rebuild pipeline, kept as the oracle)
+    // ------------------------------------------------------------------
+
+    fn search_reference(&self) -> SearchResult {
+        let start = Instant::now();
+        let candidates = partition::accset_candidates(self.topo);
+        let profile = ProfileTable::build(self.net, self.catalog);
+        let design_scores = profile.normalized_scores();
+        // Per-layer cache keys: the keying this pipeline shipped with, kept
+        // so engine head-to-heads measure the rebuilt engine (shape-shared
+        // cache included) against the pre-rebuild behaviour.  Results are
+        // bit-identical either way.
+        let evaluator =
+            Evaluator::with_policy(self.net, self.topo, self.catalog, self.policy.clone())
+                .with_per_layer_cache_keys();
+
+        let max_sets = self.resolved_max_sets();
         let layout = FirstLevelGenome::new(
             candidates.len(),
             self.catalog.len(),
@@ -195,41 +771,18 @@ impl<'a> Mars<'a> {
         let second_cache: SecondLevelCache = OnceCache::new();
 
         let first_ga = GeneticAlgorithm::new(self.config.first_level);
-        let outcome = first_ga.run(
+        let outcome = first_ga.run_reference(
             layout.len(),
-            |rng, i| match i {
-                // The baseline-like seed: the topology groups as sets, evenly
-                // split layers, and the profiling-preferred design *per range*
-                // (not just per network), so the search starts from a point at
-                // least as good as the computation-prioritised baseline.
-                0 => {
-                    let mut genes = layout.heuristic_seed(self.topo, &candidates, &design_scores);
-                    let n_groups = self.topo.groups().len().max(1);
-                    for slot in 0..n_groups {
-                        let start = slot * self.net.len() / n_groups;
-                        let end = (slot + 1) * self.net.len() / n_groups;
-                        if start < end {
-                            layout.set_preferred_design(
-                                &mut genes,
-                                slot,
-                                profile.best_design_for_range(start, end),
-                            );
-                        }
-                    }
-                    genes
-                }
-                1 => layout.full_platform_seed(&candidates, &design_scores),
-                // "One group runs everything": the group-structured seed with
-                // all cut points pushed to the end, so the remaining sets idle.
-                2 => {
-                    let mut genes = layout.heuristic_seed(self.topo, &candidates, &design_scores);
-                    let cuts_start = genes.len() - (max_sets - 1);
-                    for g in &mut genes[cuts_start..] {
-                        *g = 1.0;
-                    }
-                    genes
-                }
-                _ => layout.random_init(rng, &design_scores),
+            |rng, i| {
+                self.first_level_seed(
+                    rng,
+                    i,
+                    &layout,
+                    &candidates,
+                    &profile,
+                    &design_scores,
+                    max_sets,
+                )
             },
             |genes| {
                 let (latency, _, _) =
@@ -256,11 +809,20 @@ impl<'a> Mars<'a> {
             (latency, assignments, BTreeMap::new())
         };
 
+        let elapsed = start.elapsed();
+        let stats = EvalStats {
+            evaluations: outcome.evaluations,
+            second_level_searches: second_cache.len(),
+            layer_cache: evaluator.cache_stats(),
+            search_cache: second_cache.stats(),
+            elapsed,
+        };
         SearchResult {
             mapping: Mapping::new(assignments, strategies, latency),
             history: outcome.history,
             evaluations: outcome.evaluations,
-            elapsed: start.elapsed(),
+            elapsed,
+            stats,
         }
     }
 
@@ -377,7 +939,7 @@ impl<'a> Mars<'a> {
             })
             .collect();
 
-        let outcome = ga.run(
+        let outcome = ga.run_reference(
             layout.len(),
             |rng, i| match i {
                 0 => layout.heuristic_seed(&nests),
@@ -493,6 +1055,81 @@ mod tests {
         assert_eq!(serial.mapping.strategies, parallel.mapping.strategies);
         assert_eq!(serial.history, parallel.history);
         assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn flat_engine_matches_reference_engine_bitwise() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        for (seed, threads) in [(17, 1), (17, 4), (40, 1)] {
+            let run = |engine| {
+                Mars::new(&net, &topo, &catalog)
+                    .with_config(SearchConfig::fast(seed).with_engine(engine))
+                    .with_threads(threads)
+                    .search()
+            };
+            let flat = run(SearchEngine::Flat);
+            let reference = run(SearchEngine::Reference);
+            assert_eq!(
+                flat.mapping.latency_seconds.to_bits(),
+                reference.mapping.latency_seconds.to_bits(),
+                "seed {seed} threads {threads}"
+            );
+            assert_eq!(flat.mapping.assignments, reference.mapping.assignments);
+            assert_eq!(flat.mapping.strategies, reference.mapping.strategies);
+            assert_eq!(flat.history, reference.history);
+            assert_eq!(flat.evaluations, reference.evaluations);
+        }
+    }
+
+    #[test]
+    fn early_termination_still_returns_a_valid_deterministic_mapping() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let run = || {
+            Mars::new(&net, &topo, &catalog)
+                .with_config(SearchConfig::fast(5).with_early_termination(true))
+                .search()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.mapping.is_valid());
+        assert_eq!(
+            a.mapping.latency_seconds.to_bits(),
+            b.mapping.latency_seconds.to_bits()
+        );
+        assert_eq!(a.mapping.assignments, b.mapping.assignments);
+        // The pruned search still cannot lose to the baseline seed.
+        let baseline = baseline::computation_prioritized(&net, &topo, &catalog);
+        assert!(a.mapping.latency_seconds <= baseline.latency_seconds * 1.001);
+    }
+
+    #[test]
+    fn search_reports_eval_stats() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let result = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(4))
+            .search();
+        let stats = result.stats;
+        assert_eq!(stats.evaluations, result.evaluations);
+        assert!(stats.second_level_searches > 0);
+        assert!(stats.search_cache.hits > 0, "repeat decisions must hit");
+        assert!(stats.cache_hits() > 0);
+        assert!(stats.evals_per_second() > 0.0);
+        assert_eq!(stats.elapsed, result.elapsed);
+        // The flat engine keeps per-layer terms in the evaluator's dense
+        // term table, which is deliberately uncounted, so its sharded
+        // layer-cache counters can legitimately read zero in release builds
+        // (debug cross-checks route through the counted path).  The
+        // reference engine still counts every per-layer lookup.
+        let reference = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(4).with_engine(SearchEngine::Reference))
+            .search();
+        assert!(reference.stats.layer_cache.lookups() > 0);
     }
 
     #[test]

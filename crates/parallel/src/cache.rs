@@ -33,11 +33,51 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default shard count: enough ways that a typical worker-pool's threads
 /// rarely collide, small enough that `len()` stays cheap.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Hit/miss counters observed on a cache's memoising entry points.
+///
+/// Counting covers [`ShardedCache::get_or_insert_with`] and
+/// [`OnceCache::get_or_compute`] — the paths the search hot loop actually
+/// takes — not the raw `get`/`insert` plumbing.  Counters are relaxed
+/// atomics: totals are exact once the threads that touched the cache have
+/// joined, which is the only time the search reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a memoised value.
+    pub hits: u64,
+    /// Lookups that had to run the compute closure.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Component-wise sum of two counter snapshots.
+    pub fn merged(&self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
 
 /// A concurrent memo cache sharded over N independent locks.
 ///
@@ -47,6 +87,8 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// value types (tuples of numbers, small maps).
 pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
@@ -72,6 +114,8 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
             shards: (0..shards.max(1))
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -113,11 +157,22 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     /// computations this cache memoises).
     pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
         if let Some(v) = self.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
         let mut shard = self.shard_for(&key).lock().expect("cache shard poisoned");
         shard.entry(key).or_insert(value).clone()
+    }
+
+    /// Snapshot of the hit/miss counters observed by
+    /// [`ShardedCache::get_or_insert_with`].
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Total number of cached entries across all shards.
@@ -181,6 +236,8 @@ impl<K, V> std::fmt::Debug for ShardedCache<K, V> {
 /// ```
 pub struct OnceCache<K, V> {
     slots: ShardedCache<K, Arc<OnceLock<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<K: Hash + Eq, V: Clone> OnceCache<K, V> {
@@ -194,6 +251,8 @@ impl<K: Hash + Eq, V: Clone> OnceCache<K, V> {
     pub fn with_shards(shards: usize) -> Self {
         Self {
             slots: ShardedCache::with_shards(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -211,7 +270,25 @@ impl<K: Hash + Eq, V: Clone> OnceCache<K, V> {
         let slot = self
             .slots
             .get_or_insert_with(key, || Arc::new(OnceLock::new()));
+        if let Some(v) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         slot.get_or_init(compute).clone()
+    }
+
+    /// Snapshot of the hit/miss counters observed by
+    /// [`OnceCache::get_or_compute`].
+    ///
+    /// A hit is a lookup whose value had already *completed*; threads that
+    /// park on an in-flight slot count as misses (they asked before the
+    /// value existed), so `misses` bounds the compute attempts from above.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Returns a clone of the completed value for `key`, if one exists.  A
@@ -377,6 +454,28 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::SeqCst), 1, "computed more than once");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let cache: ShardedCache<u32, u32> = ShardedCache::with_shards(4);
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.get_or_insert_with(1, || 1);
+        cache.get_or_insert_with(1, || 1);
+        cache.get_or_insert_with(2, || 4);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        assert_eq!(s.lookups(), 3);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+
+        let once: OnceCache<u32, u32> = OnceCache::with_shards(4);
+        once.get_or_compute(1, || 1);
+        once.get_or_compute(1, || 1);
+        let s = once.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        let merged = s.merged(cache.stats());
+        assert_eq!((merged.hits, merged.misses), (2, 3));
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod pool;
 pub mod shard;
 pub mod strategy;
 
-pub use cache::{OnceCache, ShardedCache};
+pub use cache::{CacheStats, OnceCache, ShardedCache};
 pub use enumerate::{all_strategies, paper_strategies, StrategySpace};
 pub use eval::{evaluate_layer, evaluate_non_conv, EvalContext, LayerEval};
 pub use pool::{resolve_threads, scoped_map, threads_from_env};

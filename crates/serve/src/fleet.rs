@@ -58,6 +58,7 @@ pub fn fleet_co_schedule(spec: &FleetSpec) -> CoScheduleResult {
                 history: Vec::new(),
                 evaluations: 0,
                 elapsed: Duration::ZERO,
+                stats: Default::default(),
             },
         })
         .collect();

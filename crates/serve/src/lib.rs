@@ -102,6 +102,7 @@ pub mod testing {
                     history: Vec::new(),
                     evaluations: 0,
                     elapsed: Duration::ZERO,
+                    stats: Default::default(),
                 },
             })
             .collect();

@@ -5,7 +5,7 @@
 //! cargo run --release --example co_schedule
 //! ```
 
-use mars::core::{co_schedule, report, CoScheduleConfig, Workload};
+use mars::core::report;
 use mars::model::zoo::MixZoo;
 use mars::prelude::*;
 
@@ -15,8 +15,10 @@ fn main() {
 
     for mix in MixZoo::ALL {
         let workloads: Vec<Workload> = mix.entries();
-        let config = CoScheduleConfig::fast(42);
-        let result = co_schedule(&workloads, &topo, &catalog, &config).expect("valid mix");
+        let result = SearchBuilder::new(42)
+            .fast()
+            .co_schedule(&workloads, &topo, &catalog)
+            .expect("valid mix");
         println!("== {mix} ==");
         print!("{}", report::render_co_schedule(&workloads, &result));
         println!(

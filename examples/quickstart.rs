@@ -51,6 +51,12 @@ fn main() {
         }
     );
     println!(
+        "cache hits:       {} layer-level, {} search-level ({:.0}% layer hit rate)",
+        result.stats.layer_cache.hits,
+        result.stats.search_cache.hits,
+        100.0 * result.stats.layer_cache.hit_rate()
+    );
+    println!(
         "latency reduction: {:.1}%",
         100.0 * result.mapping.improvement_over(&baseline)
     );

@@ -5,8 +5,8 @@
 //! cargo run --release --example resnet_on_f1
 //! ```
 //!
-//! This example uses the reduced `SearchConfig::fast` budget so it finishes in
-//! seconds; the `table3` binary of `mars-bench` runs the full-budget version.
+//! This example uses the reduced fast budget so it finishes in seconds; the
+//! `table3` binary of `mars-bench` runs the full-budget version.
 
 use mars::model::zoo::Benchmark;
 use mars::prelude::*;
@@ -23,9 +23,7 @@ fn main() {
     for benchmark in Benchmark::ALL {
         let net = benchmark.build();
         let baseline = mars::core::baseline::computation_prioritized(&net, &topo, &catalog);
-        let result = Mars::new(&net, &topo, &catalog)
-            .with_config(SearchConfig::fast(7))
-            .search();
+        let result = SearchBuilder::new(7).fast().search(&net, &topo, &catalog);
         println!(
             "{:<12} {:>8} {:>9.2}G {:>12.3} {:>12.3} {:>7.1}%",
             benchmark.name(),

@@ -6,7 +6,6 @@
 //! cargo run --release --example serve
 //! ```
 
-use mars::core::{co_schedule, CoScheduleConfig};
 use mars::prelude::*;
 use mars::serve::{compare_policies, render_serve, ServeConfig, Trace};
 
@@ -16,7 +15,9 @@ fn main() {
     let topo = mars::topology::presets::f1_16xlarge();
     let catalog = Catalog::standard_three();
 
-    let co = co_schedule(&workloads, &topo, &catalog, &CoScheduleConfig::fast(42))
+    let co = SearchBuilder::new(42)
+        .fast()
+        .co_schedule(&workloads, &topo, &catalog)
         .expect("bundled mix fits the platform");
 
     let profiles: Vec<TrafficProfile> = mix.traffic();
