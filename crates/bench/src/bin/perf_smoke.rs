@@ -17,10 +17,12 @@
 
 use mars_accel::{Catalog, ProfileTable};
 use mars_bench::{
-    search_engine_row, smoke, table3_row, table_elastic_row, table_failover_row, table_fleet_row,
-    table_llm_row, table_multi_row, table_serve_row_on, BinContext, Budget,
+    search_engine_row, smoke, table3_row, table3_row_observed, table_elastic_row,
+    table_failover_row, table_fleet_row, table_llm_row, table_multi_row, table_serve_row_on,
+    BinContext, Budget,
 };
 use mars_model::zoo::{Benchmark, MixZoo};
+use mars_obs::Recorder;
 use std::time::Instant;
 
 fn main() {
@@ -56,9 +58,14 @@ fn main() {
     let mut table3_min_engine_speedup = f64::INFINITY;
     let mut engine_evals = 0usize;
     let mut engine_flat_seconds = 0.0f64;
+    let mut table3_rows = Vec::new();
+    let mut table3_rows_s = 0.0f64;
     for (i, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+        let row_t = Instant::now();
         let row = table3_row(benchmark, budget, 40 + i as u64);
+        table3_rows_s += row_t.elapsed().as_secs_f64();
         table3_min_latency_speedup = table3_min_latency_speedup.min(row.baseline_ms / row.mars_ms);
+        table3_rows.push(row);
         let engine = search_engine_row(benchmark, budget, 40 + i as u64);
         table3_min_engine_speedup = table3_min_engine_speedup.min(engine.engine_speedup());
         engine_evals += engine.evaluations;
@@ -66,6 +73,26 @@ fn main() {
     }
     let search_evals_per_second = engine_evals as f64 / engine_flat_seconds.max(1e-12);
     let table3_s = t.elapsed().as_secs_f64();
+
+    // obs_disabled_overhead: the observability hooks behind a *disabled*
+    // Recorder must stay free.  Re-run the identical table3 rows through the
+    // observed entry point with `Recorder::disabled()` — the exact code path
+    // every instrumented caller pays when tracing is off — assert the rows
+    // bit-identical to the plain pass, and gate the plain/observed wall-clock
+    // ratio: the committed 0.95 floor allows the disabled-recorder pass at
+    // most ~5% extra cost before the gate trips.
+    let t = Instant::now();
+    let disabled = Recorder::disabled();
+    for (i, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+        let row = table3_row_observed(benchmark, budget, 40 + i as u64, &disabled);
+        assert_eq!(
+            row.mars_ms.to_bits(),
+            table3_rows[i].mars_ms.to_bits(),
+            "{benchmark:?}: disabled-recorder search diverged from the plain search"
+        );
+    }
+    let table3_obs_s = t.elapsed().as_secs_f64();
+    let obs_disabled_overhead = table3_rows_s / table3_obs_s.max(1e-12);
 
     // table_multi: co-scheduling vs sequential-exclusive (seeds 42+row).
     let t = Instant::now();
@@ -150,6 +177,7 @@ fn main() {
     let wall_clock = [
         ("table2", table2_s),
         ("table3", table3_s),
+        ("table3_obs_disabled", table3_obs_s),
         ("table_multi", table_multi_s),
         ("table_serve", table_serve_s),
         ("table_elastic", table_elastic_s),
@@ -161,6 +189,7 @@ fn main() {
         ("table3_min_search_speedup", table3_min_engine_speedup),
         ("table3_min_latency_speedup", table3_min_latency_speedup),
         ("search_evals_per_second", search_evals_per_second),
+        ("obs_disabled_overhead", obs_disabled_overhead),
         ("table_multi_min_speedup", multi_min_speedup),
         ("table_serve_min_goodput_gain", serve_min_gain),
         ("reactive_vs_static", elastic_min_gain),

@@ -7,9 +7,12 @@
 //! ```
 
 use mars_accel::{Catalog, ProfileTable};
+use mars_bench::BinContext;
 use mars_model::zoo::Benchmark;
 
 fn main() {
+    let ctx = BinContext::from_env();
+    let recorder = ctx.recorder();
     let catalog = Catalog::standard_three();
 
     println!("TABLE II: AVAILABLE ACCELERATOR DESIGNS");
@@ -44,6 +47,12 @@ fn main() {
             counts[profile.best_design(id).0] += 1;
             total += 1;
         }
+        for (design, &n) in counts.iter().enumerate() {
+            recorder.counter(
+                &format!("profile/prefers_design{}/{}", design, benchmark.name()),
+                n as u64,
+            );
+        }
         println!(
             "{:<12} {:>9.1}% {:>9.1}% {:>9.1}%",
             benchmark.name(),
@@ -52,4 +61,5 @@ fn main() {
             100.0 * counts[2] as f64 / total as f64,
         );
     }
+    ctx.export(&recorder);
 }

@@ -6,12 +6,13 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table4
 //! ```
 
-use mars_bench::{table4_rows, BinContext};
+use mars_bench::{table4_rows_observed, BinContext};
 use mars_model::zoo;
 
 fn main() {
     let ctx = BinContext::from_env();
     let budget = ctx.budget;
+    let recorder = ctx.recorder();
     ctx.print_header("TABLE IV: COMPARISON OF LATENCY (ms) WITH THE H2H-LIKE MAPPER");
 
     let models = [zoo::casia_surf_like(), zoo::facebagnet_like()];
@@ -31,7 +32,7 @@ fn main() {
     let rows: Vec<Vec<mars_bench::Table4Row>> = models
         .iter()
         .enumerate()
-        .map(|(i, net)| table4_rows(net, budget, 90 + i as u64))
+        .map(|(i, net)| table4_rows_observed(net, budget, 90 + i as u64, &recorder))
         .collect();
 
     for (a, b) in rows[0].iter().zip(&rows[1]) {
@@ -51,4 +52,5 @@ fn main() {
 
     let avg = all_reductions.iter().sum::<f64>() / all_reductions.len() as f64;
     println!("\nAverage latency reduction vs H2H-like: {avg:.1}% (paper reports 59.4% vs H2H)");
+    ctx.export(&recorder);
 }

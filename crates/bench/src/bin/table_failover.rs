@@ -11,12 +11,13 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table_failover
 //! ```
 
-use mars_bench::{table_failover_row, BinContext};
+use mars_bench::{table_failover_row_observed, BinContext};
 use mars_model::zoo::MixZoo;
 
 fn main() {
     let ctx = BinContext::from_env();
     let budget = ctx.budget;
+    let recorder = ctx.recorder();
     ctx.print_header("TABLE FAILOVER: EPOCH-STYLE RECOVERY FROM ACCELERATOR FAILURES");
     println!(
         "{:<14} {:<9} {:>6} {:>8} {:>7} {:>8} {:>6} {:>8} {:>8} {:>9}",
@@ -34,7 +35,7 @@ fn main() {
 
     let rows: Vec<_> = MixZoo::ALL
         .into_iter()
-        .map(|mix| table_failover_row(mix, budget, 42))
+        .map(|mix| table_failover_row_observed(mix, budget, 42, &recorder))
         .collect();
 
     for row in &rows {
@@ -93,4 +94,5 @@ fn main() {
         }
         println!();
     }
+    ctx.export(&recorder);
 }

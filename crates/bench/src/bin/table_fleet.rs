@@ -10,15 +10,18 @@
 //! ```sh
 //! cargo run --release -p mars-bench --bin table_fleet
 //! MARS_THREADS=8 cargo run --release -p mars-bench --bin table_fleet
+//! cargo run --release -p mars-bench --bin table_fleet -- --trace fleet.json   # open in Perfetto
 //! ```
 
-use mars_bench::{table_fleet_row, BinContext};
+use mars_bench::{table_fleet_row_observed, BinContext};
 use mars_model::zoo::MixZoo;
 
 fn main() {
-    BinContext::from_env().print_shard_header("TABLE FLEET: CALENDAR-QUEUE ENGINE AT FLEET SCALE");
+    let ctx = BinContext::from_env();
+    ctx.print_shard_header("TABLE FLEET: CALENDAR-QUEUE ENGINE AT FLEET SCALE");
+    let recorder = ctx.recorder();
 
-    let row = table_fleet_row(42);
+    let row = table_fleet_row_observed(42, &recorder);
     println!(
         "fleet: {} workloads on {} accelerators, {} requests over {:.1}s horizon, {} fault events",
         row.workloads,
@@ -67,4 +70,5 @@ fn main() {
         "  speedup: {:.1}x (acceptance floor: 5x)",
         row.engine_speedup()
     );
+    ctx.export(&recorder);
 }

@@ -10,13 +10,15 @@
 //! MARS_THREADS=8 cargo run --release -p mars-bench --bin table_llm
 //! ```
 
-use mars_bench::{table_llm_row, BinContext};
+use mars_bench::{table_llm_row_observed, BinContext};
 use mars_serve::BatchingMode;
 
 fn main() {
-    BinContext::from_env().print_shard_header("TABLE LLM: CONTINUOUS BATCHING VS ONE-SHOT");
+    let ctx = BinContext::from_env();
+    ctx.print_shard_header("TABLE LLM: CONTINUOUS BATCHING VS ONE-SHOT");
+    let recorder = ctx.recorder();
 
-    let row = table_llm_row(42);
+    let row = table_llm_row_observed(42, &recorder);
     println!(
         "mix: {} LLM workloads, {} requests over {:.1}s horizon",
         row.workloads,
@@ -66,4 +68,5 @@ fn main() {
         "continuous goodput gain over one-shot: {:.2}x (acceptance floor: >1x)",
         row.continuous_goodput_gain()
     );
+    ctx.export(&recorder);
 }

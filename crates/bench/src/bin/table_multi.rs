@@ -17,6 +17,7 @@ use mars_model::zoo::MixZoo;
 fn main() {
     let ctx = BinContext::from_env();
     let budget = ctx.budget;
+    let recorder = ctx.recorder();
     ctx.print_header("TABLE MULTI: CO-SCHEDULED VS SEQUENTIAL-EXCLUSIVE EXECUTION");
     println!(
         "{:<14} {:>5} {:>12} {:>14} {:>9} {:>10} {:>8}",
@@ -32,6 +33,18 @@ fn main() {
     let mut reductions = Vec::new();
     for row in &rows {
         reductions.push(row.reduction_percent());
+        // Post-hoc recording from the finished deterministic outcome: the
+        // co-scheduler itself has no recorder hook, but the headline numbers
+        // still land in the export.
+        recorder.counter("multi/inner_searches", row.result.inner_searches as u64);
+        recorder.counter(
+            "multi/outer_evaluations",
+            row.result.outer_evaluations as u64,
+        );
+        recorder.gauge_max(
+            &format!("multi/speedup/{}", row.mix.name()),
+            row.result.speedup_over_sequential(),
+        );
         println!(
             "{:<14} {:>5} {:>12.3} {:>14.3} {:>8.2}x {:>10.1} {:>8}",
             row.mix.name(),
@@ -55,4 +68,5 @@ fn main() {
 
     let avg = reductions.iter().sum::<f64>() / reductions.len() as f64;
     println!("\nAverage round-time reduction from co-scheduling: {avg:.1}%");
+    ctx.export(&recorder);
 }

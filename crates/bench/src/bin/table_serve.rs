@@ -10,13 +10,14 @@
 //! MARS_BUDGET=full cargo run --release -p mars-bench --bin table_serve
 //! ```
 
-use mars_bench::{table_serve_row, BinContext};
+use mars_bench::{table_serve_row_observed, BinContext};
 use mars_model::zoo::MixZoo;
 use mars_serve::render_serve;
 
 fn main() {
     let ctx = BinContext::from_env();
     let budget = ctx.budget;
+    let recorder = ctx.recorder();
     ctx.print_header("TABLE SERVE: SLA-AWARE DYNAMIC BATCHING OVER CO-SCHEDULE PLACEMENTS");
     println!(
         "{:<14} {:<6} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>9} {:>6}",
@@ -35,7 +36,7 @@ fn main() {
     let rows: Vec<_> = MixZoo::ALL
         .into_iter()
         .enumerate()
-        .map(|(i, mix)| table_serve_row(mix, budget, 42 + i as u64))
+        .map(|(i, mix)| table_serve_row_observed(mix, budget, 42 + i as u64, &recorder))
         .collect();
 
     for row in &rows {
@@ -68,4 +69,5 @@ fn main() {
         }
         println!();
     }
+    ctx.export(&recorder);
 }

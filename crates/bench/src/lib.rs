@@ -21,11 +21,12 @@ use mars_core::{
 };
 use mars_model::zoo::{Benchmark, MixZoo};
 use mars_model::{Network, PhasedTraffic, TrafficProfile};
-use mars_runtime::{run_elastic_with_cache, ElasticReport, RuntimeConfig, RuntimePolicy};
+use mars_obs::Recorder;
+use mars_runtime::{run_elastic_observed, ElasticReport, RuntimeConfig, RuntimePolicy};
 use mars_serve::{
-    compare_policies, fleet_co_schedule, reference, simulate_llm_sharded,
-    simulate_sharded_with_faults, BatchingMode, DispatchPolicy, FaultPolicy, LlmServeReport,
-    LlmTrace, ServeConfig, ServeReport, SimState, Trace,
+    fleet_co_schedule, reference, simulate, simulate_llm_sharded_observed, simulate_observed,
+    simulate_sharded_observed, BatchingMode, DispatchPolicy, FaultPolicy, LlmServeReport, LlmTrace,
+    ServeConfig, ServeReport, SimState, Trace,
 };
 use mars_topology::{presets, Topology};
 use std::time::Instant;
@@ -108,12 +109,26 @@ impl Table3Row {
 
 /// Runs one Table III row: baseline and MARS on the F1-style platform.
 pub fn table3_row(benchmark: Benchmark, budget: Budget, seed: u64) -> Table3Row {
+    table3_row_observed(benchmark, budget, seed, &Recorder::disabled())
+}
+
+/// [`table3_row`] with an observability [`Recorder`] attached to the MARS
+/// search: per-generation convergence series, evaluation counters and
+/// cache-hit splits stream into it.  The row itself is bit-identical to
+/// [`table3_row`]'s.
+pub fn table3_row_observed(
+    benchmark: Benchmark,
+    budget: Budget,
+    seed: u64,
+    recorder: &Recorder,
+) -> Table3Row {
     let net = benchmark.build();
     let topo = presets::f1_16xlarge();
     let catalog = Catalog::standard_three();
     let baseline = baseline::computation_prioritized(&net, &topo, &catalog);
     let result = Mars::new(&net, &topo, &catalog)
         .with_config(budget.search_config(seed))
+        .with_recorder(recorder.clone())
         .search();
     Table3Row {
         benchmark,
@@ -151,6 +166,19 @@ impl Table4Row {
 /// Runs the Table IV sweep for one heterogeneous model: five bandwidth levels,
 /// H2H-like mapper vs MARS with fixed heterogeneous designs.
 pub fn table4_rows(net: &Network, budget: Budget, seed: u64) -> Vec<Table4Row> {
+    table4_rows_observed(net, budget, seed, &Recorder::disabled())
+}
+
+/// [`table4_rows`] with an observability [`Recorder`] attached to every MARS
+/// search of the bandwidth sweep (the five levels run sequentially, so the
+/// recorded series are deterministic).  The rows are bit-identical to
+/// [`table4_rows`]'s.
+pub fn table4_rows_observed(
+    net: &Network,
+    budget: Budget,
+    seed: u64,
+    recorder: &Recorder,
+) -> Vec<Table4Row> {
     let catalog = Catalog::h2h_heterogeneous();
     presets::h2h_bandwidth_levels()
         .into_iter()
@@ -161,6 +189,7 @@ pub fn table4_rows(net: &Network, budget: Budget, seed: u64) -> Vec<Table4Row> {
             let mars = Mars::new(net, &topo, &catalog)
                 .with_fixed_designs(designs)
                 .with_config(budget.search_config(seed))
+                .with_recorder(recorder.clone())
                 .search();
             Table4Row {
                 label,
@@ -266,6 +295,17 @@ impl ServeRow {
 /// Poisson trace from the mix's bundled [`MixZoo::traffic`] profile, and
 /// replays it under every dispatch policy.
 pub fn table_serve_row(mix: MixZoo, budget: Budget, seed: u64) -> ServeRow {
+    table_serve_row_observed(mix, budget, seed, &Recorder::disabled())
+}
+
+/// [`table_serve_row`] with an observability [`Recorder`] attached to the
+/// default-policy replay (see [`table_serve_row_on_observed`]).
+pub fn table_serve_row_observed(
+    mix: MixZoo,
+    budget: Budget,
+    seed: u64,
+    recorder: &Recorder,
+) -> ServeRow {
     let workloads = mix.entries();
     let topo = presets::f1_16xlarge();
     let catalog = Catalog::standard_three();
@@ -276,7 +316,7 @@ pub fn table_serve_row(mix: MixZoo, budget: Budget, seed: u64) -> ServeRow {
         &budget.co_schedule_config(seed),
     )
     .expect("bundled mixes fit the F1 platform");
-    table_serve_row_on(mix, seed, co)
+    table_serve_row_on_observed(mix, seed, co, recorder)
 }
 
 /// The serving half of [`table_serve_row`], on a co-schedule already
@@ -284,10 +324,34 @@ pub fn table_serve_row(mix: MixZoo, budget: Budget, seed: u64) -> ServeRow {
 /// (like the `perf_smoke` gate) reuse its result here instead of repeating
 /// the deterministic — and expensive — co-schedule search.
 pub fn table_serve_row_on(mix: MixZoo, seed: u64, co: CoScheduleResult) -> ServeRow {
+    table_serve_row_on_observed(mix, seed, co, &Recorder::disabled())
+}
+
+/// [`table_serve_row_on`] with an observability [`Recorder`] attached to the
+/// *default-policy* replay (recording every policy would overlay four
+/// replays of the same trace on the same tracks and histograms, which is
+/// noise, not signal).  The row is bit-identical to [`table_serve_row_on`]'s.
+pub fn table_serve_row_on_observed(
+    mix: MixZoo,
+    seed: u64,
+    co: CoScheduleResult,
+    recorder: &Recorder,
+) -> ServeRow {
     let profiles = mix.traffic();
     let trace = Trace::poisson(&profiles, 1.0, seed);
-    let reports = compare_policies(&co, &profiles, &trace, &ServeConfig::default())
-        .expect("bundled profiles and placements are valid");
+    let base = ServeConfig::default();
+    let reports = DispatchPolicy::ALL
+        .into_iter()
+        .map(|policy| {
+            let config = ServeConfig { policy, ..base };
+            if policy == base.policy {
+                simulate_observed(&co, &profiles, &trace, &config, recorder)
+            } else {
+                simulate(&co, &profiles, &trace, &config)
+            }
+            .expect("bundled profiles and placements are valid")
+        })
+        .collect();
     ServeRow {
         mix,
         profiles,
@@ -386,6 +450,16 @@ macro_rules! fleet_step_drive {
 /// reports are asserted bit-equal — the bench refuses to print a speedup
 /// over an oracle it disagrees with.
 pub fn table_fleet_row(seed: u64) -> FleetRow {
+    table_fleet_row_observed(seed, &Recorder::disabled())
+}
+
+/// [`table_fleet_row`] with an observability [`Recorder`] attached to the
+/// *default-policy* faulted replay: batch spans per lane, queue/batch-size
+/// histograms, per-accelerator busy gauges and fault instants stream into
+/// it.  The timed engine head-to-head always runs unobserved so the reported
+/// wall clocks measure the engines, not the recording.  The row is
+/// bit-identical to [`table_fleet_row`]'s.
+pub fn table_fleet_row_observed(seed: u64, recorder: &Recorder) -> FleetRow {
     let fleet = MixZoo::fleet();
     let co = fleet_co_schedule(&fleet);
     let profiles = fleet.traffic.phases[0].profiles.clone();
@@ -393,16 +467,23 @@ pub fn table_fleet_row(seed: u64) -> FleetRow {
     let accels = co.placements.iter().map(|p| p.accels.len()).sum();
     let faults = &fleet.traffic.faults;
 
+    let default_policy = ServeConfig::default().policy;
     let reports: Vec<ServeReport> = DispatchPolicy::ALL
         .into_iter()
         .map(|policy| {
-            simulate_sharded_with_faults(
+            let r = if policy == default_policy {
+                recorder.clone()
+            } else {
+                Recorder::disabled()
+            };
+            simulate_sharded_observed(
                 &co,
                 &profiles,
                 &trace,
                 &ServeConfig::new(policy),
                 faults,
                 FaultPolicy::RequeueInflight,
+                &r,
             )
             .expect("valid fleet inputs")
         })
@@ -489,14 +570,28 @@ impl LlmRow {
 /// phase-stamped deadlines) and replays it under one-shot and continuous
 /// batching on the lane-sharded runner, timing each replay.
 pub fn table_llm_row(seed: u64) -> LlmRow {
+    table_llm_row_observed(seed, &Recorder::disabled())
+}
+
+/// [`table_llm_row`] with an observability [`Recorder`] attached to the
+/// *continuous-batching* replay (the treatment arm — its prefill/decode
+/// phase spans and KV-reservation series are what the trace is for).  The
+/// row's reports are bit-identical to [`table_llm_row`]'s.
+pub fn table_llm_row_observed(seed: u64, recorder: &Recorder) -> LlmRow {
     let spec = mars_model::zoo::llm_mix();
     let trace = LlmTrace::draw(&spec, seed).expect("bundled LLM mix is valid");
 
     let mut reports = Vec::with_capacity(BatchingMode::ALL.len());
     let mut wall_seconds = Vec::with_capacity(BatchingMode::ALL.len());
     for mode in BatchingMode::ALL {
+        let r = if mode == BatchingMode::Continuous {
+            recorder.clone()
+        } else {
+            Recorder::disabled()
+        };
         let t = Instant::now();
-        let report = simulate_llm_sharded(&spec, &trace, mode).expect("valid LLM inputs");
+        let report =
+            simulate_llm_sharded_observed(&spec, &trace, mode, &r).expect("valid LLM inputs");
         wall_seconds.push(t.elapsed().as_secs_f64());
         reports.push(report);
     }
@@ -572,28 +667,21 @@ impl ElasticRow {
 /// [`InnerSearchCache`], so the initial co-schedule is searched once and
 /// every re-schedule pays only for genuinely new partitions.
 pub fn table_elastic_row(mix: MixZoo, budget: Budget, seed: u64) -> ElasticRow {
-    let workloads = mix.entries();
-    let topo = presets::f1_16xlarge();
-    let catalog = Catalog::standard_three();
+    table_elastic_row_observed(mix, budget, seed, &Recorder::disabled())
+}
+
+/// [`table_elastic_row`] with an observability [`Recorder`] attached to the
+/// *Reactive* run — the arm whose drift-monitor windows and
+/// trigger → re-plan → migrate timeline the trace exists to show.  The row
+/// is bit-identical to [`table_elastic_row`]'s.
+pub fn table_elastic_row_observed(
+    mix: MixZoo,
+    budget: Budget,
+    seed: u64,
+    recorder: &Recorder,
+) -> ElasticRow {
     let scenario = mix.phased_traffic();
-    let trace = Trace::phased(&scenario, seed).expect("bundled scenarios are valid");
-    let config = RuntimeConfig::new(budget.co_schedule_config(seed));
-    let cache = InnerSearchCache::new();
-    let reports = RuntimePolicy::ALL
-        .into_iter()
-        .map(|policy| {
-            run_elastic_with_cache(
-                &workloads, &topo, &catalog, &scenario, &trace, policy, &config, &cache,
-            )
-            .expect("bundled scenarios fit the F1 platform")
-        })
-        .collect();
-    ElasticRow {
-        mix,
-        scenario,
-        trace,
-        reports,
-    }
+    elastic_row_on(mix, scenario, budget, seed, recorder)
 }
 
 /// Runs one `table_failover` row: like [`table_elastic_row`] but over the
@@ -605,18 +693,48 @@ pub fn table_elastic_row(mix: MixZoo, budget: Budget, seed: u64) -> ElasticRow {
 /// keeps serving into a dead partition while Reactive re-plans onto the
 /// survivors.
 pub fn table_failover_row(mix: MixZoo, budget: Budget, seed: u64) -> ElasticRow {
+    table_failover_row_observed(mix, budget, seed, &Recorder::disabled())
+}
+
+/// [`table_failover_row`] with an observability [`Recorder`] attached to the
+/// *Reactive* run — under faults the fault instants land on the `"faults"`
+/// track next to the recovery timeline.  The row is bit-identical to
+/// [`table_failover_row`]'s.
+pub fn table_failover_row_observed(
+    mix: MixZoo,
+    budget: Budget,
+    seed: u64,
+    recorder: &Recorder,
+) -> ElasticRow {
+    let scenario = mix.failure_scenario();
+    elastic_row_on(mix, scenario, budget, seed, recorder)
+}
+
+/// The shared body of the two elastic rows: runs every [`RuntimePolicy`] on
+/// `scenario`'s trace, observing only the Reactive arm.
+fn elastic_row_on(
+    mix: MixZoo,
+    scenario: PhasedTraffic,
+    budget: Budget,
+    seed: u64,
+    recorder: &Recorder,
+) -> ElasticRow {
     let workloads = mix.entries();
     let topo = presets::f1_16xlarge();
     let catalog = Catalog::standard_three();
-    let scenario = mix.failure_scenario();
     let trace = Trace::phased(&scenario, seed).expect("bundled scenarios are valid");
     let config = RuntimeConfig::new(budget.co_schedule_config(seed));
     let cache = InnerSearchCache::new();
     let reports = RuntimePolicy::ALL
         .into_iter()
         .map(|policy| {
-            run_elastic_with_cache(
-                &workloads, &topo, &catalog, &scenario, &trace, policy, &config, &cache,
+            let r = if policy == RuntimePolicy::Reactive {
+                recorder.clone()
+            } else {
+                Recorder::disabled()
+            };
+            run_elastic_observed(
+                &workloads, &topo, &catalog, &scenario, &trace, policy, &config, &cache, &r,
             )
             .expect("bundled scenarios fit the F1 platform")
         })
@@ -646,24 +764,95 @@ pub fn run_mars(
 }
 
 /// Environment-resolved context shared by every table binary: the search
-/// budget, the resolved worker-thread count, and the uniform header and
-/// throughput lines — so the `MARS_THREADS` parsing and evals/s reporting
-/// are written once instead of per binary.
-#[derive(Debug, Clone, Copy)]
+/// budget, the resolved worker-thread count, the observability output paths,
+/// and the uniform header and throughput lines — so the `MARS_THREADS`
+/// parsing, evals/s reporting and `--trace`/`--metrics` handling are written
+/// once instead of per binary.
+#[derive(Debug, Clone)]
 pub struct BinContext {
     /// Search budget from `MARS_BUDGET`.
     pub budget: Budget,
     /// Resolved worker-thread count from `MARS_THREADS` (`0` already mapped
     /// to the machine's available parallelism).
     pub threads: usize,
+    /// Chrome-trace-event (Perfetto) output path from `--trace <path>`
+    /// (`None` = no trace requested).
+    pub trace_path: Option<String>,
+    /// Flat metrics-JSON output path from `--metrics <path>` (`None` = no
+    /// metrics requested).
+    pub metrics_path: Option<String>,
 }
 
 impl BinContext {
-    /// Reads `MARS_BUDGET` and `MARS_THREADS`.
+    /// Reads `MARS_BUDGET` and `MARS_THREADS` from the environment and the
+    /// `--trace <path>` / `--metrics <path>` flags from the process
+    /// arguments.  Unknown arguments are ignored (the binaries have no other
+    /// CLI surface).
     pub fn from_env() -> Self {
+        Self::from_env_and_args(std::env::args().skip(1))
+    }
+
+    /// [`from_env`](Self::from_env) with an explicit argument list (the
+    /// environment variables are still read from the environment) — the
+    /// testable core of the flag parsing.  Both `--trace p` and `--trace=p`
+    /// spellings are accepted; the last occurrence of a flag wins.
+    pub fn from_env_and_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut trace_path = None;
+        let mut metrics_path = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if arg == "--trace" {
+                trace_path = args.next();
+            } else if arg == "--metrics" {
+                metrics_path = args.next();
+            } else if let Some(p) = arg.strip_prefix("--trace=") {
+                trace_path = Some(p.to_string());
+            } else if let Some(p) = arg.strip_prefix("--metrics=") {
+                metrics_path = Some(p.to_string());
+            }
+        }
         Self {
             budget: Budget::from_env(),
             threads: mars_parallel::resolve_threads(threads_from_env()),
+            trace_path,
+            metrics_path,
+        }
+    }
+
+    /// The recorder a binary should thread through its rows: enabled iff an
+    /// output path was requested, so un-flagged runs keep the no-op null
+    /// check on every hot-path record call.
+    pub fn recorder(&self) -> Recorder {
+        if self.trace_path.is_some() || self.metrics_path.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Writes the recorder's collected observations to the requested output
+    /// files — flat metrics JSON to `--metrics`, Chrome trace-event JSON
+    /// (open in Perfetto) to `--trace` — printing one line per file.  A
+    /// no-op when neither flag was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output file cannot be written; for a CLI flag pointing
+    /// at a bad path, failing loudly beats silently dropping the export.
+    pub fn export(&self, recorder: &Recorder) {
+        if self.trace_path.is_none() && self.metrics_path.is_none() {
+            return;
+        }
+        let obs = recorder.snapshot();
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, mars_obs::metrics_json(&obs))
+                .unwrap_or_else(|e| panic!("writing metrics JSON to {path}: {e}"));
+            println!("wrote metrics JSON to {path}");
+        }
+        if let Some(path) = &self.trace_path {
+            std::fs::write(path, mars_obs::chrome_trace_json(&obs))
+                .unwrap_or_else(|e| panic!("writing Perfetto trace to {path}: {e}"));
+            println!("wrote Perfetto trace to {path}");
         }
     }
 

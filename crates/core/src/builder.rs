@@ -16,6 +16,7 @@ use crate::scheduler::{
 };
 use mars_accel::{Catalog, DesignId};
 use mars_model::Network;
+use mars_obs::Recorder;
 use mars_topology::{AccelId, Topology};
 use std::collections::BTreeMap;
 
@@ -80,6 +81,7 @@ pub struct SearchBuilder {
     outer: Option<GaConfig>,
     warm: Option<WarmStart>,
     fixed_designs: Option<BTreeMap<AccelId, DesignId>>,
+    recorder: Recorder,
 }
 
 impl SearchBuilder {
@@ -171,6 +173,15 @@ impl SearchBuilder {
         self
     }
 
+    /// Attaches an observability recorder to the single-workload search (see
+    /// [`Mars::with_recorder`]): after the search it holds per-generation
+    /// best/mean fitness series and cache counters, without perturbing the
+    /// returned result.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The [`SearchConfig`] this builder resolves to.
     pub fn search_config(&self) -> SearchConfig {
         let mut cfg = match self.budget {
@@ -220,7 +231,9 @@ impl SearchBuilder {
 
     /// Runs the single-workload two-level search.
     pub fn search(&self, net: &Network, topo: &Topology, catalog: &Catalog) -> SearchResult {
-        let mut mars = Mars::new(net, topo, catalog).with_config(self.search_config());
+        let mut mars = Mars::new(net, topo, catalog)
+            .with_config(self.search_config())
+            .with_recorder(self.recorder.clone());
         if let Some(designs) = &self.fixed_designs {
             mars = mars.with_fixed_designs(designs.clone());
         }

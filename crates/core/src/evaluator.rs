@@ -13,7 +13,7 @@ use mars_accel::{AccelDesign, Catalog, DesignId, PerformanceModel};
 use mars_comm::CommSim;
 use mars_model::{ConvParams, DimSet, Network};
 use mars_parallel::{
-    evaluate_layer, evaluate_non_conv, CacheStats, EvalContext, ShardedCache, Strategy,
+    evaluate_layer, evaluate_non_conv, CacheStats, EvalContext, OnceCache, ShardedCache, Strategy,
 };
 use mars_topology::{AccelId, Topology};
 use std::collections::hash_map::DefaultHasher;
@@ -208,9 +208,16 @@ pub struct Evaluator<'a> {
     /// arg-min over the paper's candidate strategies is a pure function of
     /// the layer shape and evaluation context, so the flat engine's greedy
     /// seeding reuses it across repeated shapes, assignments and searches.
-    greedy_cache: ShardedCache<(ConvParams, u64), Strategy>,
+    /// An exactly-once cache, so the candidate scan (and the term lookups it
+    /// performs) runs once per key for any thread count — which keeps the
+    /// [`Evaluator::term_stats`] lookup totals deterministic.
+    greedy_cache: OnceCache<(ConvParams, u64), Strategy>,
     /// Per-context-signature [`TermTable`]s (flat engine only).
     term_tables: Mutex<HashMap<u64, Arc<TermTable>>>,
+    /// Total [`Evaluator::fast_term`] calls (one relaxed increment per
+    /// lookup; the call count is a pure function of the search trajectory,
+    /// so the total is thread-count invariant once workers have joined).
+    term_lookups: AtomicU64,
     /// Shape class of every layer: layers with identical [`ConvParams`] share
     /// a class (and a [`TermTable`] row); non-compute layers get `u32::MAX`.
     shape_class: Vec<u32>,
@@ -253,8 +260,9 @@ impl<'a> Evaluator<'a> {
             sim: CommSim::new(topo),
             policy,
             cache: ShardedCache::new(),
-            greedy_cache: ShardedCache::new(),
+            greedy_cache: OnceCache::new(),
             term_tables: Mutex::new(HashMap::new()),
+            term_lookups: AtomicU64::new(0),
             n_shape_classes: shapes.len(),
             shape_class,
             per_layer_keys: false,
@@ -302,6 +310,50 @@ impl<'a> Evaluator<'a> {
     /// Hit/miss counters of the per-layer memo cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Hit/miss counters of the dense `TermTable`s the flat engine's
+    /// second-level searches look terms up in.
+    ///
+    /// Misses are counted as the number of *filled slots* rather than by a
+    /// per-fill counter: concurrent lookups racing on the same empty slot
+    /// both recompute (the benign race documented on `TermTable`), but the
+    /// set of slots that end up filled is a pure function of the search
+    /// trajectory.  Combined with the exactly-once greedy cache keeping the
+    /// lookup total deterministic, the reported split is bit-identical for
+    /// every thread count — it is exactly the split a serial run observes.
+    pub fn term_stats(&self) -> CacheStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let lookups = self.term_lookups.load(Relaxed);
+        let misses: u64 = self
+            .term_tables
+            .lock()
+            .expect("term table map poisoned")
+            .values()
+            .map(|table| {
+                table
+                    .slots
+                    .iter()
+                    .filter(|slot| slot.state.load(Relaxed) != 0)
+                    .count() as u64
+            })
+            .sum();
+        CacheStats {
+            hits: lookups.saturating_sub(misses),
+            misses,
+        }
+    }
+
+    /// Hit/miss counters of the greedy per-layer winner cache (flat engine
+    /// seeding).  Misses are counted as distinct keys, so the split is
+    /// thread-count invariant (see [`Evaluator::term_stats`]).
+    pub fn greedy_stats(&self) -> CacheStats {
+        let lookups = self.greedy_cache.stats().lookups();
+        let misses = self.greedy_cache.len() as u64;
+        CacheStats {
+            hits: lookups.saturating_sub(misses),
+            misses,
+        }
     }
 
     /// The communication simulator the evaluator prices collectives with.
@@ -399,7 +451,7 @@ impl<'a> Evaluator<'a> {
         let conv = self.net.layers()[layer_index]
             .as_conv()
             .expect("compute layer");
-        self.greedy_cache.get_or_insert_with((conv, signature), || {
+        self.greedy_cache.get_or_compute((conv, signature), || {
             let mut best = Strategy::default();
             let mut best_latency = {
                 let (latency, _, ok) = self.fast_term(table, layer_index, best, ctx);
@@ -438,10 +490,10 @@ impl<'a> Evaluator<'a> {
     /// Per-layer term of `strategy` through a [`TermTable`]: a dense indexed
     /// load on a hit, a direct [`evaluate_layer`] call (then a table fill) on
     /// a miss.  The table already deduplicates by shape class and context,
-    /// so misses skip the sharded cache's hashing entirely; like the hit
-    /// path, they are not counted in [`Evaluator::cache_stats`].  `table`
-    /// must come from [`Evaluator::term_table`] for the context `ctx`
-    /// evaluates in.
+    /// so misses skip the sharded cache's hashing entirely; lookups are
+    /// counted in [`Evaluator::term_stats`] (not in
+    /// [`Evaluator::cache_stats`]).  `table` must come from
+    /// [`Evaluator::term_table`] for the context `ctx` evaluates in.
     pub(crate) fn fast_term(
         &self,
         table: &TermTable,
@@ -450,6 +502,7 @@ impl<'a> Evaluator<'a> {
         ctx: &EvalContext<'_>,
     ) -> LayerCacheValue {
         use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+        self.term_lookups.fetch_add(1, Relaxed);
         let class = self.shape_class[layer_index] as usize;
         let slot = &table.slots[class * STRATEGY_CODES + strategy_code(strategy)];
         let state = slot.state.load(Acquire);

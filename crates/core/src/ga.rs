@@ -43,6 +43,7 @@ use mars_parallel::scoped_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::{Duration, Instant};
 
 /// Genetic-algorithm hyper-parameters.
@@ -162,8 +163,19 @@ pub struct GaOutcome {
     /// Best fitness after every generation (length = `generations + 1`,
     /// including the initial population).
     pub history: Vec<f64>,
+    /// Population mean fitness after every generation (same indexing as
+    /// [`history`](Self::history); infinite while any individual scores
+    /// `INFINITY`).  Scores are summed in population index order, so the
+    /// value is bit-identical for every thread count.
+    pub mean_history: Vec<f64>,
     /// Number of fitness evaluations performed.
     pub evaluations: usize,
+    /// Block terms reused from breeding parents by the delta-fitness path of
+    /// [`GeneticAlgorithm::run_blocks`] (`0` for whole-genome runs).
+    pub blocks_reused: u64,
+    /// Genomes abandoned mid-evaluation by early termination (`0` unless a
+    /// lower bound was supplied to [`GeneticAlgorithm::run_blocks`]).
+    pub pruned_genomes: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -271,6 +283,8 @@ impl GeneticAlgorithm {
 
         let mut history = Vec::with_capacity(cfg.generations + 1);
         history.push(best_of(&scores));
+        let mut mean_history = Vec::with_capacity(cfg.generations + 1);
+        mean_history.push(mean_of(&scores));
 
         let mut next = vec![0.0f64; pop_size * genome_len];
         for generation in 1..=cfg.generations {
@@ -311,6 +325,7 @@ impl GeneticAlgorithm {
             scores = self.evaluate_flat(&genes, genome_len, pop_size, &fitness);
             evaluations += pop_size;
             history.push(best_of(&scores));
+            mean_history.push(mean_of(&scores));
 
             for (i, &s) in scores.iter().enumerate() {
                 if s < best_fitness {
@@ -324,7 +339,10 @@ impl GeneticAlgorithm {
             best_genes,
             best_fitness,
             history,
+            mean_history,
             evaluations,
+            blocks_reused: 0,
+            pruned_genomes: 0,
             elapsed: start.elapsed(),
         }
     }
@@ -369,6 +387,8 @@ impl GeneticAlgorithm {
 
         let mut history = Vec::with_capacity(cfg.generations + 1);
         history.push(best_of(&scores));
+        let mut mean_history = Vec::with_capacity(cfg.generations + 1);
+        mean_history.push(mean_of(&scores));
 
         for generation in 1..=cfg.generations {
             let mut order: Vec<usize> = (0..pop_size).collect();
@@ -400,6 +420,7 @@ impl GeneticAlgorithm {
             scores = self.evaluate(&population, &fitness);
             evaluations += pop_size;
             history.push(best_of(&scores));
+            mean_history.push(mean_of(&scores));
 
             for (g, &s) in population.iter().zip(&scores) {
                 if s < best_fitness {
@@ -413,7 +434,10 @@ impl GeneticAlgorithm {
             best_genes,
             best_fitness,
             history,
+            mean_history,
             evaluations,
+            blocks_reused: 0,
+            pruned_genomes: 0,
             elapsed: start.elapsed(),
         }
     }
@@ -480,6 +504,12 @@ impl GeneticAlgorithm {
             }
         }
 
+        // Deterministic totals: reuse decisions are pure functions of the
+        // genes and pruning of the (deterministic) incumbent, so relaxed
+        // sums over worker threads are exact and thread-count invariant.
+        let reused = AtomicU64::new(0);
+        let pruned = AtomicU64::new(0);
+
         // Per-slot block terms of the current generation, plus how many
         // leading blocks are valid (a pruned genome stops early) and which
         // previous-generation slot each genome was bred from.
@@ -498,6 +528,8 @@ impl GeneticAlgorithm {
             &block_eval,
             &combine,
             prune,
+            &reused,
+            &pruned,
         );
         let mut evaluations = pop_size;
 
@@ -512,6 +544,8 @@ impl GeneticAlgorithm {
 
         let mut history = Vec::with_capacity(cfg.generations + 1);
         history.push(best_of(&scores));
+        let mut mean_history = Vec::with_capacity(cfg.generations + 1);
+        mean_history.push(mean_of(&scores));
 
         let mut next = vec![0.0f64; pop_size * genome_len];
         for generation in 1..=cfg.generations {
@@ -568,12 +602,15 @@ impl GeneticAlgorithm {
                 &block_eval,
                 &combine,
                 prune,
+                &reused,
+                &pruned,
             );
             terms = t;
             valid = v;
             scores = s;
             evaluations += pop_size;
             history.push(best_of(&scores));
+            mean_history.push(mean_of(&scores));
 
             for (i, &s) in scores.iter().enumerate() {
                 if s < best_fitness {
@@ -587,7 +624,10 @@ impl GeneticAlgorithm {
             best_genes,
             best_fitness,
             history,
+            mean_history,
             evaluations,
+            blocks_reused: reused.load(Relaxed),
+            pruned_genomes: pruned.load(Relaxed),
             elapsed: start.elapsed(),
         }
     }
@@ -612,6 +652,8 @@ impl GeneticAlgorithm {
         block_eval: &E,
         combine: &C,
         prune: Option<BlockBound<'_, B>>,
+        reused_total: &AtomicU64,
+        pruned_total: &AtomicU64,
     ) -> (Vec<Vec<B>>, Vec<usize>, Vec<f64>)
     where
         B: Clone + PartialEq + std::fmt::Debug + Send + Sync,
@@ -644,6 +686,7 @@ impl GeneticAlgorithm {
                                 "delta-fitness reuse mismatch at block {j}: {fresh:?} != {t:?}"
                             );
                         }
+                        reused_total.fetch_add(1, Relaxed);
                         t
                     }
                     None => block_eval(j, block),
@@ -651,6 +694,7 @@ impl GeneticAlgorithm {
                 terms.push(term);
                 if let Some(bound_fn) = prune {
                     if j + 1 < n_blocks && bound_fn(&terms) > incumbent {
+                        pruned_total.fetch_add(1, Relaxed);
                         return (terms, f64::INFINITY);
                     }
                 }
@@ -735,6 +779,17 @@ fn best_of(scores: &[f64]) -> f64 {
     scores.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
+/// Population mean in index order (float addition is order sensitive, and
+/// scores arrive in population order from every engine, so the mean is the
+/// same bits for any thread count).
+fn mean_of(scores: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for s in scores {
+        sum += s;
+    }
+    sum / scores.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,6 +809,11 @@ mod tests {
         let out = ga.run(8, |rng, _| (0..8).map(|_| rng.gen()).collect(), sphere);
         assert!(out.best_fitness < 0.1, "fitness {}", out.best_fitness);
         assert_eq!(out.history.len(), 31);
+        assert_eq!(out.mean_history.len(), 31);
+        // The population mean can never beat the population best.
+        for (mean, best) in out.mean_history.iter().zip(&out.history) {
+            assert!(mean >= best, "mean {mean} below best {best}");
+        }
         assert!(out.evaluations >= 24 * 31);
         assert!(out.elapsed > Duration::ZERO);
         assert!(out.evals_per_second() > 0.0);
@@ -900,6 +960,7 @@ mod tests {
                 reference.best_fitness.to_bits()
             );
             assert_eq!(flat.history, reference.history);
+            assert_eq!(flat.mean_history, reference.mean_history);
             assert_eq!(flat.evaluations, reference.evaluations);
         }
     }
@@ -944,7 +1005,13 @@ mod tests {
             assert_eq!(whole.best_genes, blocks.best_genes, "seed {seed}");
             assert_eq!(whole.best_fitness.to_bits(), blocks.best_fitness.to_bits());
             assert_eq!(whole.history, blocks.history);
+            assert_eq!(whole.mean_history, blocks.mean_history);
             assert_eq!(whole.evaluations, blocks.evaluations);
+            // Elites are verbatim copies of their parents, so the delta path
+            // must have reused at least their blocks.
+            assert!(blocks.blocks_reused > 0, "seed {seed}: no delta reuse");
+            assert_eq!(blocks.pruned_genomes, 0);
+            assert_eq!(whole.blocks_reused, 0);
         }
     }
 
@@ -1089,6 +1156,8 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xD1F7);
                 let mut genes: Vec<f64> = (0..POP * GENOME).map(|_| rng.gen()).collect();
                 let mut parents: Vec<Option<usize>> = vec![None; POP];
+                let reused_count = AtomicU64::new(0);
+                let pruned_count = AtomicU64::new(0);
                 let (mut terms, mut valid, _) = ga.evaluate_blocks(
                     &genes,
                     &[],
@@ -1103,6 +1172,8 @@ mod tests {
                     &block_eval,
                     &combine,
                     None,
+                    &reused_count,
+                    &pruned_count,
                 );
 
                 let mut reused_terms = 0usize;
@@ -1138,6 +1209,8 @@ mod tests {
                         &block_eval,
                         &combine,
                         None,
+                        &reused_count,
+                        &pruned_count,
                     );
                     // Oracle: full recomputation of every block, combined in
                     // the same order.  Delta fitness must match bit for bit.
@@ -1165,6 +1238,10 @@ mod tests {
                     reused_terms > 0,
                     "seed {seed} threads {threads}: no term was ever delta-reused"
                 );
+                // The engine's own reuse counter agrees with the tag-based
+                // count, and nothing was pruned without a bound.
+                assert_eq!(reused_count.load(Ordering::Relaxed), reused_terms as u64);
+                assert_eq!(pruned_count.load(Ordering::Relaxed), 0);
             }
         }
     }

@@ -23,12 +23,14 @@ use crate::genome::{decode_strategy_fast, FirstLevelGenome, SecondLevelGenome, G
 use crate::mapping::{Assignment, Mapping};
 use mars_accel::{Catalog, DesignId, ProfileTable};
 use mars_model::{DimSet, LoopNest, Network};
+use mars_obs::Recorder;
 use mars_parallel::{evaluate_non_conv, CacheStats, EvalContext, OnceCache, Strategy};
 use mars_topology::{partition, AccelId, Topology};
 use rand::rngs::StdRng;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -161,7 +163,15 @@ impl Default for SearchConfig {
 ///
 /// `search_cache` counts the decision-level memo lookups (second-level
 /// search memo plus, on the flat engine, the whole-decision memo);
-/// `layer_cache` counts the per-layer evaluation memo underneath them.
+/// `layer_cache` counts the per-layer evaluation memo underneath them;
+/// `term_table` and `greedy_cache` count the flat engine's dense term memo
+/// and greedy-winner memo (zero on the reference engine, which routes every
+/// per-layer lookup through `layer_cache`).
+///
+/// Every hit/miss split is reported as the *serial-trajectory* split —
+/// misses are distinct computed entries, hits the remaining lookups — so
+/// the counters are bit-identical for every thread count even when
+/// concurrent lookups race on an in-flight entry.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EvalStats {
     /// First-level fitness evaluations.
@@ -172,6 +182,14 @@ pub struct EvalStats {
     pub layer_cache: CacheStats,
     /// Hit/miss counters of the decision-level memo caches.
     pub search_cache: CacheStats,
+    /// Hit/miss counters of the flat engine's dense per-layer term tables.
+    pub term_table: CacheStats,
+    /// Hit/miss counters of the flat engine's greedy per-layer winner memo.
+    pub greedy_cache: CacheStats,
+    /// Block terms reused by the flat engine's delta-fitness path.
+    pub blocks_reused: u64,
+    /// Second-level genomes abandoned by early termination.
+    pub pruned_genomes: u64,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
 }
@@ -179,7 +197,10 @@ pub struct EvalStats {
 impl EvalStats {
     /// Total cache hits across all memo layers.
     pub fn cache_hits(&self) -> u64 {
-        self.layer_cache.hits + self.search_cache.hits
+        self.layer_cache.hits
+            + self.search_cache.hits
+            + self.term_table.hits
+            + self.greedy_cache.hits
     }
 
     /// First-level fitness evaluations per second of wall-clock time.
@@ -265,6 +286,26 @@ const IDLE_COST: AssignmentCost = AssignmentCost {
     memory_ok: true,
 };
 
+/// Per-search totals of the flat engine's second-level GA runs.  Each run
+/// happens exactly once per decision key (behind the [`OnceCache`]), so the
+/// relaxed sums are deterministic for any thread count.
+#[derive(Debug, Default)]
+struct SearchCounters {
+    blocks_reused: AtomicU64,
+    pruned_genomes: AtomicU64,
+}
+
+/// Reconstructs the serial-trajectory hit/miss split of a memo cache from
+/// its (deterministic) lookup total and its (deterministic) entry count:
+/// each distinct entry misses exactly once in a serial run, and racing
+/// duplicate computations never change either input.
+fn exact_split(stats: CacheStats, entries: u64) -> CacheStats {
+    CacheStats {
+        hits: stats.lookups().saturating_sub(entries),
+        misses: entries.min(stats.lookups()),
+    }
+}
+
 /// The MARS mapping framework: computation-aware accelerator selection and
 /// communication-aware multi-level parallelism search.
 pub struct Mars<'a> {
@@ -273,6 +314,7 @@ pub struct Mars<'a> {
     catalog: &'a Catalog,
     config: SearchConfig,
     policy: DesignPolicy,
+    recorder: Recorder,
 }
 
 impl<'a> Mars<'a> {
@@ -284,12 +326,25 @@ impl<'a> Mars<'a> {
             catalog,
             config: SearchConfig::standard(0),
             policy: DesignPolicy::Adaptive,
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Replaces the search configuration.
     pub fn with_config(mut self, config: SearchConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches an observability recorder.  After the search finishes it
+    /// receives per-generation best/mean fitness series plus evaluation and
+    /// cache counters — all derived from the search's deterministic state,
+    /// so attaching a recorder never changes the returned
+    /// [`SearchResult`], and the recorded metrics are bit-identical for
+    /// every thread count.  The disabled recorder (the default) records
+    /// nothing.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -326,6 +381,46 @@ impl<'a> Mars<'a> {
             SearchEngine::Flat => self.search_flat(),
             SearchEngine::Reference => self.search_reference(),
         }
+    }
+
+    /// Publishes the finished search to the attached recorder: the
+    /// per-generation best/mean fitness series (keyed on generation index)
+    /// plus evaluation and cache counters.  Everything recorded here is read
+    /// from the completed, deterministic outcome — never from live search
+    /// state — so enabling observation cannot perturb the search, and the
+    /// recorded values are bit-identical across thread counts.  Wall-clock
+    /// time goes into the recorder's explicitly-nondeterministic section.
+    fn record_search(&self, outcome: &crate::ga::GaOutcome, stats: &EvalStats) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let r = &self.recorder;
+        for (g, (&best, &mean)) in outcome
+            .history
+            .iter()
+            .zip(&outcome.mean_history)
+            .enumerate()
+        {
+            r.point("search/best_fitness", g as f64, best);
+            r.point("search/mean_fitness", g as f64, mean);
+        }
+        r.counter("search/evaluations", stats.evaluations as u64);
+        r.counter(
+            "search/second_level_searches",
+            stats.second_level_searches as u64,
+        );
+        r.counter("search/blocks_reused", stats.blocks_reused);
+        r.counter("search/pruned_genomes", stats.pruned_genomes);
+        for (name, cache) in [
+            ("layer_cache", stats.layer_cache),
+            ("search_cache", stats.search_cache),
+            ("term_table", stats.term_table),
+            ("greedy_cache", stats.greedy_cache),
+        ] {
+            r.counter(&format!("search/{name}_hits"), cache.hits);
+            r.counter(&format!("search/{name}_misses"), cache.misses);
+        }
+        r.wall_seconds("search/elapsed", stats.elapsed.as_secs_f64());
     }
 
     fn resolved_max_sets(&self) -> usize {
@@ -406,6 +501,7 @@ impl<'a> Mars<'a> {
 
         let second_cache: FlatSecondCache = OnceCache::new();
         let decision_cache: DecisionCache = OnceCache::new();
+        let counters = SearchCounters::default();
 
         let first_ga = GeneticAlgorithm::new(self.config.first_level);
         let outcome = first_ga.run(
@@ -423,7 +519,13 @@ impl<'a> Mars<'a> {
             },
             |genes| {
                 let assignments = layout.decode(genes, &candidates);
-                self.flat_latency(&assignments, &evaluator, &second_cache, &decision_cache)
+                self.flat_latency(
+                    &assignments,
+                    &evaluator,
+                    &second_cache,
+                    &decision_cache,
+                    &counters,
+                )
             },
         );
 
@@ -436,11 +538,16 @@ impl<'a> Mars<'a> {
                 if a.is_idle() {
                     continue;
                 }
-                let second = self.second_level_flat(a, &evaluator, &second_cache);
+                let second = self.second_level_flat(a, &evaluator, &second_cache, &counters);
                 strategies.extend(second.strategies.iter().map(|(k, v)| (*k, *v)));
             }
-            let latency =
-                self.flat_latency(&assignments, &evaluator, &second_cache, &decision_cache);
+            let latency = self.flat_latency(
+                &assignments,
+                &evaluator,
+                &second_cache,
+                &decision_cache,
+                &counters,
+            );
             (latency, assignments, strategies)
         } else {
             // Every individual was invalid; fall back to the heuristic seed.
@@ -454,10 +561,18 @@ impl<'a> Mars<'a> {
         let stats = EvalStats {
             evaluations: outcome.evaluations,
             second_level_searches: second_cache.len(),
-            layer_cache: evaluator.cache_stats(),
-            search_cache: second_cache.stats().merged(decision_cache.stats()),
+            layer_cache: exact_split(evaluator.cache_stats(), evaluator.cache_entries() as u64),
+            search_cache: exact_split(
+                second_cache.stats().merged(decision_cache.stats()),
+                (second_cache.len() + decision_cache.len()) as u64,
+            ),
+            term_table: evaluator.term_stats(),
+            greedy_cache: evaluator.greedy_stats(),
+            blocks_reused: counters.blocks_reused.load(Relaxed),
+            pruned_genomes: counters.pruned_genomes.load(Relaxed),
             elapsed,
         };
+        self.record_search(&outcome, &stats);
         SearchResult {
             mapping: Mapping::new(assignments, strategies, latency),
             history: outcome.history,
@@ -476,6 +591,7 @@ impl<'a> Mars<'a> {
         evaluator: &Evaluator<'_>,
         second_cache: &FlatSecondCache,
         decision_cache: &DecisionCache,
+        counters: &SearchCounters,
     ) -> f64 {
         let key: Vec<SecondLevelKey> = assignments
             .iter()
@@ -488,7 +604,8 @@ impl<'a> Mars<'a> {
                     if a.is_idle() {
                         IDLE_COST
                     } else {
-                        self.second_level_flat(a, evaluator, second_cache).cost
+                        self.second_level_flat(a, evaluator, second_cache, counters)
+                            .cost
                     }
                 })
                 .collect();
@@ -500,7 +617,7 @@ impl<'a> Mars<'a> {
                 let mut strategies = BTreeMap::new();
                 for a in assignments {
                     if !a.is_idle() {
-                        let second = self.second_level_flat(a, evaluator, second_cache);
+                        let second = self.second_level_flat(a, evaluator, second_cache, counters);
                         strategies.extend(second.strategies.iter().map(|(k, v)| (*k, *v)));
                     }
                 }
@@ -520,6 +637,7 @@ impl<'a> Mars<'a> {
         assignment: &Assignment,
         evaluator: &Evaluator<'_>,
         cache: &FlatSecondCache,
+        counters: &SearchCounters,
     ) -> Arc<SecondOutcome> {
         let key: SecondLevelKey = (
             assignment.accels.clone(),
@@ -528,7 +646,7 @@ impl<'a> Mars<'a> {
             assignment.layers.end,
         );
         cache.get_or_compute(key.clone(), || {
-            Arc::new(self.search_strategies_flat(assignment, evaluator, &key))
+            Arc::new(self.search_strategies_flat(assignment, evaluator, &key, counters))
         })
     }
 
@@ -540,6 +658,7 @@ impl<'a> Mars<'a> {
         assignment: &Assignment,
         evaluator: &Evaluator<'_>,
         key: &SecondLevelKey,
+        counters: &SearchCounters,
     ) -> SecondOutcome {
         let compute_layers: Vec<usize> = assignment
             .layers
@@ -712,6 +831,15 @@ impl<'a> Mars<'a> {
             fitness,
             prune,
         );
+        // Accumulated inside the OnceCache compute closure, so each
+        // second-level key contributes exactly once — the totals are a pure
+        // function of the set of keys searched, hence thread invariant.
+        counters
+            .blocks_reused
+            .fetch_add(outcome.blocks_reused, Relaxed);
+        counters
+            .pruned_genomes
+            .fetch_add(outcome.pruned_genomes, Relaxed);
 
         let strategies: BTreeMap<usize, Strategy> = layout
             .decode(&outcome.best_genes)
@@ -813,10 +941,17 @@ impl<'a> Mars<'a> {
         let stats = EvalStats {
             evaluations: outcome.evaluations,
             second_level_searches: second_cache.len(),
-            layer_cache: evaluator.cache_stats(),
-            search_cache: second_cache.stats(),
+            layer_cache: exact_split(evaluator.cache_stats(), evaluator.cache_entries() as u64),
+            search_cache: exact_split(second_cache.stats(), second_cache.len() as u64),
+            // The reference engine predates the dense term memo and the
+            // greedy seed cache; both report zero lookups here.
+            term_table: evaluator.term_stats(),
+            greedy_cache: evaluator.greedy_stats(),
+            blocks_reused: 0,
+            pruned_genomes: 0,
             elapsed,
         };
+        self.record_search(&outcome, &stats);
         SearchResult {
             mapping: Mapping::new(assignments, strategies, latency),
             history: outcome.history,
@@ -1122,14 +1257,60 @@ mod tests {
         assert!(stats.evals_per_second() > 0.0);
         assert_eq!(stats.elapsed, result.elapsed);
         // The flat engine keeps per-layer terms in the evaluator's dense
-        // term table, which is deliberately uncounted, so its sharded
-        // layer-cache counters can legitimately read zero in release builds
-        // (debug cross-checks route through the counted path).  The
-        // reference engine still counts every per-layer lookup.
+        // term table and seeds populations from the greedy-winner memo;
+        // both are counted now, and the memos earn real hits.
+        assert!(stats.term_table.lookups() > 0, "term table is counted");
+        assert!(stats.term_table.hits > 0, "repeat terms must hit");
+        assert!(stats.greedy_cache.lookups() > 0, "greedy memo is counted");
+        assert!(stats.blocks_reused > 0, "delta fitness must reuse blocks");
+        // The reference engine predates both memos: it routes every
+        // per-layer lookup through the layer cache instead.
         let reference = Mars::new(&net, &topo, &catalog)
             .with_config(SearchConfig::fast(4).with_engine(SearchEngine::Reference))
             .search();
         assert!(reference.stats.layer_cache.lookups() > 0);
+        assert!(reference.stats.layer_cache.hits > 0);
+        assert_eq!(reference.stats.term_table.lookups(), 0);
+        assert_eq!(reference.stats.greedy_cache.lookups(), 0);
+        assert_eq!(reference.stats.blocks_reused, 0);
+    }
+
+    #[test]
+    fn recorder_captures_search_metrics_without_changing_the_result() {
+        let net = zoo::alexnet(1000);
+        let topo = presets::f1_16xlarge();
+        let catalog = Catalog::standard_three();
+        let plain = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(4))
+            .search();
+        let recorder = Recorder::enabled();
+        let observed = Mars::new(&net, &topo, &catalog)
+            .with_config(SearchConfig::fast(4))
+            .with_recorder(recorder.clone())
+            .search();
+
+        // Attaching a recorder must not perturb the search.
+        assert_eq!(plain.mapping, observed.mapping);
+        assert_eq!(plain.history, observed.history);
+        assert_eq!(plain.stats.evaluations, observed.stats.evaluations);
+
+        let obs = recorder.snapshot();
+        let best = obs.series("search/best_fitness").expect("best series");
+        let mean = obs.series("search/mean_fitness").expect("mean series");
+        assert_eq!(best.len(), observed.history.len());
+        assert_eq!(mean.len(), observed.history.len());
+        for ((_, b), h) in best.iter().zip(&observed.history) {
+            assert_eq!(b.to_bits(), h.to_bits());
+        }
+        assert_eq!(
+            obs.counter_value("search/evaluations"),
+            observed.stats.evaluations as u64
+        );
+        assert_eq!(
+            obs.counter_value("search/term_table_hits"),
+            observed.stats.term_table.hits
+        );
+        assert!(obs.counter_value("search/blocks_reused") > 0);
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Exporters: flat machine-diffable metrics JSON and Chrome trace-event
+//! JSON (loadable in Perfetto or `chrome://tracing`).
+//!
+//! Both exporters render from a [canonicalized](Obs::canonicalize) copy of
+//! the store, so the bytes they produce are a pure function of the recorded
+//! observations — independent of thread counts, shard groupings or
+//! insertion order.  The metrics JSON follows the same restricted flat shape
+//! as the repo's `BENCH_*.json` files (string keys to numbers, one nesting
+//! level for grouping); the trace JSON is the Chrome trace-event array
+//! format with timestamps in **simulated microseconds**.
+
+use crate::store::Obs;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` (JSON has no inf/NaN; they become strings the
+/// flat parser skips, which is the right behaviour for sentinel gauges).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{v}\"")
+    }
+}
+
+/// Renders the flat metrics JSON: counters, peak gauges, histograms
+/// (count/min/max plus non-empty `(edge, count)` buckets) and series.
+pub fn metrics_json(obs: &Obs) -> String {
+    let mut obs = obs.clone();
+    obs.canonicalize();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"mars-obs-metrics-v1\"");
+
+    if !obs.counters.is_empty() {
+        out.push_str(",\n  \"counters\": {\n");
+        let lines: Vec<String> = obs
+            .counters
+            .iter()
+            .map(|(k, v)| format!("    \"{}\": {v}", esc(k)))
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  }");
+    }
+    if !obs.gauges.is_empty() {
+        out.push_str(",\n  \"gauges\": {\n");
+        let lines: Vec<String> = obs
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("    \"{}\": {}", esc(k), num(*v)))
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  }");
+    }
+    if !obs.hists.is_empty() {
+        out.push_str(",\n  \"histograms\": {\n");
+        let lines: Vec<String> = obs
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let buckets: Vec<String> = h
+                    .nonzero_buckets()
+                    .iter()
+                    .map(|(edge, c)| format!("[{}, {c}]", num(*edge)))
+                    .collect();
+                format!(
+                    "    \"{}\": {{\"count\": {}, \"underflow\": {}, \"overflow\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                    esc(k),
+                    h.count(),
+                    h.underflow(),
+                    h.overflow(),
+                    num(h.min()),
+                    num(h.max()),
+                    buckets.join(", ")
+                )
+            })
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  }");
+    }
+    if !obs.series.is_empty() {
+        out.push_str(",\n  \"series\": {\n");
+        let lines: Vec<String> = obs
+            .series
+            .iter()
+            .map(|(k, pts)| {
+                let pairs: Vec<String> = pts
+                    .iter()
+                    .map(|(t, v)| format!("[{}, {}]", num(*t), num(*v)))
+                    .collect();
+                format!("    \"{}\": [{}]", esc(k), pairs.join(", "))
+            })
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  }");
+    }
+    if !obs.wall().is_empty() {
+        // Wall time is the one explicitly nondeterministic section: these
+        // bytes may differ between otherwise identical runs.
+        out.push_str(",\n  \"wall_seconds_nondeterministic\": {\n");
+        let lines: Vec<String> = obs
+            .wall()
+            .iter()
+            .map(|(k, v)| format!("    \"{}\": {}", esc(k), num(*v)))
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  }");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Renders Chrome trace-event JSON keyed on simulated time.
+///
+/// Tracks become threads of one process: a thread-name metadata event per
+/// track, spans as complete (`"X"`) events, markers as instant (`"i"`)
+/// events and series as counter (`"C"`) events.  Timestamps are simulated
+/// seconds scaled to microseconds, so a one-second simulation renders as
+/// one second on the Perfetto timeline.
+pub fn chrome_trace_json(obs: &Obs) -> String {
+    let mut obs = obs.clone();
+    obs.canonicalize();
+
+    // Deterministic track ids: collect every referenced track name, sorted.
+    let mut tracks: Vec<&str> = obs
+        .spans
+        .iter()
+        .map(|s| s.track.as_str())
+        .chain(obs.instants.iter().map(|i| i.track.as_str()))
+        .collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let tid_of = |track: &str| tracks.binary_search(&track).unwrap_or(0) + 1;
+    let us = |t: f64| t * 1e6;
+
+    let mut events: Vec<String> = Vec::new();
+    for (tid, track) in tracks.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \"args\": {{\"name\": \"{}\"}}}}",
+            tid + 1,
+            esc(track)
+        ));
+    }
+    for s in &obs.spans {
+        events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"sim\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}}}",
+            esc(&s.name),
+            num(us(s.start)),
+            num(us((s.end - s.start).max(0.0))),
+            tid_of(&s.track)
+        ));
+    }
+    for i in &obs.instants {
+        events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"sim\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \"pid\": 1, \"tid\": {}}}",
+            esc(&i.name),
+            num(us(i.at)),
+            tid_of(&i.track)
+        ));
+    }
+    for (name, pts) in &obs.series {
+        for (t, v) in pts {
+            events.push(format!(
+                "{{\"name\": \"{}\", \"ph\": \"C\", \"ts\": {}, \"pid\": 1, \"args\": {{\"value\": {}}}}}",
+                esc(name),
+                num(us(*t)),
+                num(*v)
+            ));
+        }
+    }
+
+    format!("[\n{}\n]\n", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Obs {
+        let mut o = Obs::new();
+        o.counter("search/evals", 42);
+        o.gauge_max("kv/peak", 0.75);
+        o.observe("serve/batch_size", 4.0);
+        o.observe("serve/batch_size", 8.0);
+        o.point("search/best_fitness", 0.0, 12.5);
+        o.point("search/best_fitness", 1.0, 11.0);
+        // Exactly representable sim times, so the expected microsecond
+        // timestamps below are exact too.
+        o.span("lane/0", "batch(4)", 0.125, 0.1875);
+        o.instant("lane/0", "fault:down", 0.15625);
+        o
+    }
+
+    #[test]
+    fn metrics_json_is_flat_and_machine_parseable() {
+        let text = metrics_json(&sample());
+        assert!(text.contains("\"schema\": \"mars-obs-metrics-v1\""));
+        assert!(text.contains("\"search/evals\": 42"));
+        assert!(text.contains("\"kv/peak\": 0.75"));
+        assert!(text.contains("\"count\": 2"));
+        assert!(text.contains("\"search/best_fitness\": [[0, 12.5], [1, 11]]"));
+        // Well-formed: braces balance.
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn chrome_trace_has_thread_names_spans_instants_and_counters() {
+        let text = chrome_trace_json(&sample());
+        assert!(text.starts_with("[\n"));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"ph\": \"M\""));
+        assert!(text.contains("\"name\": \"lane/0\""));
+        assert!(text.contains("\"ph\": \"X\""));
+        assert!(text.contains("\"ts\": 125000, \"dur\": 62500"));
+        assert!(text.contains("\"ph\": \"i\""));
+        assert!(text.contains("\"ph\": \"C\""));
+        let open = text.matches('[').count();
+        let close = text.matches(']').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn exports_are_insertion_order_invariant() {
+        let a = sample();
+        let mut b = Obs::new();
+        // Same observations, recorded in a different order.
+        b.span("lane/0", "batch(4)", 0.125, 0.1875);
+        b.point("search/best_fitness", 1.0, 11.0);
+        b.observe("serve/batch_size", 8.0);
+        b.counter("search/evals", 40);
+        b.counter("search/evals", 2);
+        b.gauge_max("kv/peak", 0.75);
+        b.observe("serve/batch_size", 4.0);
+        b.point("search/best_fitness", 0.0, 12.5);
+        b.instant("lane/0", "fault:down", 0.15625);
+        assert_eq!(metrics_json(&a), metrics_json(&b));
+        assert_eq!(chrome_trace_json(&a), chrome_trace_json(&b));
+    }
+
+    #[test]
+    fn non_finite_values_render_as_strings() {
+        let mut o = Obs::new();
+        o.gauge_max("g", f64::INFINITY);
+        let text = metrics_json(&o);
+        assert!(text.contains("\"g\": \"inf\""));
+    }
+}

@@ -1,0 +1,47 @@
+//! # mars-obs
+//!
+//! Deterministic observability for the MARS reproduction: counters, peak
+//! gauges, fixed-bucket log-scale histograms, sim-time series and
+//! span-style trace events, with flat-JSON and Chrome trace-event
+//! exporters.
+//!
+//! The layer's defining property is that **instrumentation never perturbs
+//! results**: every recorded quantity derives from simulation clocks and
+//! deterministic counters (wall time is quarantined in an explicitly
+//! nondeterministic section, [`Obs::wall_seconds`]), a disabled
+//! [`Recorder`] — the default — compiles to an inlineable null check on the
+//! hot paths, and parallel shards record into local stores that merge
+//! bit-identically for any shard grouping ([`Obs::merge`] +
+//! [`Obs::canonicalize`]).  Instrumented runs of the search, serving and
+//! elastic-runtime engines are bit-identical to uninstrumented ones, and
+//! merged metrics are bit-identical across `MARS_THREADS` values — the
+//! workspace's observability determinism suite pins both.
+//!
+//! ```
+//! use mars_obs::{chrome_trace_json, metrics_json, Recorder};
+//!
+//! let rec = Recorder::enabled();
+//! // Quantities derive from the *simulation* clock, never wall time.
+//! rec.counter("serve/dispatches", 1);
+//! rec.observe("serve/batch_size", 4.0);
+//! rec.span("lane/0", "batch(4)", 0.010, 0.014);
+//!
+//! let obs = rec.snapshot();
+//! let metrics = metrics_json(&obs);       // flat, machine-diffable
+//! let trace = chrome_trace_json(&obs);    // open in Perfetto
+//! assert!(metrics.contains("serve/batch_size"));
+//! assert!(trace.contains("\"ph\": \"X\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod hist;
+mod recorder;
+mod store;
+
+pub use export::{chrome_trace_json, metrics_json};
+pub use hist::{Histogram, BUCKETS, MAX_EXP, MIN_EXP, SUB_BUCKETS};
+pub use recorder::Recorder;
+pub use store::{Instant, Obs, Span};

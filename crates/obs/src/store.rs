@@ -1,0 +1,295 @@
+//! The deterministic observation store: counters, peak gauges, histograms,
+//! sim-time series and trace spans, with a shard-grouping-invariant merge.
+//!
+//! Everything in an [`Obs`] derives from simulation clocks and deterministic
+//! counters — never wall time — so two runs of the same deterministic
+//! computation produce bit-identical stores, and any shard grouping of the
+//! same per-item observations merges to a bit-identical whole:
+//!
+//! * counters are `u64` sums (associative),
+//! * gauges are **peaks** (`f64::max`, commutative for non-NaN values),
+//! * histograms are integer buckets ([`Histogram::merge`]),
+//! * series points and spans are appended and canonically sorted on export,
+//!   with a total order over all fields.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+
+/// One span-style trace event on a named track, in simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Track (Chrome-trace thread) the span renders on, e.g. `lane/3`.
+    pub track: String,
+    /// Event name, e.g. `batch(4)` or `reconfigure:queue-growth`.
+    pub name: String,
+    /// Start instant in simulated seconds.
+    pub start: f64,
+    /// End instant in simulated seconds (`>= start`).
+    pub end: f64,
+}
+
+/// One instantaneous trace event on a named track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instant {
+    /// Track the marker renders on.
+    pub track: String,
+    /// Event name, e.g. `fault:accel3-down`.
+    pub name: String,
+    /// The instant in simulated seconds.
+    pub at: f64,
+}
+
+/// The deterministic observation store — see the module docs for the merge
+/// contract.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Obs {
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    pub(crate) hists: BTreeMap<String, Histogram>,
+    pub(crate) series: BTreeMap<String, Vec<(f64, f64)>>,
+    pub(crate) spans: Vec<Span>,
+    pub(crate) instants: Vec<Instant>,
+    pub(crate) wall: BTreeMap<String, f64>,
+}
+
+impl Obs {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.series.is_empty()
+            && self.spans.is_empty()
+            && self.instants.is_empty()
+            && self.wall.is_empty()
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Raises peak gauge `name` to at least `value` (NaN is ignored).
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let g = self
+            .gauges
+            .entry(name.to_string())
+            .or_insert(f64::NEG_INFINITY);
+        *g = g.max(value);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Appends a `(t, value)` sample to series `name` (t in sim seconds).
+    pub fn point(&mut self, name: &str, t: f64, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_default()
+            .push((t, value));
+    }
+
+    /// Appends a span on `track` from `start` to `end` sim seconds.
+    pub fn span(&mut self, track: &str, name: &str, start: f64, end: f64) {
+        self.spans.push(Span {
+            track: track.to_string(),
+            name: name.to_string(),
+            start,
+            end,
+        });
+    }
+
+    /// Appends an instantaneous marker on `track` at `at` sim seconds.
+    pub fn instant(&mut self, track: &str, name: &str, at: f64) {
+        self.instants.push(Instant {
+            track: track.to_string(),
+            name: name.to_string(),
+            at,
+        });
+    }
+
+    /// Adds wall-clock `seconds` under `name` in the **explicitly
+    /// nondeterministic** profiling section.  This is the only place wall
+    /// time is allowed into a store: everything else derives from
+    /// simulation clocks and deterministic counters.  Deterministic
+    /// instrumentation must never call this; the determinism suite compares
+    /// whole stores, so a wall entry from inside an instrumented engine is
+    /// a test failure, not a tolerated wobble.
+    pub fn wall_seconds(&mut self, name: &str, seconds: f64) {
+        *self.wall.entry(name.to_string()).or_insert(0.0) += seconds;
+    }
+
+    /// The nondeterministic wall-clock entries (empty for fully
+    /// deterministic runs).
+    pub fn wall(&self) -> &BTreeMap<String, f64> {
+        &self.wall
+    }
+
+    /// Drops the explicitly-nondeterministic wall-clock section, leaving the
+    /// deterministic core — the part the bit-identity guarantees quantify
+    /// over.  Determinism tests call this before comparing exports from runs
+    /// whose only legitimate difference is how long they took.
+    pub fn strip_wall(&mut self) {
+        self.wall.clear();
+    }
+
+    /// Value of counter `name` (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of peak gauge `name`, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram under `name`, if any samples were observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// The series under `name`, if any points were recorded.
+    pub fn series(&self, name: &str) -> Option<&[(f64, f64)]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// All spans recorded so far (pre-canonicalisation order).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the max,
+    /// histograms merge bucket-wise, series and trace events append.  After
+    /// [`canonicalize`](Obs::canonicalize), the result is bit-identical for
+    /// any shard grouping of the same per-item observations.
+    pub fn merge(&mut self, other: &Obs) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let g = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            *g = g.max(*v);
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, pts) in &other.series {
+            self.series
+                .entry(k.clone())
+                .or_default()
+                .extend_from_slice(pts);
+        }
+        self.spans.extend_from_slice(&other.spans);
+        self.instants.extend_from_slice(&other.instants);
+        for (k, v) in &other.wall {
+            *self.wall.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+
+    /// Sorts series points and trace events into their canonical total
+    /// order, so stores merged from different shard groupings of the same
+    /// observations compare (and export) bit-identically.  The exporters
+    /// call this themselves; call it directly before comparing stores.
+    pub fn canonicalize(&mut self) {
+        for pts in self.series.values_mut() {
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+        }
+        self.spans.sort_by(|a, b| {
+            a.start
+                .total_cmp(&b.start)
+                .then_with(|| a.track.cmp(&b.track))
+                .then_with(|| a.end.total_cmp(&b.end))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        self.instants.sort_by(|a, b| {
+            a.at.total_cmp(&b.at)
+                .then_with(|| a.track.cmp(&b.track))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_obs(shift: f64) -> Obs {
+        let mut o = Obs::new();
+        o.counter("c", 2);
+        o.gauge_max("g", 1.0 + shift);
+        o.observe("h", 0.5 + shift);
+        o.point("s", shift, 10.0);
+        o.span("t", "work", shift, shift + 0.1);
+        o.instant("t", "mark", shift);
+        o
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let o = sample_obs(0.0);
+        assert_eq!(o.counter_value("c"), 2);
+        assert_eq!(o.counter_value("missing"), 0);
+        assert_eq!(o.gauge_value("g"), Some(1.0));
+        assert_eq!(o.histogram("h").unwrap().count(), 1);
+        assert_eq!(o.series("s").unwrap().len(), 1);
+        assert_eq!(o.spans().len(), 1);
+        assert!(!o.is_empty());
+        assert!(Obs::new().is_empty());
+    }
+
+    #[test]
+    fn merge_is_grouping_invariant_after_canonicalize() {
+        let parts: Vec<Obs> = (0..6).map(|i| sample_obs(i as f64 * 0.25)).collect();
+
+        // One-shard grouping: fold everything into one store.
+        let mut flat = Obs::new();
+        for p in &parts {
+            flat.merge(p);
+        }
+        // Three-shard grouping, merged in a different association.
+        let mut a = Obs::new();
+        a.merge(&parts[0]);
+        a.merge(&parts[1]);
+        let mut b = Obs::new();
+        b.merge(&parts[3]);
+        b.merge(&parts[2]);
+        let mut c = Obs::new();
+        c.merge(&parts[5]);
+        c.merge(&parts[4]);
+        let mut grouped = Obs::new();
+        grouped.merge(&b);
+        grouped.merge(&a);
+        grouped.merge(&c);
+
+        flat.canonicalize();
+        grouped.canonicalize();
+        assert_eq!(flat, grouped);
+        assert_eq!(flat.counter_value("c"), 12);
+        assert_eq!(
+            flat.gauge_value("g").unwrap().to_bits(),
+            grouped.gauge_value("g").unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn gauge_keeps_the_peak_and_ignores_nan() {
+        let mut o = Obs::new();
+        o.gauge_max("g", 3.0);
+        o.gauge_max("g", 1.0);
+        o.gauge_max("g", f64::NAN);
+        assert_eq!(o.gauge_value("g"), Some(3.0));
+    }
+}

@@ -98,8 +98,8 @@ mod runtime;
 pub use migrate::{migration_cost, MigrationConfig, MigrationCost};
 pub use monitor::{DriftMonitor, MonitorConfig, ReconfigureTrigger, TriggerReason};
 pub use runtime::{
-    run_elastic, run_elastic_with_cache, ElasticError, ElasticReport, ReconfigureEvent,
-    RuntimeConfig, RuntimePolicy,
+    run_elastic, run_elastic_observed, run_elastic_with_cache, ElasticError, ElasticReport,
+    ReconfigureEvent, RuntimeConfig, RuntimePolicy,
 };
 
 /// Re-export of the non-stationary traffic vocabulary the runtime consumes

@@ -19,6 +19,7 @@
 //! sequences are bit-identical across `MARS_THREADS` values and repeat runs
 //! — the property the runtime's determinism tests pin.
 
+use mars_obs::Recorder;
 use mars_serve::SimSnapshot;
 use mars_topology::AccelId;
 
@@ -138,6 +139,9 @@ pub struct DriftMonitor {
     config: MonitorConfig,
     prev: SimSnapshot,
     triggers: usize,
+    /// Observability sink for the per-window drift signals (miss rate,
+    /// total queued, mean utilization) — disabled (a null check) by default.
+    recorder: Recorder,
 }
 
 impl DriftMonitor {
@@ -147,7 +151,17 @@ impl DriftMonitor {
             config,
             prev: initial,
             triggers: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: every [`observe`](Self::observe)
+    /// records the window's drift-signal values as series keyed on the
+    /// window-end clock.  The values are pure functions of the snapshots, so
+    /// recording never changes trigger decisions.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The monitor's thresholds.
@@ -175,6 +189,7 @@ impl DriftMonitor {
         window_arrivals: &[usize],
     ) -> Option<ReconfigureTrigger> {
         let reason = self.drift_reason(snapshot);
+        self.record_window(snapshot);
         self.prev = snapshot.clone();
         reason.map(|reason| {
             self.triggers += 1;
@@ -191,6 +206,56 @@ impl DriftMonitor {
     /// not read as fresh drift).
     pub fn rebase(&mut self, snapshot: &SimSnapshot) {
         self.prev = snapshot.clone();
+    }
+
+    /// Records the window's drift-signal values as series keyed on the
+    /// window-end clock — the same arithmetic [`drift_reason`](Self::drift_reason)
+    /// uses, so the plotted signals are exactly what the thresholds saw.
+    fn record_window(&self, now: &SimSnapshot) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let prev = &self.prev;
+        let window = (now.clock - prev.clock).max(f64::MIN_POSITIVE);
+
+        let mut completed = 0usize;
+        let mut met = 0usize;
+        let mut queued = 0usize;
+        for (a, b) in prev.lanes.iter().zip(&now.lanes) {
+            completed += b.completed.saturating_sub(a.completed);
+            met += b.met_sla.saturating_sub(a.met_sla);
+            queued += b.queued;
+        }
+        let missed = completed.saturating_sub(met);
+        let miss_rate = if completed > 0 {
+            missed as f64 / completed as f64
+        } else {
+            0.0
+        };
+
+        let prev_busy = |id| {
+            prev.accel_busy
+                .iter()
+                .find(|(a, _)| *a == id)
+                .map_or(0.0, |(_, b)| *b)
+        };
+        let deltas: Vec<f64> = now
+            .accel_busy
+            .iter()
+            .map(|&(id, busy)| busy - prev_busy(id))
+            .collect();
+        let mean_load = if deltas.is_empty() {
+            0.0
+        } else {
+            deltas.iter().sum::<f64>() / deltas.len() as f64 / window
+        };
+
+        self.recorder
+            .point("runtime/window_miss_rate", now.clock, miss_rate);
+        self.recorder
+            .point("runtime/window_queued", now.clock, queued as f64);
+        self.recorder
+            .point("runtime/window_utilization", now.clock, mean_load);
     }
 
     fn drift_reason(&self, now: &SimSnapshot) -> Option<TriggerReason> {

@@ -34,6 +34,7 @@ use mars_core::{
     Workload,
 };
 use mars_model::{FaultKind, PhasedTraffic, TrafficError};
+use mars_obs::Recorder;
 use mars_serve::{FaultPolicy, ServeConfig, ServeError, ServeReport, SimState, Trace};
 use mars_topology::{AccelId, Topology};
 use std::collections::BTreeMap;
@@ -377,6 +378,42 @@ pub fn run_elastic_with_cache(
     config: &RuntimeConfig,
     cache: &InnerSearchCache,
 ) -> Result<ElasticReport, ElasticError> {
+    run_elastic_observed(
+        workloads,
+        topo,
+        catalog,
+        scenario,
+        trace,
+        policy,
+        config,
+        cache,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`run_elastic_with_cache`] with an observability [`Recorder`] attached:
+/// the serving simulation streams its lane metrics and fault instants into
+/// it, the drift monitor records its per-window signal series, and the
+/// trigger → re-plan → migrate → epoch timeline lands on the `"runtime"`
+/// trace track.  Everything recorded derives from the simulation clock and
+/// the deterministic event list, so the returned [`ElasticReport`] is
+/// bit-identical whether the recorder is enabled, disabled, or absent.
+///
+/// # Errors
+///
+/// As for [`run_elastic`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_elastic_observed(
+    workloads: &[Workload],
+    topo: &Topology,
+    catalog: &Catalog,
+    scenario: &PhasedTraffic,
+    trace: &Trace,
+    policy: RuntimePolicy,
+    config: &RuntimeConfig,
+    cache: &InnerSearchCache,
+    recorder: &Recorder,
+) -> Result<ElasticReport, ElasticError> {
     scenario.validate()?;
     let k = workloads.len();
     if scenario.workloads() != k || trace.arrivals.len() != k {
@@ -438,8 +475,10 @@ pub fn run_elastic_with_cache(
         &scenario.phases[0].profiles,
         trace,
         &config.serve,
-    )?;
-    let mut monitor = DriftMonitor::new(config.monitor.clone(), sim.snapshot());
+    )?
+    .with_recorder(recorder.clone());
+    let mut monitor =
+        DriftMonitor::new(config.monitor.clone(), sim.snapshot()).with_recorder(recorder.clone());
 
     // Control-loop boundaries: every monitor window mark plus every phase
     // start plus every fault instant, in order.  Instants that coincide are
@@ -582,12 +621,52 @@ pub fn run_elastic_with_cache(
     }
 
     let triggers_fired = monitor.triggers_fired();
+    record_timeline(recorder, &events, triggers_fired);
     Ok(ElasticReport {
         policy,
         serve: sim.finish(),
         reconfigurations: events,
         triggers_fired,
     })
+}
+
+/// Records the reconfiguration timeline on the `"runtime"` trace track plus
+/// the headline counters — called once per run, after the control loop, so
+/// recording can never perturb the decisions it describes.
+fn record_timeline(recorder: &Recorder, events: &[ReconfigureEvent], triggers_fired: usize) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    for e in events {
+        recorder.instant("runtime", &format!("trigger:{}", e.reason), e.decided_at);
+        if e.applied {
+            // decided → (re-plan + drain) → migrate → new epoch active.
+            let migrate_start = e.activated_at - e.migration.seconds;
+            recorder.span(
+                "runtime",
+                &format!("replan+drain(epoch {})", e.epoch),
+                e.decided_at,
+                migrate_start,
+            );
+            if !e.migration.is_free() {
+                recorder.span(
+                    "runtime",
+                    &format!("migrate(epoch {})", e.epoch),
+                    migrate_start,
+                    e.activated_at,
+                );
+            }
+            recorder.instant("runtime", &format!("epoch:{}", e.epoch), e.activated_at);
+        } else {
+            recorder.instant("runtime", "declined", e.decided_at);
+        }
+    }
+    recorder.counter("runtime/triggers_fired", triggers_fired as u64);
+    recorder.counter("runtime/reconfigurations", events.len() as u64);
+    recorder.counter(
+        "runtime/placements_changed",
+        events.iter().filter(|e| e.changed()).count() as u64,
+    );
 }
 
 /// Everything one re-schedule decision needs (bundled to keep the call sites

@@ -22,6 +22,7 @@ use crate::trace::Trace;
 use mars_core::{CoScheduleResult, Mapping, Placement, SearchResult};
 use mars_model::zoo::FleetSpec;
 use mars_model::{FaultEvent, FaultKind, TrafficProfile};
+use mars_obs::{Obs, Recorder};
 use mars_parallel::{resolve_threads, scoped_map, threads_from_env};
 use mars_topology::AccelId;
 use std::collections::BTreeMap;
@@ -80,6 +81,7 @@ struct ShardOut {
     stats: Vec<WorkloadServeStats>,
     latencies: Vec<Vec<f64>>,
     accel_busy: Vec<(AccelId, f64)>,
+    obs: Obs,
 }
 
 /// [`simulate`](crate::simulate), sharded by accelerator partition across
@@ -125,6 +127,40 @@ pub fn simulate_sharded_with_faults(
     faults: &[FaultEvent],
     fault_policy: FaultPolicy,
 ) -> Result<ServeReport, ServeError> {
+    simulate_sharded_observed(
+        co,
+        profiles,
+        trace,
+        config,
+        faults,
+        fault_policy,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`simulate_sharded_with_faults`] with an observability recorder: each
+/// shard records its lanes' metrics (batch-size/queue-depth histograms,
+/// per-lane batch spans, per-accelerator busy gauges) into a local store,
+/// absorbed into `recorder` in shard — i.e. global lane — order after the
+/// join.  Lane metrics are keyed by placement name and partitions are
+/// disjoint, so the merged record is bit-identical at every `MARS_THREADS`
+/// setting, exactly like the report itself.  Engine-level metrics (calendar
+/// occupancy, stale skips) depend on the shard split and are not recorded
+/// here.
+///
+/// # Errors
+///
+/// Rejects exactly the inputs [`SimState::new`] rejects.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_sharded_observed(
+    co: &CoScheduleResult,
+    profiles: &[TrafficProfile],
+    trace: &Trace,
+    config: &ServeConfig,
+    faults: &[FaultEvent],
+    fault_policy: FaultPolicy,
+    recorder: &Recorder,
+) -> Result<ServeReport, ServeError> {
     let k = co.placements.len();
     if profiles.len() != k || trace.arrivals.len() != k {
         return Err(ServeError::ShapeMismatch {
@@ -136,6 +172,7 @@ pub fn simulate_sharded_with_faults(
     if k == 0 {
         // No lanes to shard; keep the unsharded path's validation behaviour.
         let mut sim = SimState::new(co, profiles, trace, config)?;
+        sim.set_shard_recorder(recorder.clone());
         drive_faults(&mut sim, faults, fault_policy);
         return Ok(sim.finish());
     }
@@ -169,6 +206,8 @@ pub fn simulate_sharded_with_faults(
                 arrivals: trace.arrivals[lo..hi].to_vec(),
             };
             let mut sim = SimState::new(&sub_co, &profiles[lo..hi], &sub_trace, config)?;
+            let local = recorder.local();
+            sim.set_shard_recorder(local.clone());
             drive_faults(&mut sim, faults, fault_policy);
             sim.run_until(trace.horizon_seconds);
             let (stats, latencies, accel_busy) = sim.into_shard_parts();
@@ -176,6 +215,7 @@ pub fn simulate_sharded_with_faults(
                 stats,
                 latencies,
                 accel_busy,
+                obs: local.take(),
             })
         });
 
@@ -197,6 +237,7 @@ pub fn simulate_sharded_with_faults(
         for (a, b) in out.accel_busy {
             *busy.entry(a).or_insert(0.0) += b;
         }
+        recorder.absorb(&out.obs);
     }
     let horizon = trace.horizon_seconds;
     let utilization: Vec<(AccelId, f64)> =

@@ -59,15 +59,17 @@ mod report;
 mod sim;
 mod trace;
 
-pub use fleet::{fleet_co_schedule, simulate_sharded, simulate_sharded_with_faults};
+pub use fleet::{
+    fleet_co_schedule, simulate_sharded, simulate_sharded_observed, simulate_sharded_with_faults,
+};
 pub use llm::{
-    compare_batching, simulate_llm, simulate_llm_sharded, BatchingMode, LlmLaneStats, LlmRequest,
-    LlmServeError, LlmServeReport, LlmSimState, LlmTrace,
+    compare_batching, simulate_llm, simulate_llm_sharded, simulate_llm_sharded_observed,
+    BatchingMode, LlmLaneStats, LlmRequest, LlmServeError, LlmServeReport, LlmSimState, LlmTrace,
 };
 pub use report::render_serve;
 pub use sim::{
-    simulate, BatchEvent, DispatchPolicy, FaultPolicy, LaneSnapshot, ServeConfig, ServeError,
-    ServeReport, SimSnapshot, SimState, WorkloadServeStats,
+    simulate, simulate_observed, BatchEvent, DispatchPolicy, FaultPolicy, LaneSnapshot,
+    ServeConfig, ServeError, ServeReport, SimSnapshot, SimState, WorkloadServeStats,
 };
 pub use trace::Trace;
 

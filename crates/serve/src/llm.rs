@@ -34,6 +34,7 @@ use crate::trace::Trace;
 use mars_core::genome_stream_seed;
 use mars_model::zoo::{LlmSpec, LlmWorkload};
 use mars_model::TrafficError;
+use mars_obs::{Obs, Recorder};
 use mars_parallel::{resolve_threads, scoped_map, threads_from_env};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -491,6 +492,11 @@ pub struct LlmSimState {
     lanes: Vec<LlmLane>,
     calendar: CalendarQueue,
     clock: f64,
+    /// Observability sink: prefill/decode phase spans and KV reservation
+    /// levels land here, keyed by workload name.  Lanes are independent, so
+    /// everything recorded is lane-local and merges bit-identically across
+    /// shard splits.  Disabled (a null check) by default.
+    recorder: Recorder,
 }
 
 impl LlmSimState {
@@ -538,7 +544,34 @@ impl LlmSimState {
             lanes,
             calendar,
             clock: 0.0,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Attaches an observability recorder: per-lane prefill/decode phase
+    /// spans, KV reservation series and peak-KV gauges.  Every recorded
+    /// quantity derives from the simulated clock, so attaching a recorder
+    /// never changes the report.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Records the final per-lane gauges (peak KV, busy seconds); idempotent
+    /// under repeated reports because the values are monotone.
+    fn record_lane_gauges(&self) {
+        if self.recorder.is_enabled() {
+            for lane in &self.lanes {
+                self.recorder.gauge_max(
+                    &format!("llm/kv_peak_bytes/{}", lane.llm.name),
+                    lane.peak_kv as f64,
+                );
+                self.recorder.gauge_max(
+                    &format!("llm/busy_seconds/{}", lane.llm.name),
+                    lane.busy_seconds,
+                );
+            }
+        }
     }
 
     /// Advances the simulation to `until` (events strictly after it stay
@@ -565,7 +598,27 @@ impl LlmSimState {
             lane.admit();
             lane.generation = lane.generation.wrapping_add(1);
             let gen = lane.generation;
+            if self.recorder.is_enabled() {
+                self.recorder.point(
+                    &format!("llm/kv_reserved/{}", lane.llm.name),
+                    now,
+                    lane.kv_reserved as f64,
+                );
+            }
             if let Some(end) = lane.start_work(now, self.mode, self.horizon) {
+                if self.recorder.is_enabled() {
+                    // `iter_new` still holds this iteration's prefilling
+                    // members (cleared when the iteration finishes), so the
+                    // phase composition is readable right after launch.
+                    let prefilling = lane.iter_new.len();
+                    let phase = match (prefilling > 0, lane.running.len() > prefilling) {
+                        (true, true) => "prefill+decode",
+                        (true, false) => "prefill",
+                        _ => "decode",
+                    };
+                    self.recorder
+                        .span(&format!("llm/{}", lane.llm.name), phase, now, end);
+                }
                 // Decode re-entry: the next iteration's end is a fresh
                 // calendar event for this lane.
                 self.calendar.insert(end, ev.lane, gen);
@@ -590,6 +643,7 @@ impl LlmSimState {
 
     /// Builds the report for the state as it stands.
     pub fn report(&self) -> LlmServeReport {
+        self.record_lane_gauges();
         let per_workload: Vec<LlmLaneStats> = self.lanes.iter().map(lane_stats).collect();
         let mut all: Vec<f64> = self
             .lanes
@@ -672,6 +726,25 @@ pub fn simulate_llm_sharded(
     trace: &LlmTrace,
     mode: BatchingMode,
 ) -> Result<LlmServeReport, LlmServeError> {
+    simulate_llm_sharded_observed(spec, trace, mode, &Recorder::disabled())
+}
+
+/// [`simulate_llm_sharded`] with an observability recorder: each shard
+/// records its lanes' metrics (prefill/decode spans, KV levels and gauges,
+/// keyed by workload name) into a local store, absorbed into `recorder` in
+/// shard — i.e. global lane — order after the join.  Lanes never interact,
+/// so the merged record is bit-identical at every `MARS_THREADS` setting,
+/// exactly like the report.
+///
+/// # Errors
+///
+/// As for [`LlmSimState::new`].
+pub fn simulate_llm_sharded_observed(
+    spec: &LlmSpec,
+    trace: &LlmTrace,
+    mode: BatchingMode,
+    recorder: &Recorder,
+) -> Result<LlmServeReport, LlmServeError> {
     let k = spec.workloads.len();
     if k != trace.requests.len() {
         return Err(LlmServeError::ShapeMismatch {
@@ -680,7 +753,8 @@ pub fn simulate_llm_sharded(
         });
     }
     if k == 0 {
-        return simulate_llm(spec, trace, mode);
+        let sim = LlmSimState::new(spec, trace, mode)?.with_recorder(recorder.clone());
+        return Ok(sim.finish());
     }
     let threads = threads_from_env();
     let workers = resolve_threads(threads).min(k);
@@ -691,8 +765,9 @@ pub fn simulate_llm_sharded(
         .collect();
 
     // What one shard hands back for the deterministic merge: its lanes'
-    // stats plus their raw latency samples (for the aggregate percentiles).
-    type ShardOut = (Vec<LlmLaneStats>, Vec<Vec<f64>>);
+    // stats, their raw latency samples (for the aggregate percentiles), and
+    // its local observability store.
+    type ShardOut = (Vec<LlmLaneStats>, Vec<Vec<f64>>, Obs);
     let outputs: Vec<Result<ShardOut, LlmServeError>> =
         scoped_map(threads, &shards, |_, &(lo, hi)| {
             let sub_spec = LlmSpec {
@@ -705,17 +780,26 @@ pub fn simulate_llm_sharded(
                 horizon_seconds: trace.horizon_seconds,
                 requests: trace.requests[lo..hi].to_vec(),
             };
-            let mut sim = LlmSimState::new(&sub_spec, &sub_trace, mode)?;
+            let local = recorder.local();
+            let mut sim =
+                LlmSimState::new(&sub_spec, &sub_trace, mode)?.with_recorder(local.clone());
             sim.run_until(trace.horizon_seconds);
-            let latencies: Vec<Vec<f64>> = sim.lanes.iter().map(|l| l.latencies.clone()).collect();
+            sim.record_lane_gauges();
+            // Stats first (they read `lane.latencies`), then *move* the
+            // samples out instead of cloning every lane's latency vector.
             let stats: Vec<LlmLaneStats> = sim.lanes.iter().map(lane_stats).collect();
-            Ok((stats, latencies))
+            let latencies: Vec<Vec<f64>> = sim
+                .lanes
+                .iter_mut()
+                .map(|l| std::mem::take(&mut l.latencies))
+                .collect();
+            Ok((stats, latencies, local.take()))
         });
 
     let mut per_workload: Vec<LlmLaneStats> = Vec::with_capacity(k);
     let mut all: Vec<f64> = Vec::new();
     for (&(lo, _), out) in shards.iter().zip(outputs) {
-        let (stats, latencies) = out?;
+        let (stats, latencies, obs) = out?;
         for (local, mut s) in stats.into_iter().enumerate() {
             s.workload = lo + local;
             per_workload.push(s);
@@ -723,6 +807,7 @@ pub fn simulate_llm_sharded(
         for lane in latencies {
             all.extend(lane);
         }
+        recorder.absorb(&obs);
     }
     let (p50_ms, p95_ms, p99_ms) = percentile_triple_ms(&mut all);
     Ok(LlmServeReport {

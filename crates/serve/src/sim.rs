@@ -36,6 +36,7 @@ use crate::calendar::CalendarQueue;
 use crate::trace::Trace;
 use mars_core::CoScheduleResult;
 use mars_model::TrafficProfile;
+use mars_obs::Recorder;
 use mars_topology::AccelId;
 use std::sync::Arc;
 
@@ -749,6 +750,18 @@ pub struct SimState {
     /// `true` when some lane's event is a hint (or missing after a
     /// mutation), so [`step`](SimState::step) must refine before popping.
     needs_refine: bool,
+    /// Observability sink: batch spans, queue-depth/batch-size histograms
+    /// and fault markers land here.  Disabled by default — every recording
+    /// site is an inlineable null check.  All recorded quantities derive
+    /// from the simulation clock and deterministic counters, so attaching a
+    /// recorder never changes the simulation.
+    recorder: Recorder,
+    /// `true` only on a top-level (unsharded) simulation: engine-level
+    /// metrics (calendar occupancy, stale-event skips) depend on which lanes
+    /// share the calendar, so a partition shard must not record them — the
+    /// lane-local metrics it does record merge bit-identically at every
+    /// shard count.
+    engine_metrics: bool,
 }
 
 impl SimState {
@@ -851,7 +864,30 @@ impl SimState {
             lanes,
             accel_busy,
             down: Vec::new(),
+            recorder: Recorder::disabled(),
+            engine_metrics: false,
         })
+    }
+
+    /// Attaches an observability recorder to this (top-level) simulation:
+    /// per-lane batch spans, queue-depth and batch-size histograms, fault
+    /// markers, plus the engine-level calendar-occupancy series and
+    /// stale-skip counter.  Recording never changes the simulation — every
+    /// quantity derives from the simulated clock, and the default disabled
+    /// recorder compiles the hooks down to null checks.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self.engine_metrics = true;
+        self
+    }
+
+    /// Attaches a recorder restricted to lane-local metrics, for partition
+    /// shards (see [`crate::simulate_sharded_observed`]): engine-level
+    /// metrics depend on the shard split, so only the shard-invariant
+    /// lane metrics are recorded.
+    pub(crate) fn set_shard_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+        self.engine_metrics = false;
     }
 
     /// The simulated horizon in seconds.
@@ -900,6 +936,9 @@ impl SimState {
             self.events.pop_min();
             let w = ev.lane as usize;
             if ev.seq != self.lanes[w].seq {
+                if self.engine_metrics {
+                    self.recorder.counter("serve/stale_skips", 1);
+                }
                 continue; // stale: superseded by a mutation
             }
             self.lanes[w].armed = false;
@@ -910,6 +949,13 @@ impl SimState {
         }
         self.clock = bound;
         self.needs_refine = true;
+        if self.engine_metrics && self.recorder.is_enabled() {
+            self.recorder.point(
+                "serve/calendar_occupancy",
+                self.clock,
+                self.events.len() as f64,
+            );
+        }
     }
 
     /// Runs lane `w`'s decide/dispatch loop up to `bound` (the legacy
@@ -963,6 +1009,9 @@ impl SimState {
             let ev = self.events.pop_min()?;
             let w = ev.lane as usize;
             if ev.seq != self.lanes[w].seq {
+                if self.engine_metrics {
+                    self.recorder.counter("serve/stale_skips", 1);
+                }
                 continue; // stale
             }
             self.lanes[w].armed = false;
@@ -1020,6 +1069,21 @@ impl SimState {
         let delta = lane.busy - before;
         for &slot in &lane.busy_slots {
             self.accel_busy[slot as usize].1 += delta;
+        }
+        if self.recorder.is_enabled() {
+            // Lane-local, keyed by placement name: the same batches on the
+            // same lanes regardless of shard split, so the merged record is
+            // shard-count invariant.
+            let lane = &self.lanes[w];
+            self.recorder.observe("serve/batch_size", event.size as f64);
+            self.recorder
+                .observe("serve/queue_depth", lane.arena.queue_len() as f64);
+            self.recorder.span(
+                &format!("lane/{}", lane.name),
+                &format!("batch({})", event.size),
+                event.start,
+                event.finish,
+            );
         }
         event
     }
@@ -1080,6 +1144,15 @@ impl SimState {
             Ok(_) => return 0,
             Err(idx) => self.down.insert(idx, accel),
         }
+        // Only the sim that owns a lane backed by `accel` records the fault
+        // instant: in the sharded runner every shard replays the full fault
+        // schedule, and partitions are disjoint, so this gate keeps the
+        // merged trace identical to the single-shard one (one instant per
+        // fault, not one per shard).
+        if self.recorder.is_enabled() && self.owns_accel(accel) {
+            self.recorder
+                .instant("faults", &format!("fail:a{}", accel.0), self.clock);
+        }
         let clock = self.clock;
         let horizon = self.horizon;
         let mut interrupted = 0;
@@ -1103,6 +1176,8 @@ impl SimState {
                 self.accel_busy[slot as usize].1 += delta;
             }
         }
+        self.recorder
+            .counter("serve/revoked_requests", interrupted as u64);
         interrupted
     }
 
@@ -1115,6 +1190,11 @@ impl SimState {
                 self.down.remove(idx);
             }
             Err(_) => return,
+        }
+        // Owner-gated like the failure instant (see fail_accel).
+        if self.recorder.is_enabled() && self.owns_accel(accel) {
+            self.recorder
+                .instant("faults", &format!("restore:a{}", accel.0), self.clock);
         }
         let clock = self.clock;
         for w in 0..self.lanes.len() {
@@ -1131,6 +1211,11 @@ impl SimState {
     /// legacy `Vec`-building accessor allocated on every call).
     pub fn down(&self) -> &[AccelId] {
         &self.down
+    }
+
+    /// Whether some lane of this sim is backed by `accel`.
+    fn owns_accel(&self, accel: AccelId) -> bool {
+        self.lanes.iter().any(|l| l.accels.contains(&accel))
     }
 
     /// When every in-flight batch has finished: the latest lane `free`
@@ -1260,9 +1345,23 @@ impl SimState {
         }
     }
 
+    /// Records the per-accelerator busy totals as gauges.  `gauge_max` is
+    /// idempotent for these monotone values, so repeated reports are safe;
+    /// partitions are disjoint across shards, so the merged gauges are
+    /// shard-count invariant.
+    fn record_busy_gauges(&self) {
+        if self.recorder.is_enabled() {
+            for &(a, busy) in &self.accel_busy {
+                self.recorder
+                    .gauge_max(&format!("serve/accel_busy_seconds/a{}", a.0), busy);
+            }
+        }
+    }
+
     /// Runs the remaining events and returns the final [`ServeReport`].
     pub fn finish(mut self) -> ServeReport {
         self.run_until(self.horizon);
+        self.record_busy_gauges();
         self.report()
     }
 
@@ -1273,16 +1372,18 @@ impl SimState {
     /// the aggregate percentiles need every shard's raw samples.
     #[allow(clippy::type_complexity)]
     pub(crate) fn into_shard_parts(
-        self,
+        mut self,
     ) -> (Vec<WorkloadServeStats>, Vec<Vec<f64>>, Vec<(AccelId, f64)>) {
-        (
-            self.lanes.iter().map(Lane::stats).collect(),
-            self.lanes
-                .iter()
-                .map(|l| l.arena.latencies().to_vec())
-                .collect(),
-            self.accel_busy,
-        )
+        self.record_busy_gauges();
+        // Stats first (they read the samples), then *move* the samples out
+        // instead of copying every lane's latency vector.
+        let stats = self.lanes.iter().map(Lane::stats).collect();
+        let latencies = self
+            .lanes
+            .iter_mut()
+            .map(|l| l.arena.take_latencies())
+            .collect();
+        (stats, latencies, self.accel_busy)
     }
 }
 
@@ -1344,6 +1445,26 @@ pub fn simulate(
     config: &ServeConfig,
 ) -> Result<ServeReport, ServeError> {
     Ok(SimState::new(co, profiles, trace, config)?.finish())
+}
+
+/// [`simulate`] with an observability [`Recorder`] attached: batch spans,
+/// queue-depth/batch-size histograms, per-accelerator busy gauges and the
+/// engine-level calendar metrics stream into it as the replay runs.  The
+/// returned [`ServeReport`] is bit-identical to [`simulate`]'s.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_observed(
+    co: &CoScheduleResult,
+    profiles: &[TrafficProfile],
+    trace: &Trace,
+    config: &ServeConfig,
+    recorder: &Recorder,
+) -> Result<ServeReport, ServeError> {
+    Ok(SimState::new(co, profiles, trace, config)?
+        .with_recorder(recorder.clone())
+        .finish())
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! | [`core`]     | `mars-core`     | Two-level genetic mapping search, baselines, reports, ablations |
 //! | [`serve`]    | `mars-serve`    | Online serving simulator: SLA-aware dynamic batching over co-schedule placements |
 //! | [`runtime`]  | `mars-runtime`  | Elastic runtime: drift monitor, warm-started online re-scheduling, migration cost model, epoch-style failure recovery |
+//! | [`obs`]      | `mars-obs`      | Deterministic observability: counters/gauges/histograms, sim-time trace spans, metrics-JSON and Perfetto exporters |
 //!
 //! ## Quickstart
 //!
@@ -102,6 +103,20 @@
 //! re-plans on the surviving sub-topology, and every applied change stamps
 //! a monotonically increasing [`runtime::ReconfigureEvent::epoch`].
 //!
+//! ## Observability
+//!
+//! Every layer accepts an [`obs::Recorder`]: the search streams convergence
+//! series and cache-hit counters ([`core::Mars::with_recorder`]), the
+//! serving simulators stream batch spans, queue histograms and fault
+//! instants ([`serve::simulate_observed`]), and the elastic runtime records
+//! its drift-monitor windows and trigger→re-plan→migrate timeline
+//! ([`runtime::run_elastic_observed`]).  All recorded quantities derive from
+//! simulation clocks and deterministic counters, so an instrumented run is
+//! bit-identical to an uninstrumented one; [`obs::metrics_json`] and
+//! [`obs::chrome_trace_json`] (loadable in Perfetto) export the collected
+//! [`obs::Obs`].  The default [`obs::Recorder::disabled`] compiles every
+//! record call down to a null check.
+//!
 //! The `examples/` directory contains runnable versions of these flows
 //! (`quickstart`, `resnet_on_f1`, `hetero_bandwidth_sweep`,
 //! `custom_accelerator`, `co_schedule`, `serve`, `elastic`, `failover`),
@@ -115,6 +130,7 @@ pub use mars_accel as accel;
 pub use mars_comm as comm;
 pub use mars_core as core;
 pub use mars_model as model;
+pub use mars_obs as obs;
 pub use mars_parallel as parallel;
 pub use mars_runtime as runtime;
 pub use mars_serve as serve;
@@ -207,6 +223,7 @@ pub mod prelude {
         ConvParams, Dim, DimSet, FaultEvent, FaultKind, FeatureMap, Layer, LayerId, LayerKind,
         LoopNest, Network, PhasedTraffic, TrafficPhase, TrafficProfile,
     };
+    pub use mars_obs::{Obs, Recorder};
     pub use mars_parallel::{evaluate_layer, EvalContext, LayerEval, ShardPlan, Strategy};
     pub use mars_runtime::{
         run_elastic, DriftMonitor, ElasticReport, MonitorConfig, RuntimeConfig, RuntimePolicy,
@@ -232,5 +249,9 @@ mod tests {
         assert_eq!(cfg, SearchConfig::fast(1).with_threads(2));
         assert_eq!(EvalStats::default().cache_hits(), 0);
         assert_eq!(SearchEngine::default(), SearchEngine::Flat);
+        let r = Recorder::enabled();
+        r.counter("x", 2);
+        assert_eq!(r.snapshot().counter_value("x"), 2);
+        assert!(Recorder::disabled().snapshot().is_empty());
     }
 }
